@@ -1,0 +1,65 @@
+// Convergence ablation supporting the §6 solver-choice discussion: the
+// incumbent quality each solver reaches as a function of candidate
+// evaluations spent (choose 20 of 200, identical instance and seed).
+//
+// Shape of interest: how quickly each heuristic reaches the plateau, and
+// where the plateau lies — robustness per unit of evaluation budget.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/engine.h"
+
+using namespace ube;
+using namespace ube::bench;
+
+namespace {
+
+// Incumbent quality at an evaluation checkpoint (last trace point at or
+// before it); 0 if the solver had no incumbent yet.
+double QualityAt(const std::vector<TracePoint>& trace, int64_t evaluations) {
+  double quality = 0.0;
+  for (const TracePoint& point : trace) {
+    if (point.evaluations > evaluations) break;
+    quality = point.best_quality;
+  }
+  return quality;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Convergence — incumbent Q(S) vs evaluations spent "
+              "(choose 20 of 200, seed 3)\n\n");
+  GeneratedWorkload workload = MakeWorkload(200);
+  Engine engine(std::move(workload.universe), QualityModel::MakeDefault());
+  ProblemSpec spec;
+  spec.max_sources = 20;
+
+  const std::vector<int64_t> checkpoints = {100,  250,  500,  1000,
+                                            2000, 4000, 8000};
+  std::vector<std::string> header = {"solver"};
+  for (int64_t c : checkpoints) header.push_back(Fmt(c));
+  PrintRow(header, 10);
+
+  for (SolverKind kind : {SolverKind::kTabu, SolverKind::kLocalSearch,
+                          SolverKind::kAnnealing, SolverKind::kPso,
+                          SolverKind::kRandom}) {
+    SolverOptions options = BenchSolverOptions(3);
+    options.record_trace = true;
+    options.max_iterations = 400;
+    options.stall_iterations = 0;  // run the full budget
+    options.random_samples = 8000;
+    Result<Solution> solution = engine.Solve(spec, kind, options);
+    if (!solution.ok()) continue;
+    std::vector<std::string> row = {std::string(SolverKindName(kind))};
+    for (int64_t c : checkpoints) {
+      row.push_back(Fmt("%.4f", QualityAt(solution->stats.trace, c)));
+    }
+    PrintRow(row, 10);
+  }
+  std::printf("\n(each cell: incumbent quality after that many candidate "
+              "evaluations)\n");
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Design ablations for the reconstruction choices documented in DESIGN.md:
+//   1. Redundancy formula: overlap-factor (default) vs union-ratio.
+//   2. Similarity-graph floor: edge count and build time trade-off.
+//   3. Tabu candidate-list size: quality vs time.
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "core/engine.h"
+#include "matching/similarity_graph.h"
+#include "util/timer.h"
+#include "workload/generator.h"
+
+using namespace ube;
+using namespace ube::bench;
+
+namespace {
+
+QualityModel ModelWithRedundancy(RedundancyQef::Mode mode) {
+  QualityModel model;
+  model.AddQef(std::make_unique<MatchingQualityQef>(), 0.25);
+  model.AddQef(std::make_unique<CardinalityQef>(), 0.25);
+  model.AddQef(std::make_unique<CoverageQef>(), 0.20);
+  model.AddQef(std::make_unique<RedundancyQef>(mode), 0.15);
+  model.AddQef(std::make_unique<CharacteristicQef>(
+                   kMttfCharacteristic, Aggregation::kWeightedSum),
+               0.15);
+  return model;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Design ablations (choose 20 of 200 unless noted)\n");
+
+  // --- 1. redundancy formula -------------------------------------------
+  std::printf("\n-- redundancy formula --\n");
+  PrintRow({"mode", "Q(S)", "redundancy", "coverage"});
+  for (auto mode : {RedundancyQef::Mode::kOverlapFactor,
+                    RedundancyQef::Mode::kUnionRatio}) {
+    GeneratedWorkload workload = MakeWorkload(200);
+    Engine engine(std::move(workload.universe), ModelWithRedundancy(mode));
+    ProblemSpec spec;
+    spec.max_sources = 20;
+    Result<Solution> solution =
+        engine.Solve(spec, SolverKind::kTabu, BenchSolverOptions());
+    if (!solution.ok()) continue;
+    PrintRow({mode == RedundancyQef::Mode::kOverlapFactor ? "overlap-factor"
+                                                          : "union-ratio",
+              Fmt("%.4f", solution->quality),
+              Fmt("%.4f", solution->breakdown.scores[3]),
+              Fmt("%.4f", solution->breakdown.scores[2])});
+  }
+
+  // --- 2. similarity floor ----------------------------------------------
+  std::printf("\n-- similarity-graph floor (|U|=400) --\n");
+  PrintRow({"floor", "edges", "build(s)"});
+  for (double floor : {0.0, 0.25, 0.5, 0.75}) {
+    GeneratedWorkload workload = MakeWorkload(400);
+    WallTimer timer;
+    SimilarityGraph graph =
+        SimilarityGraph::WithDefaults(workload.universe, floor);
+    PrintRow({Fmt("%.2f", floor),
+              Fmt(static_cast<int64_t>(graph.num_edges())),
+              Fmt("%.3f", timer.ElapsedSeconds())});
+  }
+
+  // --- 3. tabu candidate-list size --------------------------------------
+  std::printf("\n-- tabu candidate-list size --\n");
+  PrintRow({"moves/iter", "Q(S)", "time(s)", "evaluations"});
+  GeneratedWorkload workload = MakeWorkload(200);
+  Engine engine(std::move(workload.universe), QualityModel::MakeDefault());
+  for (int moves : {8, 16, 32, 64, 128}) {
+    ProblemSpec spec;
+    spec.max_sources = 20;
+    SolverOptions options = BenchSolverOptions();
+    options.candidate_moves = moves;
+    WallTimer timer;
+    Result<Solution> solution =
+        engine.Solve(spec, SolverKind::kTabu, options);
+    if (!solution.ok()) continue;
+    PrintRow({Fmt(static_cast<int64_t>(moves)),
+              Fmt("%.4f", solution->quality),
+              Fmt("%.2f", timer.ElapsedSeconds()),
+              Fmt(solution->stats.evaluations)});
+  }
+  return 0;
+}

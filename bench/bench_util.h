@@ -1,0 +1,129 @@
+// Shared helpers for the paper-reproduction bench binaries.
+//
+// Every binary prints the rows/series of one table or figure from the
+// paper's Section 7 on a scaled-down substrate (see EXPERIMENTS.md for the
+// scaling rationale); absolute numbers differ from the 2007 testbed, the
+// shapes are what is being reproduced.
+#ifndef UBE_BENCH_BENCH_UTIL_H_
+#define UBE_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "workload/generator.h"
+
+namespace ube::bench {
+
+/// The paper's experimental universe (Section 7.1) at bench scale: schemas
+/// and perturbation identical to the paper, data volumes scaled by `scale`.
+inline GeneratedWorkload MakeWorkload(int num_sources, uint64_t seed = 17,
+                                      double scale = 0.01) {
+  WorkloadConfig config;
+  config.num_sources = num_sources;
+  config.seed = seed;
+  config.scale = scale;
+  return GenerateWorkload(config);
+}
+
+/// Solver budget used by the figure benches. Smaller than the library
+/// defaults so a full sweep stays in the minutes range on one core.
+inline SolverOptions BenchSolverOptions(uint64_t seed = 42) {
+  SolverOptions options;
+  options.seed = seed;
+  options.max_iterations = 200;
+  options.stall_iterations = 50;
+  return options;
+}
+
+/// The constraint sets of Figures 5-7: none, 1, 3, 5 source constraints,
+/// and 5 source + 2 GA constraints. Source constraints are "random sources
+/// with schemas fully conformant to one of the original BAMM schemas"
+/// (our exact-copy sources, ids < 50); the GA constraints are accurate
+/// matchings of up to `ga_size` attributes of one concept across distinct
+/// constrained-eligible sources.
+struct ConstraintSet {
+  std::string label;
+  std::vector<SourceId> sources;
+  std::vector<GlobalAttribute> gas;
+};
+
+inline std::vector<ConstraintSet> PaperConstraintSets(
+    const GeneratedWorkload& workload, int ga_size = 5) {
+  // Deterministically pick conformant sources: 7, 13, 21, 34, 42 (< 50).
+  const std::vector<SourceId> pool = {7, 13, 21, 34, 42};
+  std::vector<ConstraintSet> sets;
+  sets.push_back({"no constraints", {}, {}});
+  sets.push_back({"1 source",
+                  {pool.begin(), pool.begin() + 1},
+                  {}});
+  sets.push_back({"3 sources",
+                  {pool.begin(), pool.begin() + 3},
+                  {}});
+  sets.push_back({"5 sources", pool, {}});
+
+  // Two accurate GA constraints: for two concepts, gather up to `ga_size`
+  // attributes with that concept from distinct sources. Attributes are
+  // drawn from the constrained pool first, then from other exact-copy
+  // sources, so the implied source constraints stay small enough for the
+  // paper's smallest m (10).
+  std::vector<GlobalAttribute> gas;
+  const Universe& universe = workload.universe;
+  const GroundTruth& truth = workload.ground_truth;
+  std::vector<SourceId> candidates = pool;
+  for (SourceId s = 0; s < universe.num_sources() && s < 50; ++s) {
+    bool in_pool = false;
+    for (SourceId p : pool) in_pool = in_pool || (p == s);
+    if (!in_pool) candidates.push_back(s);
+  }
+  std::vector<char> used_extra(static_cast<size_t>(universe.num_sources()),
+                               0);
+  int extra_budget = 5;  // keep |required| <= |pool| + 5 = 10
+  for (int concept_id : {0 /*title*/, 1 /*author*/}) {
+    GlobalAttribute ga;
+    for (SourceId s : candidates) {
+      if (ga.size() >= ga_size) break;
+      bool in_pool = false;
+      for (SourceId p : pool) in_pool = in_pool || (p == s);
+      if (!in_pool && !used_extra[static_cast<size_t>(s)] &&
+          extra_budget <= 0) {
+        continue;
+      }
+      const SourceSchema& schema = universe.source(s).schema();
+      for (int a = 0; a < schema.num_attributes(); ++a) {
+        if (truth.ConceptOf(AttributeId{s, a}) == concept_id) {
+          ga.Add(AttributeId{s, a});
+          if (!in_pool && !used_extra[static_cast<size_t>(s)]) {
+            used_extra[static_cast<size_t>(s)] = 1;
+            --extra_budget;
+          }
+          break;  // one attribute per source
+        }
+      }
+    }
+    if (ga.size() >= 2) gas.push_back(std::move(ga));
+  }
+  sets.push_back({"5 sources + 2 GAs", pool, gas});
+  return sets;
+}
+
+/// printf helper for fixed-width table rows.
+inline void PrintRow(const std::vector<std::string>& cells, int width = 14) {
+  for (const std::string& cell : cells) {
+    std::printf("%-*s", width, cell.c_str());
+  }
+  std::printf("\n");
+}
+
+inline std::string Fmt(const char* format, double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), format, value);
+  return buffer;
+}
+
+inline std::string Fmt(int64_t value) { return std::to_string(value); }
+
+}  // namespace ube::bench
+
+#endif  // UBE_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,95 @@
+// Domain-coherence experiment motivated by Section 1: source discovery
+// (e.g. querying CompletePlanet for "theater") returns many sources, only
+// some of which belong to the domain the user cares about. µBE's matching
+// QEF should steer source selection toward a semantically coherent subset
+// — "if a data source expresses the concepts it contains in a way that is
+// different from other data sources, then including this source will
+// reduce the semantic coherence of the global mediated schema".
+//
+// Universe: 50% Books + 20% Airfares + 15% Movies + 15% MusicRecords
+// (300 sources). We sweep the matching-quality weight and report how many
+// chosen sources come from the majority (Books) domain, and the purity of
+// the resulting mediated schema.
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "core/engine.h"
+#include "workload/domains.h"
+#include "workload/generator.h"
+
+using namespace ube;
+using namespace ube::bench;
+
+namespace {
+
+// F1 alone is blind to incoherence (every domain forms its own perfect
+// clusters), so the coherence knob is the SchemaCoverageQef: the fraction
+// of selected attributes the mediated schema covers (see qef/qef.h).
+QualityModel ModelWithCoherenceWeight(double coherence_weight) {
+  double rest = (1.0 - coherence_weight) / 5.0;
+  QualityModel model;
+  model.AddQef(std::make_unique<SchemaCoverageQef>(), coherence_weight);
+  model.AddQef(std::make_unique<MatchingQualityQef>(), rest);
+  model.AddQef(std::make_unique<CardinalityQef>(), rest);
+  model.AddQef(std::make_unique<CoverageQef>(), rest);
+  model.AddQef(std::make_unique<RedundancyQef>(), rest);
+  model.AddQef(std::make_unique<CharacteristicQef>(
+                   kMttfCharacteristic, Aggregation::kWeightedSum),
+               rest);
+  return model;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Domain coherence — mixed universe (50%% books, 20%% "
+              "airfares, 15%% movies, 15%% musicrecords; |U|=300, m=20)\n\n");
+  PrintRow({"w(coher)", "books", "airfares", "movies", "music", "GAs",
+            "Q(S)"}, 10);
+
+  for (double weight : {0.0, 0.15, 0.3, 0.5, 0.7, 0.9}) {
+    MixedWorkloadConfig config;
+    config.base.num_sources = 300;
+    config.base.seed = 17;
+    config.base.scale = 0.01;
+    config.mix = {{FindDomain("books"), 0.50},
+                  {FindDomain("airfares"), 0.20},
+                  {FindDomain("movies"), 0.15},
+                  {FindDomain("musicrecords"), 0.15}};
+    Result<MixedWorkload> workload = GenerateMixedWorkload(config);
+    if (!workload.ok()) {
+      std::printf("generation failed: %s\n",
+                  workload.status().ToString().c_str());
+      return 1;
+    }
+    std::vector<int> domain_of = workload->domain_of;
+    Engine engine(std::move(workload->universe),
+                  ModelWithCoherenceWeight(weight));
+    ProblemSpec spec;
+    spec.max_sources = 20;
+    Result<Solution> solution =
+        engine.Solve(spec, SolverKind::kTabu, BenchSolverOptions());
+    if (!solution.ok()) continue;
+
+    int counts[4] = {0, 0, 0, 0};
+    for (SourceId s : solution->sources) {
+      ++counts[domain_of[static_cast<size_t>(s)]];
+    }
+    PrintRow({Fmt("%.2f", weight), Fmt(static_cast<int64_t>(counts[0])),
+              Fmt(static_cast<int64_t>(counts[1])),
+              Fmt(static_cast<int64_t>(counts[2])),
+              Fmt(static_cast<int64_t>(counts[3])),
+              Fmt(static_cast<int64_t>(solution->mediated_schema.num_gas())),
+              Fmt("%.4f", solution->quality)},
+             10);
+  }
+  std::printf(
+      "\n(shape: raising the coherence weight eliminates sources whose\n"
+      "attributes stay unmatched — the lexically most isolated domain\n"
+      "drops out first — and the selection settles on a few internally\n"
+      "coherent domain clusters; several coherent clusters can coexist\n"
+      "because schema-coverage is per-attribute, not per-domain)\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Figure 8: sensitivity to QEF weights — cardinality of the chosen
+// solution as the weight of the Card QEF varies from 0.1 to 1.0 (remaining
+// weights all equal, choose 20 of 200 sources).
+//
+// Paper shape: solution cardinality rises with the Card weight and
+// flattens once the top-cardinality sources satisfying the matching
+// threshold are already being chosen (around weight 0.5).
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "core/engine.h"
+#include "workload/generator.h"
+
+using namespace ube;
+using namespace ube::bench;
+
+namespace {
+
+QualityModel ModelWithCardWeight(double card_weight) {
+  double rest = (1.0 - card_weight) / 4.0;
+  QualityModel model;
+  model.AddQef(std::make_unique<MatchingQualityQef>(), rest);
+  model.AddQef(std::make_unique<CardinalityQef>(), card_weight);
+  model.AddQef(std::make_unique<CoverageQef>(), rest);
+  model.AddQef(std::make_unique<RedundancyQef>(), rest);
+  model.AddQef(std::make_unique<CharacteristicQef>(
+                   kMttfCharacteristic, Aggregation::kWeightedSum),
+               rest);
+  return model;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Figure 8 — solution cardinality vs Card QEF weight "
+              "(choose 20 of 200; other weights equal)\n\n");
+  PrintRow({"w(Card)", "solution card", "Card(S)", "Q(S)"});
+
+  for (int step = 1; step <= 10; ++step) {
+    double weight = step / 10.0;
+    GeneratedWorkload workload = MakeWorkload(200);
+    Engine engine(std::move(workload.universe), ModelWithCardWeight(weight));
+    ProblemSpec spec;
+    spec.max_sources = 20;
+    Result<Solution> solution =
+        engine.Solve(spec, SolverKind::kTabu, BenchSolverOptions());
+    if (!solution.ok()) {
+      std::printf("w=%.1f: %s\n", weight,
+                  solution.status().ToString().c_str());
+      continue;
+    }
+    int64_t total_card = 0;
+    for (SourceId s : solution->sources) {
+      total_card += engine.universe().source(s).cardinality();
+    }
+    double card_fraction =
+        static_cast<double>(total_card) /
+        static_cast<double>(engine.universe().TotalCardinality());
+    PrintRow({Fmt("%.1f", weight), Fmt(total_card),
+              Fmt("%.4f", card_fraction), Fmt("%.4f", solution->quality)});
+  }
+  return 0;
+}

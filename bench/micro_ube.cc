@@ -1,0 +1,156 @@
+// google-benchmark micro-benchmarks for the µBE building blocks: string
+// similarity, PCSA operations, Match(S) clustering, and full candidate
+// evaluation. These are the per-call costs that the figure benches
+// aggregate.
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "core/engine.h"
+#include "matching/cluster_matcher.h"
+#include "matching/similarity_graph.h"
+#include "optimize/evaluator.h"
+#include "sketch/pcsa.h"
+#include "text/ngram.h"
+#include "text/similarity.h"
+#include "util/rng.h"
+#include "workload/generator.h"
+
+namespace {
+
+ube::GeneratedWorkload& SharedWorkload() {
+  static auto* workload = [] {
+    ube::WorkloadConfig config;
+    config.num_sources = 200;
+    config.scale = 0.01;
+    return new ube::GeneratedWorkload(ube::GenerateWorkload(config));
+  }();
+  return *workload;
+}
+
+void BM_NgramJaccard(benchmark::State& state) {
+  ube::NgramSet a = ube::NgramSet::Build("publication year", 3);
+  ube::NgramSet b = ube::NgramSet::Build("year of publication", 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.Jaccard(b));
+  }
+}
+BENCHMARK(BM_NgramJaccard);
+
+void BM_NgramBuild(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ube::NgramSet::Build("publication year", 3));
+  }
+}
+BENCHMARK(BM_NgramBuild);
+
+void BM_LevenshteinScore(benchmark::State& state) {
+  ube::LevenshteinSimilarity sim;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sim.Score("publication year", "year of publication"));
+  }
+}
+BENCHMARK(BM_LevenshteinScore);
+
+void BM_PcsaAdd(benchmark::State& state) {
+  ube::PcsaSketch sketch(64);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    sketch.AddHash(++i);
+  }
+  benchmark::DoNotOptimize(sketch.Estimate());
+}
+BENCHMARK(BM_PcsaAdd);
+
+void BM_PcsaEstimate(benchmark::State& state) {
+  ube::PcsaSketch sketch(static_cast<int>(state.range(0)));
+  ube::Rng rng(1);
+  for (int i = 0; i < 100000; ++i) sketch.AddHash(rng.Next64());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sketch.Estimate());
+  }
+}
+BENCHMARK(BM_PcsaEstimate)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_PcsaMerge20(benchmark::State& state) {
+  ube::Rng rng(2);
+  std::vector<ube::PcsaSketch> sketches;
+  for (int s = 0; s < 20; ++s) {
+    ube::PcsaSketch sketch(64);
+    for (int i = 0; i < 5000; ++i) sketch.AddHash(rng.Next64());
+    sketches.push_back(sketch);
+  }
+  for (auto _ : state) {
+    ube::PcsaSketch merged(64);
+    for (const auto& sketch : sketches) merged.Merge(sketch);
+    benchmark::DoNotOptimize(merged.Estimate());
+  }
+}
+BENCHMARK(BM_PcsaMerge20);
+
+void BM_SimilarityGraphBuild(benchmark::State& state) {
+  auto& workload = SharedWorkload();
+  for (auto _ : state) {
+    ube::SimilarityGraph graph =
+        ube::SimilarityGraph::WithDefaults(workload.universe, 0.25);
+    benchmark::DoNotOptimize(graph.num_edges());
+  }
+}
+BENCHMARK(BM_SimilarityGraphBuild)->Unit(benchmark::kMillisecond);
+
+void BM_Match20Sources(benchmark::State& state) {
+  auto& workload = SharedWorkload();
+  static auto* graph = new ube::SimilarityGraph(
+      ube::SimilarityGraph::WithDefaults(workload.universe, 0.25));
+  ube::ClusterMatcher matcher(workload.universe, *graph);
+  std::vector<ube::SourceId> sources;
+  for (ube::SourceId s = 0; s < 200; s += 10) sources.push_back(s);
+  ube::MatchOptions options;
+  for (auto _ : state) {
+    auto result = matcher.Match(sources, {}, {}, options);
+    benchmark::DoNotOptimize(result.ok());
+  }
+}
+BENCHMARK(BM_Match20Sources)->Unit(benchmark::kMicrosecond);
+
+void BM_CandidateEvaluation(benchmark::State& state) {
+  auto& workload = SharedWorkload();
+  static auto* engine = new ube::Engine(
+      [] {
+        ube::WorkloadConfig config;
+        config.num_sources = 200;
+        config.scale = 0.01;
+        auto w = ube::GenerateWorkload(config);
+        return std::move(w.universe);
+      }(),
+      ube::QualityModel::MakeDefault());
+  (void)workload;
+  ube::ProblemSpec spec;
+  spec.max_sources = 20;
+  std::vector<ube::SourceId> candidate;
+  for (ube::SourceId s = 0; s < 200; s += 10) candidate.push_back(s);
+  for (auto _ : state) {
+    auto evaluation = engine->EvaluateCandidate(spec, candidate);
+    benchmark::DoNotOptimize(evaluation.ok());
+  }
+}
+BENCHMARK(BM_CandidateEvaluation)->Unit(benchmark::kMicrosecond);
+
+void BM_WorkloadGeneration(benchmark::State& state) {
+  for (auto _ : state) {
+    ube::WorkloadConfig config;
+    config.num_sources = static_cast<int>(state.range(0));
+    config.scale = 0.01;
+    auto workload = ube::GenerateWorkload(config);
+    benchmark::DoNotOptimize(workload.universe.num_sources());
+  }
+}
+BENCHMARK(BM_WorkloadGeneration)->Arg(100)->Arg(400)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

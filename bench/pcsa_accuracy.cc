@@ -1,0 +1,97 @@
+// Section 7.3: "The quality of our coverage and redundancy estimates
+// depends on the accuracy of the probabilistic counting algorithm. We have
+// found this algorithm to be very accurate, with a worst case error of 7%
+// compared to exact counting."
+//
+// This bench sweeps distinct counts and bitmap counts for single-source
+// signatures AND for unions of overlapping sources (the operation µBE
+// actually performs), reporting mean and worst relative error vs exact.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <unordered_set>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "sketch/pcsa.h"
+#include "util/rng.h"
+
+using namespace ube;
+using namespace ube::bench;
+
+namespace {
+
+struct ErrorStats {
+  double mean = 0.0;
+  double worst = 0.0;
+};
+
+// Relative error of PCSA on `trials` random sets of `count` items.
+ErrorStats SingleSetError(int count, int bitmaps, int trials, Rng& rng) {
+  ErrorStats stats;
+  for (int t = 0; t < trials; ++t) {
+    PcsaSketch sketch(bitmaps);
+    for (int i = 0; i < count; ++i) sketch.AddHash(rng.Next64());
+    double err = std::fabs(sketch.Estimate() - count) / count;
+    stats.mean += err;
+    stats.worst = std::max(stats.worst, err);
+  }
+  stats.mean /= trials;
+  return stats;
+}
+
+// Error of |∪ of 20 overlapping sources| estimated by OR-ing signatures.
+ErrorStats UnionError(int bitmaps, int trials, Rng& rng) {
+  ErrorStats stats;
+  for (int t = 0; t < trials; ++t) {
+    PcsaSketch merged(bitmaps);
+    std::unordered_set<uint64_t> exact;
+    const uint64_t pool = 200000;
+    for (int s = 0; s < 20; ++s) {
+      PcsaSketch sketch(bitmaps);
+      int card = 2000 + static_cast<int>(rng.UniformInt(20000));
+      for (int i = 0; i < card; ++i) {
+        uint64_t id = rng.UniformInt(pool);
+        sketch.AddHash(id);
+        exact.insert(id);
+      }
+      merged.Merge(sketch);
+    }
+    double err = std::fabs(merged.Estimate() -
+                           static_cast<double>(exact.size())) /
+                 static_cast<double>(exact.size());
+    stats.mean += err;
+    stats.worst = std::max(stats.worst, err);
+  }
+  stats.mean /= trials;
+  return stats;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("§7.3 — PCSA accuracy vs exact counting\n\n");
+  std::printf("-- single-source signatures (20 trials each) --\n");
+  PrintRow({"distinct", "bitmaps", "mean err", "worst err"});
+  Rng rng(7);
+  for (int bitmaps : {64, 256, 1024}) {
+    for (int count : {1000, 10000, 100000}) {
+      ErrorStats stats = SingleSetError(count, bitmaps, 20, rng);
+      PrintRow({Fmt(static_cast<int64_t>(count)),
+                Fmt(static_cast<int64_t>(bitmaps)),
+                Fmt("%.3f", stats.mean), Fmt("%.3f", stats.worst)});
+    }
+  }
+
+  std::printf("\n-- unions of 20 overlapping sources (15 trials each) --\n");
+  PrintRow({"bitmaps", "mean err", "worst err"});
+  for (int bitmaps : {64, 256, 1024}) {
+    ErrorStats stats = UnionError(bitmaps, 15, rng);
+    PrintRow({Fmt(static_cast<int64_t>(bitmaps)), Fmt("%.3f", stats.mean),
+              Fmt("%.3f", stats.worst)});
+  }
+  std::printf("\n(paper reports <= 7%% worst-case error; reaching that "
+              "band requires ~1024 bitmaps = 4 KiB per signature, still "
+              "'a few kilobytes' as Section 4 claims)\n");
+  return 0;
+}

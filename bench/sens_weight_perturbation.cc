@@ -1,0 +1,164 @@
+// Section 7.4 robustness claim: "we randomly perturbed the values of all
+// the weights by up to 15% ... perturbing the weights caused at most 1 GA
+// in the solution to change, and the selected sources rarely changed."
+//
+// This bench perturbs each default weight by a uniform ±15% (renormalized)
+// across several trials and reports how much the solution moved. Two
+// regimes are reported:
+//   - greedy (deterministic): isolates the robustness of the *argmax* to
+//     the weights, which is what the paper's claim is about;
+//   - tabu (stochastic): adds search noise — a finite-budget heuristic can
+//     land on different near-optimal source sets even for identical
+//     weights, because perturbed copies of the same base schema are nearly
+//     interchangeable.
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/engine.h"
+#include "core/ga_evaluation.h"
+#include "util/rng.h"
+#include "workload/generator.h"
+
+using namespace ube;
+using namespace ube::bench;
+
+namespace {
+
+QualityModel ModelWithWeights(const std::vector<double>& weights) {
+  QualityModel model;
+  model.AddQef(std::make_unique<MatchingQualityQef>(), weights[0]);
+  model.AddQef(std::make_unique<CardinalityQef>(), weights[1]);
+  model.AddQef(std::make_unique<CoverageQef>(), weights[2]);
+  model.AddQef(std::make_unique<RedundancyQef>(), weights[3]);
+  model.AddQef(std::make_unique<CharacteristicQef>(
+                   kMttfCharacteristic, Aggregation::kWeightedSum),
+               weights[4]);
+  return model;
+}
+
+int SetDifference(const std::vector<SourceId>& a,
+                  const std::vector<SourceId>& b) {
+  std::vector<SourceId> diff;
+  std::set_symmetric_difference(a.begin(), a.end(), b.begin(), b.end(),
+                                std::back_inserter(diff));
+  return static_cast<int>(diff.size());
+}
+
+// GAs of `x` that have no equal GA in `y`.
+int GaChanges(const MediatedSchema& x, const MediatedSchema& y) {
+  int changed = 0;
+  for (const GlobalAttribute& ga : x.gas()) {
+    bool found = false;
+    for (const GlobalAttribute& other : y.gas()) {
+      if (ga == other) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) ++changed;
+  }
+  return changed;
+}
+
+// Concepts covered by pure GAs of a schema (user-perceived content).
+std::vector<int> ConceptsCovered(const MediatedSchema& schema,
+                                 const GroundTruth& truth) {
+  std::vector<char> covered(static_cast<size_t>(truth.num_concepts()), 0);
+  for (const GlobalAttribute& ga : schema.gas()) {
+    int concept_id = -2;
+    for (const AttributeId& id : ga.attributes()) {
+      int c = truth.ConceptOf(id);
+      if (c < 0 || (concept_id >= 0 && concept_id != c)) {
+        concept_id = -1;
+        break;
+      }
+      concept_id = c;
+    }
+    if (concept_id >= 0) covered[static_cast<size_t>(concept_id)] = 1;
+  }
+  std::vector<int> out;
+  for (int c = 0; c < truth.num_concepts(); ++c) {
+    if (covered[static_cast<size_t>(c)]) out.push_back(c);
+  }
+  return out;
+}
+
+void RunRegime(SolverKind kind, const char* label) {
+  const std::vector<double> base = {0.25, 0.25, 0.20, 0.15, 0.15};
+  ProblemSpec spec;
+  spec.max_sources = 20;
+
+  GeneratedWorkload baseline_workload = MakeWorkload(200);
+  GroundTruth truth = baseline_workload.ground_truth;
+  Engine baseline_engine(std::move(baseline_workload.universe),
+                         ModelWithWeights(base));
+  Result<Solution> baseline =
+      baseline_engine.Solve(spec, kind, BenchSolverOptions());
+  if (!baseline.ok()) {
+    std::printf("baseline failed: %s\n",
+                baseline.status().ToString().c_str());
+    return;
+  }
+
+  std::vector<int> baseline_concepts =
+      ConceptsCovered(baseline->mediated_schema, truth);
+
+  std::printf("\n-- %s --\n", label);
+  PrintRow({"trial", "src changed", "GAs changed", "concepts +-", "Q(S)"});
+  Rng rng(2024);
+  int worst_sources = 0, worst_gas = 0, worst_concepts = 0;
+  for (int trial = 1; trial <= 10; ++trial) {
+    std::vector<double> weights = base;
+    double total = 0.0;
+    for (double& w : weights) {
+      w *= 1.0 + rng.UniformDouble(-0.15, 0.15);
+      total += w;
+    }
+    for (double& w : weights) w /= total;  // renormalize to sum 1
+
+    GeneratedWorkload workload = MakeWorkload(200);
+    Engine engine(std::move(workload.universe), ModelWithWeights(weights));
+    Result<Solution> solution = engine.Solve(spec, kind,
+                                             BenchSolverOptions());
+    if (!solution.ok()) {
+      std::printf("trial %d failed\n", trial);
+      continue;
+    }
+    int src_delta = SetDifference(baseline->sources, solution->sources);
+    int ga_delta = GaChanges(solution->mediated_schema,
+                             baseline->mediated_schema);
+    std::vector<int> concepts =
+        ConceptsCovered(solution->mediated_schema, truth);
+    std::vector<int> concept_diff;
+    std::set_symmetric_difference(baseline_concepts.begin(),
+                                  baseline_concepts.end(), concepts.begin(),
+                                  concepts.end(),
+                                  std::back_inserter(concept_diff));
+    int concept_delta = static_cast<int>(concept_diff.size());
+    worst_sources = std::max(worst_sources, src_delta);
+    worst_gas = std::max(worst_gas, ga_delta);
+    worst_concepts = std::max(worst_concepts, concept_delta);
+    PrintRow({Fmt(static_cast<int64_t>(trial)),
+              Fmt(static_cast<int64_t>(src_delta)),
+              Fmt(static_cast<int64_t>(ga_delta)),
+              Fmt(static_cast<int64_t>(concept_delta)),
+              Fmt("%.4f", solution->quality)});
+  }
+  std::printf("worst case (%s): %d sources, %d GAs, %d concepts changed\n",
+              label, worst_sources, worst_gas, worst_concepts);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("§7.4 — robustness to ±15%% weight perturbation "
+              "(choose 20 of 200; 10 trials)\n");
+  RunRegime(SolverKind::kGreedy, "greedy (deterministic argmax)");
+  RunRegime(SolverKind::kTabu, "tabu (includes search noise)");
+  std::printf("\n(paper: at most 1 GA changed, sources rarely changed — "
+              "the deterministic regime is the comparable one)\n");
+  return 0;
+}

@@ -1,0 +1,232 @@
+// Interactive µBE console — the textual equivalent of the paper's UI
+// (Figure 4): pose a problem, look at the proposed sources and mediated
+// schema, edit constraints/weights, re-solve.
+//
+//   ./build/examples/interactive_cli            # 120-source demo universe
+//   ./build/examples/interactive_cli my.catalog  # user-provided catalog
+//   echo "solve" | ./build/examples/interactive_cli   # scriptable
+//
+// Commands: help, sources, spec, solve, pin <src>, unpin <src>,
+//           promote <ga>, ga <src.attr> <src.attr> ..., weight <qef> <w>,
+//           m <n>, theta <v>, beta <n>, truth, history, clear, quit
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "core/engine.h"
+#include "core/ga_evaluation.h"
+#include "core/report.h"
+#include "core/session.h"
+#include "util/strings.h"
+#include "workload/generator.h"
+
+namespace {
+
+void PrintHelp() {
+  std::cout <<
+      "commands:\n"
+      "  solve               run one µBE iteration (tabu search)\n"
+      "  sources             list the universe\n"
+      "  spec                show the current problem spec\n"
+      "  pin <name|id>       require a source in the solution\n"
+      "  unpin <name|id>     remove a source constraint\n"
+      "  ban <name|id>       exclude a source from all solutions\n"
+      "  unban <name|id>     remove a ban\n"
+      "  promote <ga-index>  turn an output GA into a GA constraint\n"
+      "  ga <s.attr> ...     add a GA constraint from source.attribute pairs\n"
+      "  weight <qef> <w>    set a QEF weight (others rescale)\n"
+      "  m <n>               max sources to select\n"
+      "  theta <v>           matching threshold\n"
+      "  beta <n>            min attributes per generated GA\n"
+      "  truth               score the last solution against ground truth\n"
+      "  history             show quality per iteration\n"
+      "  clear               drop all constraints\n"
+      "  help                this text\n"
+      "  quit                exit\n";
+}
+
+ube::SourceId ResolveSource(const ube::Universe& universe,
+                            const std::string& token) {
+  ube::Result<ube::SourceId> by_name = universe.FindByName(token);
+  if (by_name.ok()) return by_name.value();
+  try {
+    int id = std::stoi(token);
+    if (id >= 0 && id < universe.num_sources()) return id;
+  } catch (...) {  // not a number; fall through
+  }
+  return -1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ube::Universe universe;
+  ube::GroundTruth ground_truth;
+  bool have_ground_truth = false;
+  if (argc > 1) {
+    std::cout << "µBE interactive console — loading catalog " << argv[1]
+              << "...\n";
+    ube::Result<ube::Universe> loaded = ube::LoadCatalogFile(argv[1]);
+    if (!loaded.ok()) {
+      std::cerr << loaded.status() << "\n";
+      return 1;
+    }
+    universe = std::move(loaded).value();
+    std::cout << "loaded " << universe.num_sources() << " sources\n";
+  } else {
+    ube::WorkloadConfig config;
+    config.num_sources = 120;
+    config.seed = 7;
+    config.scale = 0.01;
+    std::cout << "µBE interactive console — generating a "
+              << config.num_sources << "-source Books universe...\n";
+    ube::GeneratedWorkload workload = ube::GenerateWorkload(config);
+    ground_truth = workload.ground_truth;
+    have_ground_truth = true;
+    universe = std::move(workload.universe);
+  }
+  ube::Engine engine(std::move(universe),
+                     ube::QualityModel::MakeDefault());
+  ube::Session session(&engine);
+  session.SetMaxSources(15);
+
+  PrintHelp();
+  std::string line;
+  std::cout << "\nube> " << std::flush;
+  while (std::getline(std::cin, line)) {
+    std::vector<std::string> tokens = ube::SplitTokens(line);
+    if (tokens.empty()) {
+      std::cout << "ube> " << std::flush;
+      continue;
+    }
+    const std::string& cmd = tokens[0];
+
+    if (cmd == "quit" || cmd == "exit") break;
+
+    if (cmd == "help") {
+      PrintHelp();
+    } else if (cmd == "sources") {
+      for (ube::SourceId s = 0; s < engine.universe().num_sources(); ++s) {
+        const ube::DataSource& src = engine.universe().source(s);
+        std::cout << "  [" << s << "] " << src.name() << "  card="
+                  << src.cardinality() << "  {"
+                  << ube::Join(src.schema().names(), ", ") << "}\n";
+      }
+    } else if (cmd == "spec") {
+      const ube::ProblemSpec& spec = session.spec();
+      std::cout << "  m=" << spec.max_sources << " theta=" << spec.theta
+                << " beta=" << spec.beta << "\n  pinned:";
+      for (ube::SourceId s : spec.source_constraints) std::cout << " " << s;
+      std::cout << "\n  banned:";
+      for (ube::SourceId s : spec.banned_sources) std::cout << " " << s;
+      std::cout << "\n  GA constraints: " << spec.ga_constraints.size()
+                << "\n  weights:";
+      const ube::QualityModel& model = engine.quality_model();
+      for (int i = 0; i < model.num_qefs(); ++i) {
+        std::cout << " " << model.qef(i).name() << "=" << model.weight(i);
+      }
+      std::cout << "\n";
+    } else if (cmd == "solve") {
+      ube::SolverOptions options;
+      options.seed = 42 + static_cast<uint64_t>(session.num_iterations());
+      options.max_iterations = 300;
+      options.stall_iterations = 60;
+      ube::Result<ube::Solution> solution =
+          session.Iterate(ube::SolverKind::kTabu, options);
+      if (!solution.ok()) {
+        std::cout << "error: " << solution.status() << "\n";
+      } else {
+        std::cout << ube::FormatSolution(*solution, engine.universe(),
+                                         engine.quality_model());
+      }
+    } else if (cmd == "pin" && tokens.size() == 2) {
+      ube::SourceId s = ResolveSource(engine.universe(), tokens[1]);
+      if (s < 0) {
+        std::cout << "unknown source '" << tokens[1] << "'\n";
+      } else if (ube::Status status = session.PinSource(s); !status.ok()) {
+        std::cout << "error: " << status << "\n";
+      } else {
+        std::cout << "pinned " << engine.universe().source(s).name() << "\n";
+      }
+    } else if (cmd == "unpin" && tokens.size() == 2) {
+      ube::SourceId s = ResolveSource(engine.universe(), tokens[1]);
+      ube::Status status = s < 0 ? ube::Status::NotFound("unknown source")
+                                 : session.UnpinSource(s);
+      std::cout << (status.ok() ? "unpinned" : status.ToString()) << "\n";
+    } else if (cmd == "ban" && tokens.size() == 2) {
+      ube::SourceId s = ResolveSource(engine.universe(), tokens[1]);
+      ube::Status status = s < 0 ? ube::Status::NotFound("unknown source")
+                                 : session.BanSource(s);
+      std::cout << (status.ok() ? "banned" : status.ToString()) << "\n";
+    } else if (cmd == "unban" && tokens.size() == 2) {
+      ube::SourceId s = ResolveSource(engine.universe(), tokens[1]);
+      ube::Status status = s < 0 ? ube::Status::NotFound("unknown source")
+                                 : session.UnbanSource(s);
+      std::cout << (status.ok() ? "unbanned" : status.ToString()) << "\n";
+    } else if (cmd == "promote" && tokens.size() == 2) {
+      ube::Status status = session.PromoteGa(std::atoi(tokens[1].c_str()));
+      std::cout << (status.ok() ? "promoted" : status.ToString()) << "\n";
+    } else if (cmd == "ga" && tokens.size() >= 3) {
+      std::vector<std::pair<std::string, std::string>> attrs;
+      bool parsed = true;
+      for (size_t i = 1; i < tokens.size(); ++i) {
+        size_t dot = tokens[i].find('.');
+        if (dot == std::string::npos) {
+          std::cout << "expected source.attribute, got " << tokens[i] << "\n";
+          parsed = false;
+          break;
+        }
+        attrs.emplace_back(tokens[i].substr(0, dot),
+                           tokens[i].substr(dot + 1));
+      }
+      if (parsed) {
+        ube::Status status = session.AddGaConstraintByNames(attrs);
+        std::cout << (status.ok() ? "GA constraint added"
+                                  : status.ToString())
+                  << "\n";
+      }
+    } else if (cmd == "weight" && tokens.size() == 3) {
+      ube::Status status =
+          session.SetWeight(tokens[1], std::atof(tokens[2].c_str()));
+      std::cout << (status.ok() ? "weights updated" : status.ToString())
+                << "\n";
+    } else if (cmd == "m" && tokens.size() == 2) {
+      session.SetMaxSources(std::atoi(tokens[1].c_str()));
+      std::cout << "m=" << session.spec().max_sources << "\n";
+    } else if (cmd == "theta" && tokens.size() == 2) {
+      session.SetTheta(std::atof(tokens[1].c_str()));
+      std::cout << "theta=" << session.spec().theta << "\n";
+    } else if (cmd == "beta" && tokens.size() == 2) {
+      session.SetBeta(std::atoi(tokens[1].c_str()));
+      std::cout << "beta=" << session.spec().beta << "\n";
+    } else if (cmd == "truth") {
+      if (!have_ground_truth) {
+        std::cout << "ground truth is only available for the generated demo "
+                     "universe\n";
+      } else if (session.last() == nullptr) {
+        std::cout << "no solution yet; run 'solve' first\n";
+      } else {
+        std::cout << ube::ToString(ube::EvaluateGaQuality(
+            session.last()->mediated_schema, session.last()->sources,
+            ground_truth));
+      }
+    } else if (cmd == "history") {
+      for (int i = 0; i < session.num_iterations(); ++i) {
+        const ube::Solution& s = session.history()[static_cast<size_t>(i)];
+        std::cout << "  iter " << i + 1 << ": Q=" << s.quality << " |S|="
+                  << s.sources.size() << " GAs="
+                  << s.mediated_schema.num_gas() << "\n";
+      }
+    } else if (cmd == "clear") {
+      session.ClearConstraints();
+      std::cout << "constraints cleared\n";
+    } else {
+      std::cout << "unknown command; try 'help'\n";
+    }
+    std::cout << "ube> " << std::flush;
+  }
+  std::cout << "bye\n";
+  return 0;
+}

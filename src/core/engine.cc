@@ -1,0 +1,79 @@
+#include "core/engine.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/check.h"
+
+namespace ube {
+
+Engine::Engine(Universe universe, QualityModel model)
+    : Engine(std::move(universe), std::move(model), Options{}) {}
+
+Engine::Engine(Universe universe, QualityModel model, Options options)
+    : universe_(std::move(universe)), model_(std::move(model)) {
+  std::unique_ptr<AttributeSimilarity> measure =
+      options.similarity != nullptr ? std::move(options.similarity)
+                                    : MakeDefaultSimilarity();
+  graph_ = std::make_unique<SimilarityGraph>(universe_, std::move(measure),
+                                             options.similarity_floor);
+  matcher_ = std::make_unique<ClusterMatcher>(universe_, *graph_);
+}
+
+Result<Solution> Engine::Solve(const ProblemSpec& spec, SolverKind solver,
+                               const SolverOptions& options) const {
+  UBE_RETURN_IF_ERROR(CandidateEvaluator::ValidateSpec(universe_, spec));
+  if (spec.theta < graph_->floor()) {
+    return Status::InvalidArgument(
+        "θ is below the engine's similarity floor; rebuild the engine with a "
+        "lower Options::similarity_floor");
+  }
+  CandidateEvaluator evaluator(universe_, *matcher_, model_, spec);
+  std::unique_ptr<Solver> impl = MakeSolver(solver);
+  return impl->Solve(evaluator, options);
+}
+
+Result<CandidateEvaluator::Evaluation> Engine::EvaluateCandidate(
+    const ProblemSpec& spec, std::vector<SourceId> sources) const {
+  UBE_RETURN_IF_ERROR(CandidateEvaluator::ValidateSpec(universe_, spec));
+  std::sort(sources.begin(), sources.end());
+  sources.erase(std::unique(sources.begin(), sources.end()), sources.end());
+  if (sources.empty()) {
+    return Status::InvalidArgument("candidate must contain a source");
+  }
+  if (static_cast<int>(sources.size()) > spec.max_sources) {
+    return Status::InvalidArgument("candidate exceeds m sources");
+  }
+  std::vector<SourceId> required;
+  for (SourceId s : spec.source_constraints) required.push_back(s);
+  for (const GlobalAttribute& g : spec.ga_constraints) {
+    for (const AttributeId& id : g.attributes()) required.push_back(id.source);
+  }
+  for (SourceId s : required) {
+    if (!std::binary_search(sources.begin(), sources.end(), s)) {
+      return Status::InvalidArgument(
+          "candidate omits a source the constraints require");
+    }
+  }
+  for (SourceId s : spec.banned_sources) {
+    if (std::binary_search(sources.begin(), sources.end(), s)) {
+      return Status::InvalidArgument("candidate contains a banned source");
+    }
+  }
+  CandidateEvaluator evaluator(universe_, *matcher_, model_, spec);
+  return evaluator.Evaluate(sources);
+}
+
+Result<MatchResult> Engine::MatchSources(const ProblemSpec& spec,
+                                         std::vector<SourceId> sources) const {
+  UBE_RETURN_IF_ERROR(CandidateEvaluator::ValidateSpec(universe_, spec));
+  std::sort(sources.begin(), sources.end());
+  sources.erase(std::unique(sources.begin(), sources.end()), sources.end());
+  MatchOptions options;
+  options.theta = spec.theta;
+  options.beta = spec.beta;
+  return matcher_->Match(sources, spec.source_constraints, spec.ga_constraints,
+                         options);
+}
+
+}  // namespace ube

@@ -1,0 +1,84 @@
+#ifndef UBE_CORE_ENGINE_H_
+#define UBE_CORE_ENGINE_H_
+
+#include <memory>
+
+#include "matching/cluster_matcher.h"
+#include "matching/similarity_graph.h"
+#include "optimize/evaluator.h"
+#include "optimize/problem.h"
+#include "optimize/solver.h"
+#include "qef/quality_model.h"
+#include "source/universe.h"
+#include "text/similarity.h"
+#include "util/result.h"
+
+namespace ube {
+
+/// The µBE engine (Figure 2): owns the universe of source descriptions, the
+/// precomputed attribute-similarity graph, the schema-matching operator and
+/// the quality model, and solves the constrained optimization problems the
+/// user poses iteratively.
+///
+/// Typical use:
+///
+///   Engine engine(std::move(universe), QualityModel::MakeDefault());
+///   ProblemSpec spec;
+///   spec.max_sources = 20;
+///   Result<Solution> solution = engine.Solve(spec);
+///
+/// For the interactive feedback loop, wrap the engine in a Session.
+class Engine {
+ public:
+  struct Options {
+    /// Similarity graph floor: edges below this are discarded. Must not
+    /// exceed any θ used later; 0.25 comfortably under-runs practical
+    /// thresholds while keeping the graph sparse.
+    double similarity_floor = 0.25;
+    /// Attribute similarity measure (null = the paper's 3-gram Jaccard).
+    std::unique_ptr<AttributeSimilarity> similarity;
+  };
+
+  /// Takes ownership of the universe (it must not change afterwards — the
+  /// similarity graph is precomputed here) and of the quality model.
+  Engine(Universe universe, QualityModel model, Options options);
+  /// Same, with default Options.
+  Engine(Universe universe, QualityModel model);
+
+  Engine(Engine&&) = default;
+  Engine& operator=(Engine&&) = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  const Universe& universe() const { return universe_; }
+  const QualityModel& quality_model() const { return model_; }
+  /// Mutable so the user can re-weight QEFs between iterations.
+  QualityModel& mutable_quality_model() { return model_; }
+  const SimilarityGraph& similarity_graph() const { return *graph_; }
+  const ClusterMatcher& matcher() const { return *matcher_; }
+
+  /// Solves one µBE optimization problem. Validates the spec; infeasible
+  /// constraint sets return kInfeasible.
+  Result<Solution> Solve(const ProblemSpec& spec,
+                         SolverKind solver = SolverKind::kTabu,
+                         const SolverOptions& options = SolverOptions()) const;
+
+  /// Scores a user-chosen source set under a spec (the "what if I just use
+  /// these" probe in the UI). `sources` need not be sorted.
+  Result<CandidateEvaluator::Evaluation> EvaluateCandidate(
+      const ProblemSpec& spec, std::vector<SourceId> sources) const;
+
+  /// Runs only the Match operator over a source set (no data QEFs).
+  Result<MatchResult> MatchSources(
+      const ProblemSpec& spec, std::vector<SourceId> sources) const;
+
+ private:
+  Universe universe_;
+  QualityModel model_;
+  std::unique_ptr<SimilarityGraph> graph_;
+  std::unique_ptr<ClusterMatcher> matcher_;
+};
+
+}  // namespace ube
+
+#endif  // UBE_CORE_ENGINE_H_

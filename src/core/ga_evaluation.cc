@@ -1,0 +1,66 @@
+#include "core/ga_evaluation.h"
+
+#include <algorithm>
+
+namespace ube {
+
+GaQualityReport EvaluateGaQuality(const MediatedSchema& schema,
+                                  const std::vector<SourceId>& sources,
+                                  const GroundTruth& ground_truth) {
+  GaQualityReport report;
+  report.sources_selected = static_cast<int>(sources.size());
+
+  std::vector<char> concept_covered(
+      static_cast<size_t>(ground_truth.num_concepts()), 0);
+
+  for (const GlobalAttribute& ga : schema.gas()) {
+    int concept_id = -2;  // -2: unset, -1: noise seen
+    bool pure = true;
+    for (const AttributeId& id : ga.attributes()) {
+      int c = ground_truth.ConceptOf(id);
+      if (c < 0) {
+        pure = false;
+        break;
+      }
+      if (concept_id == -2) {
+        concept_id = c;
+      } else if (concept_id != c) {
+        pure = false;
+        break;
+      }
+    }
+    if (pure && concept_id >= 0) {
+      ++report.pure_gas;
+      report.attributes_in_true_gas += ga.size();
+      concept_covered[static_cast<size_t>(concept_id)] = 1;
+    } else {
+      ++report.false_gas;
+    }
+  }
+
+  for (char covered : concept_covered) {
+    if (covered) ++report.true_gas_selected;
+  }
+  report.concepts_available = static_cast<int>(
+      ground_truth.ConceptsAvailable(sources, /*min_sources=*/2).size());
+  report.true_gas_missed =
+      std::max(0, report.concepts_available - report.true_gas_selected);
+  return report;
+}
+
+std::string ToString(const GaQualityReport& report) {
+  std::string out;
+  out += "sources selected:       " + std::to_string(report.sources_selected) + "\n";
+  out += "true GAs selected:      " + std::to_string(report.true_gas_selected) + "\n";
+  out += "pure GAs:               " + std::to_string(report.pure_gas) + "\n";
+  out += "false GAs:              " + std::to_string(report.false_gas) + "\n";
+  out += "attributes in true GAs: " +
+         std::to_string(report.attributes_in_true_gas) + "\n";
+  out += "concepts available:     " +
+         std::to_string(report.concepts_available) + "\n";
+  out += "true GAs missed:        " + std::to_string(report.true_gas_missed) +
+         "\n";
+  return out;
+}
+
+}  // namespace ube

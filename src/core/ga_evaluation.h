@@ -1,0 +1,51 @@
+#ifndef UBE_CORE_GA_EVALUATION_H_
+#define UBE_CORE_GA_EVALUATION_H_
+
+#include <string>
+#include <vector>
+
+#include "schema/mediated_schema.h"
+#include "workload/generator.h"
+
+namespace ube {
+
+/// Table 1 metrics: how well the generated mediated schema recovers the
+/// domain's ground-truth concepts.
+///
+/// A GA is *pure* when every one of its attributes maps to the same
+/// ground-truth concept (noise attributes make a GA false). Because a
+/// concept can legitimately be recovered as several pure GAs (one per
+/// lexical variant family), "true GAs selected" counts distinct concepts
+/// covered, which is what the paper's <= 14 bound refers to.
+struct GaQualityReport {
+  int sources_selected = 0;
+  /// Distinct concepts covered by at least one pure GA ("True GAs
+  /// selected"; at most the domain's 14).
+  int true_gas_selected = 0;
+  /// Pure GAs in the schema (>= true_gas_selected when a concept is
+  /// fragmented across variant families).
+  int pure_gas = 0;
+  /// GAs containing a noise attribute or attributes of two concepts
+  /// ("µbe never produced false GAs" is the paper's reference result).
+  int false_gas = 0;
+  /// Total attributes across pure GAs ("Attributes in true GAs").
+  int attributes_in_true_gas = 0;
+  /// Concepts appearing in >= 2 selected sources — those a matcher could
+  /// possibly express as GAs over the selection.
+  int concepts_available = 0;
+  /// concepts_available − true_gas_selected ("True GAs missed").
+  int true_gas_missed = 0;
+};
+
+/// Scores `schema` (built over `sources`) against the generator's ground
+/// truth.
+GaQualityReport EvaluateGaQuality(const MediatedSchema& schema,
+                                  const std::vector<SourceId>& sources,
+                                  const GroundTruth& ground_truth);
+
+/// One line per field, for benches and examples.
+std::string ToString(const GaQualityReport& report);
+
+}  // namespace ube
+
+#endif  // UBE_CORE_GA_EVALUATION_H_

@@ -1,0 +1,68 @@
+#include "core/report.h"
+
+#include <cstdio>
+
+namespace ube {
+
+namespace {
+
+std::string Format(const char* format, double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), format, value);
+  return buffer;
+}
+
+}  // namespace
+
+std::string FormatMediatedSchema(const MediatedSchema& schema,
+                                 const std::vector<double>& ga_qualities,
+                                 const Universe& universe) {
+  std::string out;
+  for (int g = 0; g < schema.num_gas(); ++g) {
+    out += "  GA " + std::to_string(g);
+    if (static_cast<size_t>(g) < ga_qualities.size()) {
+      out += " [q=" + Format("%.2f", ga_qualities[static_cast<size_t>(g)]) +
+             "]";
+    }
+    out += ": {";
+    const GlobalAttribute& ga = schema.ga(g);
+    for (int a = 0; a < ga.size(); ++a) {
+      const AttributeId& id = ga.attributes()[static_cast<size_t>(a)];
+      if (a > 0) out += ", ";
+      out += universe.source(id.source).name();
+      out += ".";
+      out += universe.source(id.source).schema().attribute_name(
+          id.attr_index);
+    }
+    out += "}\n";
+  }
+  return out;
+}
+
+std::string FormatSolution(const Solution& solution, const Universe& universe,
+                           const QualityModel& model) {
+  std::string out;
+  out += "solver: " + solution.stats.solver_name +
+         "  (iterations=" + std::to_string(solution.stats.iterations) +
+         ", evaluations=" + std::to_string(solution.stats.evaluations) +
+         ", time=" + Format("%.3f", solution.stats.elapsed_seconds) + "s)\n";
+  out += "overall quality Q(S) = " + Format("%.4f", solution.quality) + "\n";
+  for (size_t i = 0; i < solution.breakdown.scores.size() &&
+                     static_cast<int>(i) < model.num_qefs();
+       ++i) {
+    out += "  " + std::string(model.qef(static_cast<int>(i)).name()) + " = " +
+           Format("%.4f", solution.breakdown.scores[i]) + "  (weight " +
+           Format("%.2f", model.weight(static_cast<int>(i))) + ")\n";
+  }
+  out += "sources (" + std::to_string(solution.sources.size()) + "):";
+  for (SourceId s : solution.sources) {
+    out += " " + universe.source(s).name();
+  }
+  out += "\nmediated schema (" +
+         std::to_string(solution.mediated_schema.num_gas()) + " GAs):\n";
+  out += FormatMediatedSchema(solution.mediated_schema,
+                              solution.ga_qualities, universe);
+  return out;
+}
+
+}  // namespace ube

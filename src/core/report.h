@@ -1,0 +1,26 @@
+#ifndef UBE_CORE_REPORT_H_
+#define UBE_CORE_REPORT_H_
+
+#include <string>
+
+#include "optimize/problem.h"
+#include "qef/quality_model.h"
+#include "source/universe.h"
+
+namespace ube {
+
+/// Renders a mediated schema with human-readable attribute names:
+///   GA 0 [q=1.00]: {books-src-3.author, books-src-17.author, ...}
+std::string FormatMediatedSchema(const MediatedSchema& schema,
+                                 const std::vector<double>& ga_qualities,
+                                 const Universe& universe);
+
+/// Renders a full solution: sources, overall quality, per-QEF breakdown
+/// (named using `model`), and the mediated schema. This is the textual
+/// equivalent of the µBE result pane (Figure 4).
+std::string FormatSolution(const Solution& solution, const Universe& universe,
+                           const QualityModel& model);
+
+}  // namespace ube
+
+#endif  // UBE_CORE_REPORT_H_

@@ -1,0 +1,169 @@
+#include "core/session.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/check.h"
+
+namespace ube {
+
+Session::Session(Engine* engine) : engine_(engine) {
+  UBE_CHECK(engine_ != nullptr, "Session requires an engine");
+}
+
+Result<Solution> Session::Iterate(SolverKind solver,
+                                  const SolverOptions& options) {
+  Result<Solution> solution = engine_->Solve(spec_, solver, options);
+  if (solution.ok()) history_.push_back(solution.value());
+  return solution;
+}
+
+const Solution* Session::last() const {
+  return history_.empty() ? nullptr : &history_.back();
+}
+
+Status Session::PinSource(SourceId source) {
+  if (source < 0 || source >= engine_->universe().num_sources()) {
+    return Status::InvalidArgument("source id out of range");
+  }
+  const auto& banned = spec_.banned_sources;
+  if (std::find(banned.begin(), banned.end(), source) != banned.end()) {
+    return Status::FailedPrecondition(
+        "source is banned; unban it before pinning");
+  }
+  auto& constraints = spec_.source_constraints;
+  if (std::find(constraints.begin(), constraints.end(), source) !=
+      constraints.end()) {
+    return Status::Ok();  // already pinned
+  }
+  constraints.push_back(source);
+  return Status::Ok();
+}
+
+Status Session::PinSourceByName(std::string_view name) {
+  Result<SourceId> id = engine_->universe().FindByName(name);
+  if (!id.ok()) return id.status();
+  return PinSource(id.value());
+}
+
+Status Session::UnpinSource(SourceId source) {
+  auto& constraints = spec_.source_constraints;
+  auto it = std::find(constraints.begin(), constraints.end(), source);
+  if (it == constraints.end()) {
+    return Status::NotFound("source is not pinned");
+  }
+  constraints.erase(it);
+  return Status::Ok();
+}
+
+Status Session::BanSource(SourceId source) {
+  if (source < 0 || source >= engine_->universe().num_sources()) {
+    return Status::InvalidArgument("source id out of range");
+  }
+  const auto& pinned = spec_.source_constraints;
+  if (std::find(pinned.begin(), pinned.end(), source) != pinned.end()) {
+    return Status::FailedPrecondition(
+        "source is pinned; unpin it before banning");
+  }
+  for (const GlobalAttribute& ga : spec_.ga_constraints) {
+    if (ga.TouchesSource(source)) {
+      return Status::FailedPrecondition(
+          "source is referenced by a GA constraint; remove that first");
+    }
+  }
+  auto& banned = spec_.banned_sources;
+  if (std::find(banned.begin(), banned.end(), source) != banned.end()) {
+    return Status::Ok();  // already banned
+  }
+  banned.push_back(source);
+  return Status::Ok();
+}
+
+Status Session::BanSourceByName(std::string_view name) {
+  Result<SourceId> id = engine_->universe().FindByName(name);
+  if (!id.ok()) return id.status();
+  return BanSource(id.value());
+}
+
+Status Session::UnbanSource(SourceId source) {
+  auto& banned = spec_.banned_sources;
+  auto it = std::find(banned.begin(), banned.end(), source);
+  if (it == banned.end()) {
+    return Status::NotFound("source is not banned");
+  }
+  banned.erase(it);
+  return Status::Ok();
+}
+
+Status Session::PromoteGa(int ga_index) {
+  const Solution* solution = last();
+  if (solution == nullptr) {
+    return Status::FailedPrecondition("no solution yet; call Iterate first");
+  }
+  if (ga_index < 0 || ga_index >= solution->mediated_schema.num_gas()) {
+    return Status::InvalidArgument("GA index out of range");
+  }
+  return AddGaConstraint(solution->mediated_schema.ga(ga_index));
+}
+
+Status Session::AddGaConstraint(GlobalAttribute ga) {
+  if (!ga.IsValid()) {
+    return Status::InvalidArgument("not a valid GA");
+  }
+  for (const AttributeId& id : ga.attributes()) {
+    if (id.source < 0 || id.source >= engine_->universe().num_sources()) {
+      return Status::InvalidArgument("GA references a source out of range");
+    }
+    const SourceSchema& schema = engine_->universe().source(id.source).schema();
+    if (id.attr_index < 0 || id.attr_index >= schema.num_attributes()) {
+      return Status::InvalidArgument(
+          "GA references a nonexistent attribute");
+    }
+  }
+  // Absorb existing constraints fully contained in the new GA; reject
+  // partial overlaps (they would make the constraint set inconsistent).
+  std::vector<GlobalAttribute> kept;
+  for (GlobalAttribute& existing : spec_.ga_constraints) {
+    if (ga.ContainsAll(existing)) continue;  // absorbed
+    if (ga.Intersects(existing)) {
+      return Status::InvalidArgument(
+          "GA partially overlaps an existing GA constraint; remove or edit "
+          "that constraint first");
+    }
+    kept.push_back(std::move(existing));
+  }
+  kept.push_back(std::move(ga));
+  spec_.ga_constraints = std::move(kept);
+  return Status::Ok();
+}
+
+Status Session::AddGaConstraintByNames(
+    const std::vector<std::pair<std::string, std::string>>& attributes) {
+  GlobalAttribute ga;
+  for (const auto& [source_name, attr_name] : attributes) {
+    Result<SourceId> source = engine_->universe().FindByName(source_name);
+    if (!source.ok()) return source.status();
+    int attr = engine_->universe()
+                   .source(source.value())
+                   .schema()
+                   .FindAttribute(attr_name);
+    if (attr < 0) {
+      return Status::NotFound("source '" + source_name +
+                              "' has no attribute '" + attr_name + "'");
+    }
+    ga.Add(AttributeId{source.value(), attr});
+  }
+  return AddGaConstraint(std::move(ga));
+}
+
+Status Session::SetWeight(std::string_view qef_name, double weight) {
+  return engine_->mutable_quality_model().SetWeightRescaling(qef_name, weight);
+}
+
+void Session::ClearConstraints() {
+  spec_.source_constraints.clear();
+  spec_.banned_sources.clear();
+  spec_.ga_constraints.clear();
+}
+
+}  // namespace ube

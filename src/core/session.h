@@ -1,0 +1,83 @@
+#ifndef UBE_CORE_SESSION_H_
+#define UBE_CORE_SESSION_H_
+
+#include <string_view>
+#include <vector>
+
+#include "core/engine.h"
+
+namespace ube {
+
+/// The iterative user-feedback loop of Section 6: the user runs µBE, looks
+/// at the proposed sources and mediated schema, edits the problem (pins
+/// sources, promotes output GAs into GA constraints, re-weights QEFs,
+/// changes m/θ/β), and re-solves — "the input has the same structure and
+/// format as the output", which is what makes this loop cheap for the user.
+///
+/// Session keeps the evolving ProblemSpec and the solution history.
+class Session {
+ public:
+  /// The engine must outlive the session.
+  explicit Session(Engine* engine);
+
+  const ProblemSpec& spec() const { return spec_; }
+  ProblemSpec& mutable_spec() { return spec_; }
+
+  /// Solves the current problem and appends the solution to the history.
+  Result<Solution> Iterate(SolverKind solver = SolverKind::kTabu,
+                           const SolverOptions& options = SolverOptions());
+
+  int num_iterations() const { return static_cast<int>(history_.size()); }
+  const std::vector<Solution>& history() const { return history_; }
+  /// Last solution, or null before the first Iterate.
+  const Solution* last() const;
+
+  // --- feedback operations (all take effect at the next Iterate) --------
+
+  /// Requires `source` to be part of the solution (a source constraint).
+  Status PinSource(SourceId source);
+  /// Same, resolving the source by name.
+  Status PinSourceByName(std::string_view name);
+  /// Removes a source constraint.
+  Status UnpinSource(SourceId source);
+
+  /// Excludes `source` from all future solutions (the "reject this source"
+  /// gesture). Fails if the source is currently pinned or referenced by a
+  /// GA constraint.
+  Status BanSource(SourceId source);
+  /// Same, resolving the source by name.
+  Status BanSourceByName(std::string_view name);
+  /// Removes a ban.
+  Status UnbanSource(SourceId source);
+
+  /// Promotes GA `ga_index` of the last solution into a GA constraint —
+  /// the core "Matching By Example" gesture. Existing GA constraints fully
+  /// contained in the promoted GA are absorbed; a partial overlap with an
+  /// unrelated constraint is an error.
+  Status PromoteGa(int ga_index);
+  /// Adds an explicit GA constraint (validated against the universe and
+  /// existing constraints).
+  Status AddGaConstraint(GlobalAttribute ga);
+  /// Convenience: builds a GA from (source name, attribute name) pairs and
+  /// adds it.
+  Status AddGaConstraintByNames(
+      const std::vector<std::pair<std::string, std::string>>& attributes);
+
+  /// Sets the weight of QEF `qef_name`, rescaling the others so the weights
+  /// keep summing to 1. NOTE: mutates the engine's shared quality model.
+  Status SetWeight(std::string_view qef_name, double weight);
+
+  void SetMaxSources(int m) { spec_.max_sources = m; }
+  void SetTheta(double theta) { spec_.theta = theta; }
+  void SetBeta(int beta) { spec_.beta = beta; }
+  void ClearConstraints();
+
+ private:
+  Engine* engine_;
+  ProblemSpec spec_;
+  std::vector<Solution> history_;
+};
+
+}  // namespace ube
+
+#endif  // UBE_CORE_SESSION_H_

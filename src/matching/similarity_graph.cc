@@ -1,0 +1,114 @@
+#include "matching/similarity_graph.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace ube {
+
+SimilarityGraph::SimilarityGraph(
+    const Universe& universe, std::unique_ptr<AttributeSimilarity> similarity,
+    double floor)
+    : floor_(floor), measure_(std::move(similarity)) {
+  UBE_CHECK(measure_ != nullptr, "SimilarityGraph requires a measure");
+  UBE_CHECK(floor_ >= 0.0 && floor_ <= 1.0, "floor must be in [0, 1]");
+
+  // Dense attribute indexing.
+  source_offsets_.reserve(static_cast<size_t>(universe.num_sources()) + 1);
+  for (SourceId s = 0; s < universe.num_sources(); ++s) {
+    source_offsets_.push_back(static_cast<int>(attr_ids_.size()));
+    const SourceSchema& schema = universe.source(s).schema();
+    for (int a = 0; a < schema.num_attributes(); ++a) {
+      attr_ids_.push_back(AttributeId{s, a});
+      names_.push_back(schema.attribute_name(a));
+    }
+  }
+  source_offsets_.push_back(static_cast<int>(attr_ids_.size()));
+  adjacency_.resize(attr_ids_.size());
+
+  // n-gram fast path detection.
+  if (const auto* ngram =
+          dynamic_cast<const NgramJaccardSimilarity*>(measure_.get())) {
+    ngram_n_ = ngram->n();
+    ngram_sets_.reserve(names_.size());
+    for (const std::string& name : names_) {
+      ngram_sets_.push_back(
+          NgramSet::Build(NormalizeAttributeName(name), ngram_n_));
+    }
+  }
+
+  // All cross-source pairs. Attributes of the same source never get edges
+  // (a valid GA cannot contain two attributes of one source).
+  const int n = num_attributes();
+  for (int a = 0; a < n; ++a) {
+    const SourceId source_a = attr_ids_[static_cast<size_t>(a)].source;
+    // Attributes are laid out grouped by source; skip the rest of a's own
+    // source block.
+    int b_start = source_offsets_[static_cast<size_t>(source_a) + 1];
+    for (int b = b_start; b < n; ++b) {
+      double sim = PairSimilarity(a, b);
+      if (sim >= floor_ && sim > 0.0) {
+        adjacency_[static_cast<size_t>(a)].push_back(
+            Edge{b, static_cast<float>(sim)});
+        adjacency_[static_cast<size_t>(b)].push_back(
+            Edge{a, static_cast<float>(sim)});
+        ++num_edges_;
+      }
+    }
+  }
+  for (auto& edges : adjacency_) {
+    std::sort(edges.begin(), edges.end(),
+              [](const Edge& x, const Edge& y) {
+                return x.neighbor < y.neighbor;
+              });
+  }
+}
+
+SimilarityGraph SimilarityGraph::WithDefaults(const Universe& universe,
+                                              double floor) {
+  return SimilarityGraph(universe, MakeDefaultSimilarity(), floor);
+}
+
+int SimilarityGraph::DenseIndex(const AttributeId& id) const {
+  UBE_CHECK(id.source >= 0 &&
+                id.source + 1 < static_cast<int>(source_offsets_.size()),
+            "AttributeId source out of range");
+  int base = source_offsets_[static_cast<size_t>(id.source)];
+  int next = source_offsets_[static_cast<size_t>(id.source) + 1];
+  UBE_CHECK(id.attr_index >= 0 && base + id.attr_index < next,
+            "AttributeId attr_index out of range");
+  return base + id.attr_index;
+}
+
+const AttributeId& SimilarityGraph::AttrId(int dense_index) const {
+  UBE_CHECK(dense_index >= 0 && dense_index < num_attributes(),
+            "dense index out of range");
+  return attr_ids_[static_cast<size_t>(dense_index)];
+}
+
+const std::string& SimilarityGraph::Name(int dense_index) const {
+  UBE_CHECK(dense_index >= 0 && dense_index < num_attributes(),
+            "dense index out of range");
+  return names_[static_cast<size_t>(dense_index)];
+}
+
+const std::vector<SimilarityGraph::Edge>& SimilarityGraph::EdgesOf(
+    int dense_index) const {
+  UBE_CHECK(dense_index >= 0 && dense_index < num_attributes(),
+            "dense index out of range");
+  return adjacency_[static_cast<size_t>(dense_index)];
+}
+
+double SimilarityGraph::PairSimilarity(int a, int b) const {
+  UBE_DCHECK(a >= 0 && a < num_attributes() && b >= 0 && b < num_attributes(),
+             "dense index out of range");
+  if (ngram_n_ > 0) {
+    return ngram_sets_[static_cast<size_t>(a)].Jaccard(
+        ngram_sets_[static_cast<size_t>(b)]);
+  }
+  return measure_->Score(names_[static_cast<size_t>(a)],
+                         names_[static_cast<size_t>(b)]);
+}
+
+}  // namespace ube

@@ -1,0 +1,82 @@
+#ifndef UBE_MATCHING_SIMILARITY_GRAPH_H_
+#define UBE_MATCHING_SIMILARITY_GRAPH_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "schema/schema.h"
+#include "source/universe.h"
+#include "text/ngram.h"
+#include "text/similarity.h"
+
+namespace ube {
+
+/// Precomputed pairwise attribute-similarity structure over a universe.
+///
+/// The schema matching operator must "enumerate pairs of schema elements at
+/// any given two sources and compute a measure of similarity between each
+/// pair" (Section 2.1). Because µBE evaluates Match(S) for thousands of
+/// candidate source sets during one tabu search, we compute all cross-source
+/// attribute similarities once per universe and keep only the edges whose
+/// similarity reaches `floor` (any matching threshold θ used later must be
+/// ≥ floor). Attributes are addressed by a dense universe-wide index.
+///
+/// The graph owns its similarity measure; there is a fast path for the
+/// paper's default n-gram Jaccard measure (per-attribute n-gram sets are
+/// precomputed once, making construction O(#pairs · avg-name-length)).
+class SimilarityGraph {
+ public:
+  struct Edge {
+    int32_t neighbor;   ///< dense index of the other attribute
+    float similarity;   ///< in [floor, 1]
+  };
+
+  /// Builds the graph over all cross-source attribute pairs of `universe`.
+  SimilarityGraph(const Universe& universe,
+                  std::unique_ptr<AttributeSimilarity> similarity,
+                  double floor);
+
+  /// Convenience: paper defaults (3-gram Jaccard, floor 0.0 keeps every
+  /// nonzero edge).
+  static SimilarityGraph WithDefaults(const Universe& universe,
+                                      double floor = 0.25);
+
+  int num_attributes() const { return static_cast<int>(attr_ids_.size()); }
+  double floor() const { return floor_; }
+  const AttributeSimilarity& measure() const { return *measure_; }
+
+  /// Dense index of an attribute; the id must be valid for the universe the
+  /// graph was built on.
+  int DenseIndex(const AttributeId& id) const;
+  const AttributeId& AttrId(int dense_index) const;
+
+  /// Original (un-normalized) name of the attribute at `dense_index`.
+  const std::string& Name(int dense_index) const;
+
+  /// Edges of one attribute, sorted by neighbor index. Only cross-source
+  /// pairs with similarity >= floor appear.
+  const std::vector<Edge>& EdgesOf(int dense_index) const;
+
+  /// Exact similarity of an arbitrary attribute pair (recomputed; may be
+  /// below floor). Used for user-GA quality, which has no threshold.
+  double PairSimilarity(int a, int b) const;
+
+  /// Total number of stored undirected edges.
+  size_t num_edges() const { return num_edges_; }
+
+ private:
+  double floor_;
+  std::unique_ptr<AttributeSimilarity> measure_;
+  std::vector<AttributeId> attr_ids_;          // dense index -> id
+  std::vector<int> source_offsets_;            // source -> first dense index
+  std::vector<std::string> names_;             // dense index -> raw name
+  std::vector<NgramSet> ngram_sets_;           // fast path only
+  std::vector<std::vector<Edge>> adjacency_;
+  size_t num_edges_ = 0;
+  int ngram_n_ = 0;  // >0 => n-gram Jaccard fast path active
+};
+
+}  // namespace ube
+
+#endif  // UBE_MATCHING_SIMILARITY_GRAPH_H_

@@ -1,0 +1,76 @@
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "optimize/search_state.h"
+#include "optimize/solver_internal.h"
+#include "optimize/solvers.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace ube {
+
+Result<Solution> AnnealingSolver::Solve(const CandidateEvaluator& evaluator,
+                                        const SolverOptions& options) const {
+  UBE_RETURN_IF_ERROR(internal::CheckSolvable(evaluator));
+  WallTimer timer;
+  evaluator.ResetCounters();
+  Rng rng(options.seed);
+
+  SearchState state(evaluator, rng);
+  double current = evaluator.Quality(state.sources());
+  std::vector<SourceId> best = state.sources();
+  double best_quality = current;
+  std::vector<TracePoint> trace;
+  internal::MaybeTrace(options.record_trace, evaluator, best_quality, &trace);
+
+  double temperature = std::max(1e-9, options.initial_temperature);
+  const double cooling = std::clamp(options.cooling_rate, 0.5, 0.999999);
+
+  int64_t iterations = 0;
+  int stall = 0;
+  // Annealing needs more, cheaper steps than tabu: each iteration evaluates
+  // one neighbour instead of a whole candidate list, so scale the budget by
+  // a nominal sample size to keep the evaluation effort comparable.
+  const int64_t budget = static_cast<int64_t>(options.max_iterations) * 32;
+  for (int64_t iter = 0; iter < budget; ++iter) {
+    if (options.time_limit_seconds > 0.0 &&
+        timer.ElapsedSeconds() > options.time_limit_seconds) {
+      break;
+    }
+    if (options.stall_iterations > 0 &&
+        stall >= static_cast<int64_t>(options.stall_iterations) * 32) {
+      break;
+    }
+    ++iterations;
+
+    SearchState::Move move;
+    if (!state.RandomMove(rng, &move)) break;
+    double quality = evaluator.Quality(state.Apply(move));
+    double delta = quality - current;
+    // Constrained annealing: only feasibility-preserving moves are ever
+    // generated, so the Metropolis rule acts on quality alone.
+    if (delta >= 0.0 || rng.UniformDouble() < std::exp(delta / temperature)) {
+      state.Commit(move);
+      current = quality;
+      if (current > best_quality) {
+        best_quality = current;
+        best = state.sources();
+        internal::MaybeTrace(options.record_trace, evaluator, best_quality,
+                             &trace);
+        stall = 0;
+      } else {
+        ++stall;
+      }
+    } else {
+      ++stall;
+    }
+    temperature *= cooling;
+  }
+
+  return internal::FinalizeSolution(evaluator, std::move(best),
+                                    std::string(name()), iterations, timer,
+                                    std::move(trace));
+}
+
+}  // namespace ube

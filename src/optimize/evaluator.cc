@@ -1,0 +1,177 @@
+#include "optimize/evaluator.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace ube {
+
+namespace {
+
+std::vector<SourceId> SortedUnique(std::vector<SourceId> ids) {
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  return ids;
+}
+
+std::vector<SourceId> ComputeRequired(const ProblemSpec& spec) {
+  std::vector<SourceId> required = spec.source_constraints;
+  for (const GlobalAttribute& g : spec.ga_constraints) {
+    for (const AttributeId& id : g.attributes()) required.push_back(id.source);
+  }
+  std::sort(required.begin(), required.end());
+  required.erase(std::unique(required.begin(), required.end()),
+                 required.end());
+  return required;
+}
+
+}  // namespace
+
+CandidateEvaluator::CandidateEvaluator(const Universe& universe,
+                                       const ClusterMatcher& matcher,
+                                       const QualityModel& model,
+                                       const ProblemSpec& spec)
+    : universe_(universe),
+      matcher_(matcher),
+      model_(model),
+      spec_(spec),
+      required_(ComputeRequired(spec)),
+      banned_(SortedUnique(spec.banned_sources)) {
+  Status status = ValidateSpec(universe, spec);
+  UBE_CHECK(status.ok(), "invalid ProblemSpec: " + status.ToString());
+}
+
+Status CandidateEvaluator::ValidateSpec(const Universe& universe,
+                                        const ProblemSpec& spec) {
+  if (spec.max_sources < 1) {
+    return Status::InvalidArgument("m (max_sources) must be >= 1");
+  }
+  if (spec.theta < 0.0 || spec.theta > 1.0) {
+    return Status::InvalidArgument("θ must be in [0, 1]");
+  }
+  if (spec.beta < 1) {
+    return Status::InvalidArgument("β must be >= 1");
+  }
+  for (SourceId s : spec.source_constraints) {
+    if (s < 0 || s >= universe.num_sources()) {
+      return Status::InvalidArgument("source constraint out of range");
+    }
+  }
+  for (SourceId s : spec.banned_sources) {
+    if (s < 0 || s >= universe.num_sources()) {
+      return Status::InvalidArgument("banned source out of range");
+    }
+  }
+  for (size_t i = 0; i < spec.ga_constraints.size(); ++i) {
+    const GlobalAttribute& g = spec.ga_constraints[i];
+    if (!g.IsValid()) {
+      return Status::InvalidArgument("GA constraint is not a valid GA");
+    }
+    for (const AttributeId& id : g.attributes()) {
+      if (id.source < 0 || id.source >= universe.num_sources()) {
+        return Status::InvalidArgument("GA constraint source out of range");
+      }
+      if (id.attr_index < 0 ||
+          id.attr_index >=
+              universe.source(id.source).schema().num_attributes()) {
+        return Status::InvalidArgument(
+            "GA constraint references a nonexistent attribute");
+      }
+    }
+    for (size_t j = i + 1; j < spec.ga_constraints.size(); ++j) {
+      if (g.Intersects(spec.ga_constraints[j])) {
+        return Status::InvalidArgument("GA constraints must be disjoint");
+      }
+    }
+  }
+  std::vector<SourceId> required = ComputeRequired(spec);
+  if (static_cast<int>(required.size()) > spec.max_sources) {
+    return Status::Infeasible(
+        "constraints force more sources than m allows");
+  }
+  for (SourceId banned : spec.banned_sources) {
+    if (std::binary_search(required.begin(), required.end(), banned)) {
+      return Status::Infeasible(
+          "a source is both required (constraint) and banned");
+    }
+  }
+  if (universe.num_sources() > 0 &&
+      static_cast<int>(spec.banned_sources.size()) >=
+          universe.num_sources()) {
+    // Possible only when every source is banned (ids are validated above).
+    std::vector<SourceId> banned = spec.banned_sources;
+    std::sort(banned.begin(), banned.end());
+    banned.erase(std::unique(banned.begin(), banned.end()), banned.end());
+    if (static_cast<int>(banned.size()) == universe.num_sources()) {
+      return Status::Infeasible("every source in the universe is banned");
+    }
+  }
+  return Status::Ok();
+}
+
+CandidateEvaluator::Evaluation CandidateEvaluator::Evaluate(
+    const std::vector<SourceId>& candidate) const {
+  UBE_DCHECK(std::is_sorted(candidate.begin(), candidate.end()),
+             "candidate must be sorted");
+  UBE_DCHECK(!candidate.empty() &&
+                 static_cast<int>(candidate.size()) <= spec_.max_sources,
+             "candidate size out of [1, m]");
+  UBE_DCHECK(std::includes(candidate.begin(), candidate.end(),
+                           required_.begin(), required_.end()),
+             "candidate must contain all required sources");
+#ifndef NDEBUG
+  for (SourceId s : candidate) {
+    UBE_DCHECK(!IsBanned(s), "candidate contains a banned source");
+  }
+#endif
+
+  ++evaluations_;
+  Evaluation out;
+  if (model_.NeedsMatching()) {
+    MatchOptions options;
+    options.theta = spec_.theta;
+    options.beta = spec_.beta;
+    Result<MatchResult> match =
+        matcher_.Match(candidate, spec_.source_constraints,
+                       spec_.ga_constraints, options);
+    UBE_CHECK(match.ok(), "Match failed: " + match.status().ToString());
+    out.match = std::move(match).value();
+  } else {
+    out.match.valid = true;  // no matching QEF: feasibility is structural
+  }
+  EvalContext ctx = model_.MakeContext(universe_, candidate, &out.match);
+  out.breakdown = model_.Evaluate(ctx);
+  out.quality = out.breakdown.overall;
+  return out;
+}
+
+double CandidateEvaluator::Quality(
+    const std::vector<SourceId>& candidate) const {
+  uint64_t key = HashCandidate(candidate);
+  auto it = quality_cache_.find(key);
+  if (it != quality_cache_.end()) {
+    ++cache_hits_;
+    return it->second;
+  }
+  double quality = Evaluate(candidate).quality;
+  if (quality_cache_.size() >= kMaxCacheEntries) quality_cache_.clear();
+  quality_cache_.emplace(key, quality);
+  return quality;
+}
+
+void CandidateEvaluator::ResetCounters() const {
+  evaluations_ = 0;
+  cache_hits_ = 0;
+}
+
+uint64_t CandidateEvaluator::HashCandidate(
+    const std::vector<SourceId>& candidate) {
+  uint64_t h = 0x9e3779b97f4a7c15ULL;
+  for (SourceId s : candidate) {
+    h = SplitMix64(h ^ static_cast<uint64_t>(static_cast<uint32_t>(s)));
+  }
+  return h;
+}
+
+}  // namespace ube

@@ -1,0 +1,90 @@
+#ifndef UBE_OPTIMIZE_EVALUATOR_H_
+#define UBE_OPTIMIZE_EVALUATOR_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "matching/cluster_matcher.h"
+#include "optimize/problem.h"
+#include "qef/quality_model.h"
+#include "source/universe.h"
+#include "util/result.h"
+
+namespace ube {
+
+/// Scores candidate source sets for one optimization problem: runs
+/// Match(S, C, G) when the model needs it, builds the QEF context and
+/// returns Q(S). Infeasible candidates (Match invalid on C) score 0.
+///
+/// Because tabu search revisits neighbourhoods, Quality() memoizes by a
+/// 64-bit hash of the sorted candidate (bounded cache). Full Evaluate()
+/// (with schema and breakdown) always computes.
+///
+/// Not thread-safe (single mutable cache); create one per search thread.
+class CandidateEvaluator {
+ public:
+  /// All referees must outlive the evaluator. Call ValidateSpec first; the
+  /// constructor UBE_CHECKs the same conditions.
+  CandidateEvaluator(const Universe& universe, const ClusterMatcher& matcher,
+                     const QualityModel& model, const ProblemSpec& spec);
+
+  /// Checks a spec against a universe: ids in range, GA constraints valid
+  /// and disjoint, θ/β sane, and |required| <= m.
+  static Status ValidateSpec(const Universe& universe,
+                             const ProblemSpec& spec);
+
+  struct Evaluation {
+    double quality = 0.0;
+    QualityBreakdown breakdown;
+    MatchResult match;
+  };
+
+  /// Fully evaluates a candidate (must be sorted, unique, contain all
+  /// required sources, and have size in [1, m]; violations are programmer
+  /// errors).
+  Evaluation Evaluate(const std::vector<SourceId>& candidate) const;
+
+  /// Q(S) only, memoized.
+  double Quality(const std::vector<SourceId>& candidate) const;
+
+  /// C ∪ {sources referenced by G}, sorted unique — the sources every
+  /// feasible candidate must contain (the "permanently tabu" region).
+  const std::vector<SourceId>& required_sources() const { return required_; }
+
+  /// Sources no feasible candidate may contain, sorted unique.
+  const std::vector<SourceId>& banned_sources() const { return banned_; }
+
+  /// True iff `s` is banned.
+  bool IsBanned(SourceId s) const {
+    return std::binary_search(banned_.begin(), banned_.end(), s);
+  }
+
+  const ProblemSpec& spec() const { return spec_; }
+  const Universe& universe() const { return universe_; }
+  const QualityModel& model() const { return model_; }
+
+  int64_t num_evaluations() const { return evaluations_; }
+  int64_t num_cache_hits() const { return cache_hits_; }
+  void ResetCounters() const;
+
+ private:
+  static uint64_t HashCandidate(const std::vector<SourceId>& candidate);
+
+  const Universe& universe_;
+  const ClusterMatcher& matcher_;
+  const QualityModel& model_;
+  const ProblemSpec& spec_;
+  std::vector<SourceId> required_;
+  std::vector<SourceId> banned_;
+
+  static constexpr size_t kMaxCacheEntries = 1 << 18;
+  mutable std::unordered_map<uint64_t, double> quality_cache_;
+  mutable int64_t evaluations_ = 0;
+  mutable int64_t cache_hits_ = 0;
+};
+
+}  // namespace ube
+
+#endif  // UBE_OPTIMIZE_EVALUATOR_H_

@@ -1,0 +1,101 @@
+#include <algorithm>
+#include <vector>
+
+#include "optimize/search_state.h"
+#include "optimize/solver_internal.h"
+#include "optimize/solvers.h"
+#include "util/check.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace ube {
+
+namespace {
+
+constexpr double kEps = 1e-12;
+
+}  // namespace
+
+Result<Solution> GreedySolver::Solve(const CandidateEvaluator& evaluator,
+                                     const SolverOptions& options) const {
+  UBE_RETURN_IF_ERROR(internal::CheckSolvable(evaluator));
+  WallTimer timer;
+  evaluator.ResetCounters();
+
+  const int n = evaluator.universe().num_sources();
+  const int m = evaluator.spec().max_sources;
+
+  std::vector<SourceId> current = evaluator.required_sources();
+  // Treating banned sources as permanent members of nothing: mark them
+  // "used" so the augmentation loop never considers them.
+  std::vector<char> member(static_cast<size_t>(n), 0);
+  for (SourceId s : current) member[static_cast<size_t>(s)] = 1;
+  std::vector<char> excluded(static_cast<size_t>(n), 0);
+  for (SourceId s : evaluator.banned_sources()) {
+    excluded[static_cast<size_t>(s)] = 1;
+  }
+
+  int64_t iterations = 0;
+  std::vector<TracePoint> trace;
+
+  // Seed: if no constraints, start from the best single source.
+  if (current.empty()) {
+    SourceId best_seed = -1;
+    double best_quality = -1.0;
+    for (SourceId s = 0; s < n; ++s) {
+      if (excluded[static_cast<size_t>(s)]) continue;
+      double quality = evaluator.Quality({s});
+      if (quality > best_quality) {
+        best_quality = quality;
+        best_seed = s;
+      }
+    }
+    UBE_CHECK(best_seed >= 0, "no unbanned source available");
+    current.push_back(best_seed);
+    member[static_cast<size_t>(best_seed)] = 1;
+  }
+  double current_quality = evaluator.Quality(current);
+
+  // Greedy augmentation: always add the best marginal source. Additions are
+  // accepted even when the marginal gain is non-positive as long as *some*
+  // source improves over the rest — Q is typically monotone in |S| through
+  // the Card/Coverage terms, but an invalid Match can make all extensions
+  // score 0; in that case we keep the incumbent and stop.
+  while (static_cast<int>(current.size()) < m) {
+    ++iterations;
+    if (options.time_limit_seconds > 0.0 &&
+        timer.ElapsedSeconds() > options.time_limit_seconds) {
+      break;
+    }
+    bool found = false;
+    SourceId best_add = -1;
+    double best_quality = current_quality;
+    for (SourceId s = 0; s < n; ++s) {
+      if (member[static_cast<size_t>(s)] || excluded[static_cast<size_t>(s)]) {
+        continue;
+      }
+      std::vector<SourceId> candidate = current;
+      candidate.insert(
+          std::lower_bound(candidate.begin(), candidate.end(), s), s);
+      double quality = evaluator.Quality(candidate);
+      if (quality > best_quality + kEps) {
+        best_quality = quality;
+        best_add = s;
+        found = true;
+      }
+    }
+    if (!found) break;
+    current.insert(std::lower_bound(current.begin(), current.end(), best_add),
+                   best_add);
+    member[static_cast<size_t>(best_add)] = 1;
+    current_quality = best_quality;
+    internal::MaybeTrace(options.record_trace, evaluator, current_quality,
+                         &trace);
+  }
+
+  return internal::FinalizeSolution(evaluator, std::move(current),
+                                    std::string(name()), iterations, timer,
+                                    std::move(trace));
+}
+
+}  // namespace ube

@@ -1,0 +1,120 @@
+#include <algorithm>
+#include <vector>
+
+#include "optimize/search_state.h"
+#include "optimize/solver_internal.h"
+#include "optimize/solvers.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace ube {
+
+namespace {
+
+constexpr double kEps = 1e-12;
+
+}  // namespace
+
+Result<Solution> LocalSearchSolver::Solve(const CandidateEvaluator& evaluator,
+                                          const SolverOptions& options) const {
+  UBE_RETURN_IF_ERROR(internal::CheckSolvable(evaluator));
+  WallTimer timer;
+  evaluator.ResetCounters();
+  Rng rng(options.seed);
+
+  const int n = evaluator.universe().num_sources();
+  const int sample = options.candidate_moves > 0
+                         ? options.candidate_moves
+                         : std::min(64, std::max(24, n / 8));
+  const int restarts = std::max(1, options.restarts);
+  const int iters_per_restart =
+      std::max(1, options.max_iterations / restarts);
+
+  std::vector<SourceId> best;
+  double best_quality = -1.0;
+  int64_t iterations = 0;
+  std::vector<TracePoint> trace;
+
+  for (int restart = 0; restart < restarts; ++restart) {
+    if (options.time_limit_seconds > 0.0 &&
+        timer.ElapsedSeconds() > options.time_limit_seconds) {
+      break;
+    }
+    SearchState state(evaluator, rng);
+    double current = evaluator.Quality(state.sources());
+    if (current > best_quality) {
+      best_quality = current;
+      best = state.sources();
+      internal::MaybeTrace(options.record_trace, evaluator, best_quality,
+                           &trace);
+    }
+
+    for (int iter = 0; iter < iters_per_restart; ++iter) {
+      if (options.time_limit_seconds > 0.0 &&
+          timer.ElapsedSeconds() > options.time_limit_seconds) {
+        break;
+      }
+      ++iterations;
+      bool improved = false;
+      SearchState::Move chosen;
+      double chosen_quality = current;
+      for (int k = 0; k < sample; ++k) {
+        SearchState::Move move;
+        if (!state.RandomMove(rng, &move)) break;
+        double quality = evaluator.Quality(state.Apply(move));
+        if (quality > chosen_quality + kEps) {
+          improved = true;
+          chosen = move;
+          chosen_quality = quality;
+        }
+      }
+      if (!improved) break;  // local optimum w.r.t. the sampled neighborhood
+      state.Commit(chosen);
+      current = chosen_quality;
+      if (current > best_quality) {
+        best_quality = current;
+        best = state.sources();
+        internal::MaybeTrace(options.record_trace, evaluator, best_quality,
+                             &trace);
+      }
+    }
+  }
+
+  return internal::FinalizeSolution(evaluator, std::move(best),
+                                    std::string(name()), iterations, timer,
+                                    std::move(trace));
+}
+
+Result<Solution> RandomSolver::Solve(const CandidateEvaluator& evaluator,
+                                     const SolverOptions& options) const {
+  UBE_RETURN_IF_ERROR(internal::CheckSolvable(evaluator));
+  WallTimer timer;
+  evaluator.ResetCounters();
+  Rng rng(options.seed);
+
+  std::vector<SourceId> best;
+  double best_quality = -1.0;
+  int64_t iterations = 0;
+  std::vector<TracePoint> trace;
+  for (int i = 0; i < std::max(1, options.random_samples); ++i) {
+    if (options.time_limit_seconds > 0.0 &&
+        timer.ElapsedSeconds() > options.time_limit_seconds) {
+      break;
+    }
+    ++iterations;
+    std::vector<SourceId> candidate = RandomFeasibleCandidate(evaluator, rng);
+    double quality = evaluator.Quality(candidate);
+    if (quality > best_quality) {
+      best_quality = quality;
+      best = std::move(candidate);
+      internal::MaybeTrace(options.record_trace, evaluator, best_quality,
+                           &trace);
+    }
+  }
+
+  return internal::FinalizeSolution(evaluator, std::move(best),
+                                    std::string(name()), iterations, timer,
+                                    std::move(trace));
+}
+
+}  // namespace ube

@@ -1,0 +1,77 @@
+#ifndef UBE_OPTIMIZE_PROBLEM_H_
+#define UBE_OPTIMIZE_PROBLEM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "qef/quality_model.h"
+#include "schema/mediated_schema.h"
+
+namespace ube {
+
+/// The constrained optimization problem of Section 2.5:
+///
+///   arg max_{S ⊆ U} Q(S)  subject to  |S| <= m,  C ⊆ S,  G ⊑ M,
+///   F1({g}) >= θ and |g| >= β for every g ∈ M − G.
+///
+/// U and the QEFs/weights live in the Engine / QualityModel; this struct
+/// carries the per-iteration knobs the user edits between µBE runs.
+struct ProblemSpec {
+  /// m: maximum number of sources the user is willing to select.
+  int max_sources = 20;
+  /// θ: lower bound on the matching quality of every generated GA.
+  double theta = 0.75;
+  /// β: lower bound on the number of attributes in any generated GA.
+  int beta = 2;
+  /// C: sources that must be part of the solution.
+  std::vector<SourceId> source_constraints;
+  /// Sources that must NOT be part of the solution — the negative-feedback
+  /// counterpart of C ("reject this source" in the iterative UI loop).
+  /// Implemented, like C, as a permanently tabu region of the search space.
+  std::vector<SourceId> banned_sources;
+  /// G: user GAs that must be subsumed by the output mediated schema
+  /// (each implicitly forces its sources into the solution).
+  std::vector<GlobalAttribute> ga_constraints;
+};
+
+/// One point of a solver convergence trace: the incumbent quality after a
+/// given amount of evaluation effort.
+struct TracePoint {
+  int64_t evaluations = 0;   ///< total candidate evaluations so far
+  double best_quality = 0.0; ///< incumbent Q(S) at that point
+};
+
+/// Progress/effort counters reported with every Solution.
+struct SolverStats {
+  std::string solver_name;
+  int64_t iterations = 0;    ///< solver-specific outer iterations
+  int64_t evaluations = 0;   ///< candidate evaluations actually computed
+  int64_t cache_hits = 0;    ///< candidate evaluations answered from cache
+  double elapsed_seconds = 0.0;
+  /// Incumbent-improvement trace; only recorded when
+  /// SolverOptions::record_trace is set.
+  std::vector<TracePoint> trace;
+};
+
+/// The data integration system µBE proposes: the chosen sources, the
+/// mediated schema generated on them, and the quality achieved.
+struct Solution {
+  /// Chosen sources S, sorted ascending.
+  std::vector<SourceId> sources;
+  /// Mediated schema M produced by Match(S).
+  MediatedSchema mediated_schema;
+  /// Per-GA quality of matching, parallel to mediated_schema.gas().
+  std::vector<double> ga_qualities;
+  /// Whether each GA grew from a user GA constraint, parallel to gas().
+  std::vector<bool> ga_from_constraint;
+  /// Q(S), the weighted overall quality.
+  double quality = 0.0;
+  /// Per-QEF scores behind `quality`.
+  QualityBreakdown breakdown;
+  SolverStats stats;
+};
+
+}  // namespace ube
+
+#endif  // UBE_OPTIMIZE_PROBLEM_H_

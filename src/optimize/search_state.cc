@@ -1,0 +1,184 @@
+#include "optimize/search_state.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace ube {
+
+std::vector<SourceId> RandomFeasibleCandidate(
+    const CandidateEvaluator& evaluator, Rng& rng) {
+  const int n = evaluator.universe().num_sources();
+  const int m = evaluator.spec().max_sources;
+  std::vector<SourceId> candidate = evaluator.required_sources();
+
+  // Distinct random extras via partial Fisher-Yates over the non-required,
+  // non-banned ids.
+  std::vector<char> used(static_cast<size_t>(n), 0);
+  for (SourceId s : candidate) used[static_cast<size_t>(s)] = 1;
+  for (SourceId s : evaluator.banned_sources()) {
+    used[static_cast<size_t>(s)] = 1;
+  }
+  std::vector<SourceId> pool;
+  pool.reserve(static_cast<size_t>(n));
+  for (SourceId s = 0; s < n; ++s) {
+    if (!used[static_cast<size_t>(s)]) pool.push_back(s);
+  }
+  while (static_cast<int>(candidate.size()) < m && !pool.empty()) {
+    size_t pick = rng.UniformInt(pool.size());
+    candidate.push_back(pool[pick]);
+    pool[pick] = pool.back();
+    pool.pop_back();
+  }
+  if (candidate.empty() && !pool.empty()) {
+    candidate.push_back(pool[rng.UniformInt(pool.size())]);
+  }
+  UBE_CHECK(!candidate.empty(),
+            "no feasible candidate exists (universe exhausted by bans)");
+  std::sort(candidate.begin(), candidate.end());
+  return candidate;
+}
+
+SearchState::SearchState(const CandidateEvaluator& evaluator, Rng& rng)
+    : SearchState(evaluator, RandomFeasibleCandidate(evaluator, rng)) {}
+
+SearchState::SearchState(const CandidateEvaluator& evaluator,
+                         std::vector<SourceId> candidate)
+    : evaluator_(&evaluator),
+      universe_size_(evaluator.universe().num_sources()),
+      max_sources_(evaluator.spec().max_sources) {
+  required_.assign(static_cast<size_t>(universe_size_), 0);
+  for (SourceId s : evaluator.required_sources()) {
+    required_[static_cast<size_t>(s)] = 1;
+  }
+  num_required_ = static_cast<int>(evaluator.required_sources().size());
+  banned_.assign(static_cast<size_t>(universe_size_), 0);
+  for (SourceId s : evaluator.banned_sources()) {
+    banned_[static_cast<size_t>(s)] = 1;
+  }
+  num_banned_ = static_cast<int>(evaluator.banned_sources().size());
+  Reset(std::move(candidate));
+}
+
+void SearchState::Reset(std::vector<SourceId> candidate) {
+  UBE_CHECK(!candidate.empty(), "candidate must be non-empty");
+  UBE_CHECK(static_cast<int>(candidate.size()) <= max_sources_,
+            "candidate exceeds m");
+  UBE_CHECK(std::is_sorted(candidate.begin(), candidate.end()),
+            "candidate must be sorted");
+  sources_ = std::move(candidate);
+  RebuildMembership();
+  for (SourceId s = 0; s < universe_size_; ++s) {
+    if (required_[static_cast<size_t>(s)]) {
+      UBE_CHECK(member_[static_cast<size_t>(s)],
+                "candidate is missing a required source");
+    }
+    if (banned_[static_cast<size_t>(s)]) {
+      UBE_CHECK(!member_[static_cast<size_t>(s)],
+                "candidate contains a banned source");
+    }
+  }
+}
+
+void SearchState::RebuildMembership() {
+  member_.assign(static_cast<size_t>(universe_size_), 0);
+  for (SourceId s : sources_) {
+    UBE_CHECK(s >= 0 && s < universe_size_, "source id out of range");
+    member_[static_cast<size_t>(s)] = 1;
+  }
+}
+
+bool SearchState::Droppable(SourceId s) const {
+  return Contains(s) && !required_[static_cast<size_t>(s)] && size() > 1;
+}
+
+bool SearchState::RandomMove(Rng& rng, Move* move) const {
+  const int outside = universe_size_ - size() - num_banned_;
+  const int droppable = size() - num_required_;
+  const bool can_add = outside > 0 && size() < max_sources_;
+  const bool can_drop = droppable > 0 && size() > 1;
+  const bool can_swap = outside > 0 && droppable > 0;
+  if (!can_add && !can_drop && !can_swap) return false;
+
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    double roll = rng.UniformDouble();
+    Move::Kind kind;
+    // Swap keeps |S| at the (usually optimal) maximum, so weight it highest.
+    if (can_swap && roll < 0.7) {
+      kind = Move::Kind::kSwap;
+    } else if (can_add && roll < 0.85) {
+      kind = Move::Kind::kAdd;
+    } else if (can_drop) {
+      kind = Move::Kind::kDrop;
+    } else if (can_swap) {
+      kind = Move::Kind::kSwap;
+    } else if (can_add) {
+      kind = Move::Kind::kAdd;
+    } else {
+      continue;
+    }
+
+    SourceId in = -1;
+    SourceId out = -1;
+    if (kind == Move::Kind::kAdd || kind == Move::Kind::kSwap) {
+      // Rejection-sample an addable (non-member, non-banned) source.
+      int in_tries = 0;
+      do {
+        in = static_cast<SourceId>(
+            rng.UniformInt(static_cast<uint64_t>(universe_size_)));
+        if (++in_tries > 512) break;
+      } while (Contains(in) || banned_[static_cast<size_t>(in)]);
+      if (Contains(in) || banned_[static_cast<size_t>(in)]) continue;
+    }
+    if (kind == Move::Kind::kDrop || kind == Move::Kind::kSwap) {
+      // Rejection-sample a droppable member.
+      int tries = 0;
+      do {
+        out = sources_[rng.UniformInt(sources_.size())];
+        if (++tries > 256) break;
+      } while (!Droppable(out));
+      if (!Droppable(out)) continue;
+    }
+    move->kind = kind;
+    move->in = in;
+    move->out = out;
+    return true;
+  }
+  return false;
+}
+
+std::vector<SourceId> SearchState::Apply(const Move& move) const {
+  std::vector<SourceId> out = sources_;
+  if (move.kind == Move::Kind::kDrop || move.kind == Move::Kind::kSwap) {
+    auto it = std::lower_bound(out.begin(), out.end(), move.out);
+    UBE_DCHECK(it != out.end() && *it == move.out, "drop target not present");
+    out.erase(it);
+  }
+  if (move.kind == Move::Kind::kAdd || move.kind == Move::Kind::kSwap) {
+    auto it = std::lower_bound(out.begin(), out.end(), move.in);
+    UBE_DCHECK(it == out.end() || *it != move.in, "add target already present");
+    out.insert(it, move.in);
+  }
+  return out;
+}
+
+void SearchState::Commit(const Move& move) {
+  sources_ = Apply(move);
+  if (move.kind == Move::Kind::kDrop || move.kind == Move::Kind::kSwap) {
+    member_[static_cast<size_t>(move.out)] = 0;
+  }
+  if (move.kind == Move::Kind::kAdd || move.kind == Move::Kind::kSwap) {
+    member_[static_cast<size_t>(move.in)] = 1;
+  }
+}
+
+std::vector<SourceId> SearchState::NonMembers() const {
+  std::vector<SourceId> out;
+  out.reserve(static_cast<size_t>(universe_size_ - size()));
+  for (SourceId s = 0; s < universe_size_; ++s) {
+    if (!member_[static_cast<size_t>(s)]) out.push_back(s);
+  }
+  return out;
+}
+
+}  // namespace ube

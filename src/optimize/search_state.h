@@ -1,0 +1,79 @@
+#ifndef UBE_OPTIMIZE_SEARCH_STATE_H_
+#define UBE_OPTIMIZE_SEARCH_STATE_H_
+
+#include <vector>
+
+#include "optimize/evaluator.h"
+#include "optimize/problem.h"
+#include "util/rng.h"
+
+namespace ube {
+
+/// Mutable candidate representation shared by the local-move solvers:
+/// a sorted source list plus an O(1) membership table, with the move set
+/// (add / drop / swap) that never touches required sources and never
+/// exceeds m — the constraints are enforced structurally, implementing the
+/// paper's "permanently tabu regions of the space".
+class SearchState {
+ public:
+  /// A single-element move. kAdd: insert `in`; kDrop: remove `out`;
+  /// kSwap: remove `out`, insert `in`.
+  struct Move {
+    enum class Kind { kAdd, kDrop, kSwap } kind = Kind::kAdd;
+    SourceId in = -1;
+    SourceId out = -1;
+  };
+
+  /// Starts from the required sources, filled up to m with distinct random
+  /// extra sources (fewer if the universe is small).
+  SearchState(const CandidateEvaluator& evaluator, Rng& rng);
+
+  /// Starts from an explicit candidate (must be sorted/unique, contain the
+  /// required sources, size in [1, m]).
+  SearchState(const CandidateEvaluator& evaluator,
+              std::vector<SourceId> candidate);
+
+  const std::vector<SourceId>& sources() const { return sources_; }
+  int size() const { return static_cast<int>(sources_.size()); }
+  bool Contains(SourceId s) const { return member_[static_cast<size_t>(s)]; }
+  /// True if `s` may be dropped (present and not required).
+  bool Droppable(SourceId s) const;
+
+  /// Draws a uniformly random feasible move, or returns false when no move
+  /// exists (universe exhausted / everything required).
+  bool RandomMove(Rng& rng, Move* move) const;
+
+  /// The candidate that `move` would produce (sorted).
+  std::vector<SourceId> Apply(const Move& move) const;
+
+  /// Applies `move` in place.
+  void Commit(const Move& move);
+
+  /// Replaces the whole candidate (same preconditions as the constructor).
+  void Reset(std::vector<SourceId> candidate);
+
+  /// All sources currently outside the candidate.
+  std::vector<SourceId> NonMembers() const;
+
+ private:
+  void RebuildMembership();
+
+  const CandidateEvaluator* evaluator_;
+  int universe_size_;
+  int max_sources_;
+  std::vector<SourceId> sources_;  // sorted
+  std::vector<char> member_;       // universe-sized bitmap
+  std::vector<char> required_;     // universe-sized bitmap
+  std::vector<char> banned_;       // universe-sized bitmap
+  int num_required_;
+  int num_banned_;
+};
+
+/// Builds the initial candidate used by SearchState's random constructor;
+/// exposed so greedy/PSO can share it.
+std::vector<SourceId> RandomFeasibleCandidate(
+    const CandidateEvaluator& evaluator, Rng& rng);
+
+}  // namespace ube
+
+#endif  // UBE_OPTIMIZE_SEARCH_STATE_H_

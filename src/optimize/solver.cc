@@ -1,0 +1,49 @@
+#include "optimize/solver.h"
+
+#include "optimize/solvers.h"
+#include "util/check.h"
+
+namespace ube {
+
+std::unique_ptr<Solver> MakeSolver(SolverKind kind) {
+  switch (kind) {
+    case SolverKind::kTabu:
+      return std::make_unique<TabuSearchSolver>();
+    case SolverKind::kLocalSearch:
+      return std::make_unique<LocalSearchSolver>();
+    case SolverKind::kAnnealing:
+      return std::make_unique<AnnealingSolver>();
+    case SolverKind::kPso:
+      return std::make_unique<PsoSolver>();
+    case SolverKind::kGreedy:
+      return std::make_unique<GreedySolver>();
+    case SolverKind::kRandom:
+      return std::make_unique<RandomSolver>();
+    case SolverKind::kExhaustive:
+      return std::make_unique<ExhaustiveSolver>();
+  }
+  UBE_CHECK(false, "unknown SolverKind");
+  return nullptr;
+}
+
+std::string_view SolverKindName(SolverKind kind) {
+  switch (kind) {
+    case SolverKind::kTabu:
+      return "tabu";
+    case SolverKind::kLocalSearch:
+      return "sls";
+    case SolverKind::kAnnealing:
+      return "annealing";
+    case SolverKind::kPso:
+      return "pso";
+    case SolverKind::kGreedy:
+      return "greedy";
+    case SolverKind::kRandom:
+      return "random";
+    case SolverKind::kExhaustive:
+      return "exhaustive";
+  }
+  return "unknown";
+}
+
+}  // namespace ube

@@ -1,0 +1,92 @@
+#ifndef UBE_OPTIMIZE_SOLVER_H_
+#define UBE_OPTIMIZE_SOLVER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "optimize/evaluator.h"
+#include "optimize/problem.h"
+#include "util/result.h"
+
+namespace ube {
+
+/// Shared knobs for all solvers; each solver reads the subset it needs.
+struct SolverOptions {
+  /// Seed for the solver's deterministic random stream.
+  uint64_t seed = 42;
+  /// Hard cap on outer iterations (meaning is solver-specific).
+  int max_iterations = 400;
+  /// Stop after this many iterations without improving the incumbent
+  /// (<= 0 disables). Ignored by exhaustive search.
+  int stall_iterations = 80;
+  /// Wall-clock budget in seconds (<= 0 disables).
+  double time_limit_seconds = 0.0;
+  /// Record a TracePoint in SolverStats::trace every time the incumbent
+  /// improves (for convergence analysis; small overhead).
+  bool record_trace = false;
+
+  // --- tabu search -----------------------------------------------------
+  /// Moves sampled per iteration (0 = auto: scales with |U| and m).
+  int candidate_moves = 0;
+  /// Tabu tenure in iterations (0 = auto: 7 + |U|/50).
+  int tabu_tenure = 0;
+
+  // --- stochastic local search ------------------------------------------
+  /// Number of random restarts.
+  int restarts = 6;
+
+  // --- simulated annealing ----------------------------------------------
+  double initial_temperature = 0.05;
+  double cooling_rate = 0.995;
+
+  // --- particle swarm -----------------------------------------------------
+  int swarm_size = 20;
+  double inertia = 0.72;
+  double cognitive = 1.5;
+  double social = 1.5;
+
+  // --- random search -------------------------------------------------------
+  /// Candidates drawn by the random-search baseline.
+  int random_samples = 400;
+};
+
+/// A combinatorial optimizer for the µBE problem. Section 6: "we tried
+/// using stochastic local search, particle swarm optimization, constrained
+/// simulated annealing, and tabu search, and we found that tabu search gives
+/// the best results" — all of those are implemented behind this interface
+/// so the comparison is reproducible (bench/ablation_solvers).
+class Solver {
+ public:
+  virtual ~Solver() = default;
+
+  /// Runs the search and returns the best feasible solution found. Fails
+  /// with kInfeasible when the constraints admit no candidate (e.g. they
+  /// force more sources than m).
+  virtual Result<Solution> Solve(const CandidateEvaluator& evaluator,
+                                 const SolverOptions& options) const = 0;
+
+  virtual std::string_view name() const = 0;
+};
+
+/// Known solver implementations.
+enum class SolverKind {
+  kTabu,        ///< tabu search (µBE's default)
+  kLocalSearch, ///< stochastic hill climbing with random restarts
+  kAnnealing,   ///< constrained simulated annealing
+  kPso,         ///< binary particle swarm optimization
+  kGreedy,      ///< greedy constructive baseline
+  kRandom,      ///< uniform random sampling baseline
+  kExhaustive,  ///< exact enumeration (tiny instances / tests only)
+};
+
+/// Factory for any solver kind.
+std::unique_ptr<Solver> MakeSolver(SolverKind kind);
+
+/// Display name ("tabu", "sls", ...).
+std::string_view SolverKindName(SolverKind kind);
+
+}  // namespace ube
+
+#endif  // UBE_OPTIMIZE_SOLVER_H_

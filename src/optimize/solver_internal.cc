@@ -1,0 +1,35 @@
+#include "optimize/solver_internal.h"
+
+#include <utility>
+
+namespace ube::internal {
+
+Solution FinalizeSolution(const CandidateEvaluator& evaluator,
+                          std::vector<SourceId> best, std::string solver_name,
+                          int64_t iterations, const WallTimer& timer,
+                          std::vector<TracePoint> trace) {
+  CandidateEvaluator::Evaluation eval = evaluator.Evaluate(best);
+  Solution solution;
+  solution.sources = std::move(best);
+  solution.mediated_schema = std::move(eval.match.schema);
+  solution.ga_qualities = std::move(eval.match.ga_qualities);
+  solution.ga_from_constraint = std::move(eval.match.ga_from_constraint);
+  solution.quality = eval.quality;
+  solution.breakdown = std::move(eval.breakdown);
+  solution.stats.solver_name = std::move(solver_name);
+  solution.stats.iterations = iterations;
+  solution.stats.evaluations = evaluator.num_evaluations();
+  solution.stats.cache_hits = evaluator.num_cache_hits();
+  solution.stats.elapsed_seconds = timer.ElapsedSeconds();
+  solution.stats.trace = std::move(trace);
+  return solution;
+}
+
+Status CheckSolvable(const CandidateEvaluator& evaluator) {
+  if (evaluator.universe().empty()) {
+    return Status::Infeasible("the universe contains no sources");
+  }
+  return Status::Ok();
+}
+
+}  // namespace ube::internal

@@ -1,0 +1,34 @@
+#ifndef UBE_OPTIMIZE_SOLVER_INTERNAL_H_
+#define UBE_OPTIMIZE_SOLVER_INTERNAL_H_
+
+#include <string>
+#include <vector>
+
+#include "optimize/evaluator.h"
+#include "optimize/problem.h"
+#include "util/result.h"
+#include "util/timer.h"
+
+namespace ube::internal {
+
+/// Fully evaluates `best` and packages it (plus effort counters) into a
+/// Solution. Shared by every solver. `trace` (may be empty) is moved into
+/// the stats.
+Solution FinalizeSolution(const CandidateEvaluator& evaluator,
+                          std::vector<SourceId> best, std::string solver_name,
+                          int64_t iterations, const WallTimer& timer,
+                          std::vector<TracePoint> trace = {});
+
+/// Appends a trace point when tracing is enabled.
+inline void MaybeTrace(bool enabled, const CandidateEvaluator& evaluator,
+                       double best_quality, std::vector<TracePoint>* trace) {
+  if (!enabled) return;
+  trace->push_back(TracePoint{evaluator.num_evaluations(), best_quality});
+}
+
+/// Common entry checks: non-empty universe. Returns OK or kInfeasible.
+Status CheckSolvable(const CandidateEvaluator& evaluator);
+
+}  // namespace ube::internal
+
+#endif  // UBE_OPTIMIZE_SOLVER_INTERNAL_H_

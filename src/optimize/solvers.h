@@ -1,0 +1,77 @@
+#ifndef UBE_OPTIMIZE_SOLVERS_H_
+#define UBE_OPTIMIZE_SOLVERS_H_
+
+#include "optimize/solver.h"
+
+namespace ube {
+
+/// Tabu search (Glover & Laguna), µBE's default solver (Section 6).
+/// Recency-based tabu memory on reversing recent add/drop decisions, with
+/// the standard aspiration criterion (a tabu move is admissible when it
+/// improves the incumbent). Constraints define permanently tabu regions:
+/// moves that would remove a required source are never generated.
+class TabuSearchSolver final : public Solver {
+ public:
+  Result<Solution> Solve(const CandidateEvaluator& evaluator,
+                         const SolverOptions& options) const override;
+  std::string_view name() const override { return "tabu"; }
+};
+
+/// Stochastic local search: best-of-sample hill climbing restarted from
+/// random feasible candidates.
+class LocalSearchSolver final : public Solver {
+ public:
+  Result<Solution> Solve(const CandidateEvaluator& evaluator,
+                         const SolverOptions& options) const override;
+  std::string_view name() const override { return "sls"; }
+};
+
+/// Constrained simulated annealing with geometric cooling; infeasible
+/// moves are never generated, so only quality drives acceptance.
+class AnnealingSolver final : public Solver {
+ public:
+  Result<Solution> Solve(const CandidateEvaluator& evaluator,
+                         const SolverOptions& options) const override;
+  std::string_view name() const override { return "annealing"; }
+};
+
+/// Binary particle swarm optimization (Kennedy & Eberhart's discrete PSO):
+/// sigmoid-squashed velocities sample bit vectors which are then repaired
+/// onto the feasible region (required sources forced, size capped at m).
+class PsoSolver final : public Solver {
+ public:
+  Result<Solution> Solve(const CandidateEvaluator& evaluator,
+                         const SolverOptions& options) const override;
+  std::string_view name() const override { return "pso"; }
+};
+
+/// Greedy constructive baseline: start from the required sources and
+/// repeatedly add the source with the best marginal Q(S) gain.
+class GreedySolver final : public Solver {
+ public:
+  Result<Solution> Solve(const CandidateEvaluator& evaluator,
+                         const SolverOptions& options) const override;
+  std::string_view name() const override { return "greedy"; }
+};
+
+/// Uniform random sampling baseline.
+class RandomSolver final : public Solver {
+ public:
+  Result<Solution> Solve(const CandidateEvaluator& evaluator,
+                         const SolverOptions& options) const override;
+  std::string_view name() const override { return "random"; }
+};
+
+/// Exact enumeration of every feasible candidate. Refuses instances with
+/// more than ~2 million candidates; intended for tests and for validating
+/// the heuristics on tiny universes.
+class ExhaustiveSolver final : public Solver {
+ public:
+  Result<Solution> Solve(const CandidateEvaluator& evaluator,
+                         const SolverOptions& options) const override;
+  std::string_view name() const override { return "exhaustive"; }
+};
+
+}  // namespace ube
+
+#endif  // UBE_OPTIMIZE_SOLVERS_H_

@@ -1,0 +1,132 @@
+#include <algorithm>
+#include <vector>
+
+#include "optimize/search_state.h"
+#include "optimize/solver_internal.h"
+#include "optimize/solvers.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace ube {
+
+namespace {
+
+constexpr double kEps = 1e-12;
+
+}  // namespace
+
+Result<Solution> TabuSearchSolver::Solve(const CandidateEvaluator& evaluator,
+                                         const SolverOptions& options) const {
+  UBE_RETURN_IF_ERROR(internal::CheckSolvable(evaluator));
+  WallTimer timer;
+  evaluator.ResetCounters();
+  Rng rng(options.seed);
+
+  const int n = evaluator.universe().num_sources();
+  const int tenure =
+      options.tabu_tenure > 0 ? options.tabu_tenure : 7 + n / 50;
+  const int sample = options.candidate_moves > 0
+                         ? options.candidate_moves
+                         : std::min(64, std::max(24, n / 8));
+
+  SearchState state(evaluator, rng);
+  double current_quality = evaluator.Quality(state.sources());
+  std::vector<SourceId> best = state.sources();
+  double best_quality = current_quality;
+  std::vector<TracePoint> trace;
+  internal::MaybeTrace(options.record_trace, evaluator, best_quality, &trace);
+
+  // tabu_add_until[s]: iterations before which re-adding s is tabu
+  // (set when s is dropped); tabu_drop_until[s]: before which dropping s
+  // is tabu (set when s is added).
+  std::vector<int> tabu_add_until(static_cast<size_t>(n), -1);
+  std::vector<int> tabu_drop_until(static_cast<size_t>(n), -1);
+
+  int64_t iterations = 0;
+  int stall = 0;
+  // Intensification: after `restart_after` non-improving iterations the
+  // search jumps back to the incumbent with fresh tabu memory and explores
+  // its neighborhood again from scratch.
+  const int restart_after =
+      options.stall_iterations > 0
+          ? std::max(8, options.stall_iterations / 3)
+          : options.max_iterations;
+  int since_restart = 0;
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    if (options.time_limit_seconds > 0.0 &&
+        timer.ElapsedSeconds() > options.time_limit_seconds) {
+      break;
+    }
+    if (options.stall_iterations > 0 && stall >= options.stall_iterations) {
+      break;
+    }
+    if (since_restart >= restart_after) {
+      state.Reset(best);
+      current_quality = best_quality;
+      std::fill(tabu_add_until.begin(), tabu_add_until.end(), -1);
+      std::fill(tabu_drop_until.begin(), tabu_drop_until.end(), -1);
+      since_restart = 0;
+    }
+    ++iterations;
+
+    bool have_move = false;
+    SearchState::Move chosen;
+    double chosen_quality = 0.0;
+    for (int k = 0; k < sample; ++k) {
+      SearchState::Move move;
+      if (!state.RandomMove(rng, &move)) break;
+      bool tabu = false;
+      if (move.kind != SearchState::Move::Kind::kDrop &&
+          iter < tabu_add_until[static_cast<size_t>(move.in)]) {
+        tabu = true;
+      }
+      if (move.kind != SearchState::Move::Kind::kAdd &&
+          iter < tabu_drop_until[static_cast<size_t>(move.out)]) {
+        tabu = true;
+      }
+      double quality = evaluator.Quality(state.Apply(move));
+      // Aspiration: a tabu move that beats the incumbent is admissible.
+      if (tabu && quality <= best_quality + kEps) continue;
+      if (!have_move || quality > chosen_quality) {
+        have_move = true;
+        chosen = move;
+        chosen_quality = quality;
+      }
+    }
+
+    if (!have_move) {
+      ++stall;
+      ++since_restart;
+      continue;
+    }
+
+    // Commit the best admissible move even when it worsens the current
+    // solution — that is what lets tabu search climb out of local optima.
+    state.Commit(chosen);
+    current_quality = chosen_quality;
+    if (chosen.kind != SearchState::Move::Kind::kDrop) {
+      tabu_drop_until[static_cast<size_t>(chosen.in)] = iter + tenure;
+    }
+    if (chosen.kind != SearchState::Move::Kind::kAdd) {
+      tabu_add_until[static_cast<size_t>(chosen.out)] = iter + tenure;
+    }
+
+    if (current_quality > best_quality + kEps) {
+      best_quality = current_quality;
+      best = state.sources();
+      internal::MaybeTrace(options.record_trace, evaluator, best_quality,
+                           &trace);
+      stall = 0;
+      since_restart = 0;
+    } else {
+      ++stall;
+      ++since_restart;
+    }
+  }
+
+  return internal::FinalizeSolution(evaluator, std::move(best),
+                                    std::string(name()), iterations, timer,
+                                    std::move(trace));
+}
+
+}  // namespace ube

@@ -1,0 +1,153 @@
+#include "qef/qef.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.h"
+
+namespace ube {
+
+namespace {
+
+double Clamp01(double x) { return std::clamp(x, 0.0, 1.0); }
+
+}  // namespace
+
+double MatchingQualityQef::Evaluate(const EvalContext& ctx) const {
+  UBE_CHECK(ctx.match != nullptr,
+            "MatchingQualityQef requires a Match(S) result in the context");
+  if (!ctx.match->valid) return 0.0;
+  return Clamp01(ctx.match->matching_quality);
+}
+
+double CardinalityQef::Evaluate(const EvalContext& ctx) const {
+  UBE_CHECK(ctx.universe != nullptr, "EvalContext missing universe");
+  int64_t total_u = ctx.universe->TotalCardinality();
+  if (total_u <= 0) return 0.0;
+  return Clamp01(static_cast<double>(ctx.total_cardinality) /
+                 static_cast<double>(total_u));
+}
+
+double CoverageQef::Evaluate(const EvalContext& ctx) const {
+  UBE_CHECK(ctx.universe != nullptr, "EvalContext missing universe");
+  double union_u = ctx.universe->UnionCardinalityEstimate();
+  if (union_u <= 0.0) return 0.0;
+  return Clamp01(ctx.union_estimate / union_u);
+}
+
+double RedundancyQef::Evaluate(const EvalContext& ctx) const {
+  // Only cooperating sources take part; the others are "assigned 0
+  // coverage and redundancy QEFs" (Section 4), i.e. excluded here.
+  const int n = ctx.cooperating_count;
+  if (n <= 1) return 1.0;  // a single source cannot overlap with itself
+  if (ctx.union_estimate <= 0.0 || ctx.cooperating_cardinality <= 0) {
+    return 1.0;
+  }
+  double overlap_factor =
+      static_cast<double>(ctx.cooperating_cardinality) / ctx.union_estimate;
+  switch (mode_) {
+    case Mode::kOverlapFactor: {
+      overlap_factor = std::clamp(overlap_factor, 1.0, static_cast<double>(n));
+      return Clamp01((static_cast<double>(n) - overlap_factor) /
+                     (static_cast<double>(n) - 1.0));
+    }
+    case Mode::kUnionRatio:
+      return Clamp01(1.0 / overlap_factor);
+  }
+  UBE_CHECK(false, "unknown redundancy mode");
+  return 0.0;
+}
+
+double SchemaCoverageQef::Evaluate(const EvalContext& ctx) const {
+  UBE_CHECK(ctx.match != nullptr && ctx.universe != nullptr &&
+                ctx.sources != nullptr,
+            "SchemaCoverageQef requires match result, universe and sources");
+  if (!ctx.match->valid) return 0.0;
+  int total_attributes = 0;
+  for (SourceId s : *ctx.sources) {
+    total_attributes += ctx.universe->source(s).schema().num_attributes();
+  }
+  if (total_attributes == 0) return 0.0;
+  int covered = ctx.match->schema.TotalAttributes();
+  return Clamp01(static_cast<double>(covered) /
+                 static_cast<double>(total_attributes));
+}
+
+CharacteristicQef::CharacteristicQef(std::string characteristic,
+                                     Aggregation aggregation, bool invert)
+    : characteristic_(std::move(characteristic)),
+      aggregation_(aggregation),
+      invert_(invert) {
+  display_name_ = "char:" + characteristic_;
+}
+
+double CharacteristicQef::Normalized(const Universe& universe, SourceId s,
+                                     double min_u, double max_u) const {
+  std::optional<double> value =
+      universe.source(s).GetCharacteristic(characteristic_);
+  if (!value.has_value()) return 0.0;
+  if (max_u <= min_u) return 1.0;  // degenerate range: all sources equal
+  double normalized = invert_ ? (max_u - *value) / (max_u - min_u)
+                              : (*value - min_u) / (max_u - min_u);
+  return Clamp01(normalized);
+}
+
+double CharacteristicQef::Evaluate(const EvalContext& ctx) const {
+  UBE_CHECK(ctx.universe != nullptr && ctx.sources != nullptr,
+            "EvalContext missing universe or sources");
+  const Universe& universe = *ctx.universe;
+  const std::vector<SourceId>& sources = *ctx.sources;
+  if (sources.empty()) return 0.0;
+
+  // Universe-wide min/max over sources that define the characteristic.
+  double min_u = std::numeric_limits<double>::infinity();
+  double max_u = -std::numeric_limits<double>::infinity();
+  bool any = false;
+  for (SourceId s = 0; s < universe.num_sources(); ++s) {
+    std::optional<double> value =
+        universe.source(s).GetCharacteristic(characteristic_);
+    if (!value.has_value()) continue;
+    any = true;
+    min_u = std::min(min_u, *value);
+    max_u = std::max(max_u, *value);
+  }
+  if (!any) return 0.0;
+
+  switch (aggregation_) {
+    case Aggregation::kWeightedSum: {
+      // wsum(S) = Σ_s normalized(q_s)·|s| / Σ_s |s|  (Section 5).
+      double weighted = 0.0;
+      double total_card = 0.0;
+      for (SourceId s : sources) {
+        auto card = static_cast<double>(universe.source(s).cardinality());
+        weighted += Normalized(universe, s, min_u, max_u) * card;
+        total_card += card;
+      }
+      if (total_card <= 0.0) return 0.0;
+      return Clamp01(weighted / total_card);
+    }
+    case Aggregation::kMean: {
+      double sum = 0.0;
+      for (SourceId s : sources) sum += Normalized(universe, s, min_u, max_u);
+      return Clamp01(sum / static_cast<double>(sources.size()));
+    }
+    case Aggregation::kMin: {
+      double best = 1.0;
+      for (SourceId s : sources) {
+        best = std::min(best, Normalized(universe, s, min_u, max_u));
+      }
+      return best;
+    }
+    case Aggregation::kMax: {
+      double best = 0.0;
+      for (SourceId s : sources) {
+        best = std::max(best, Normalized(universe, s, min_u, max_u));
+      }
+      return best;
+    }
+  }
+  UBE_CHECK(false, "unknown aggregation");
+  return 0.0;
+}
+
+}  // namespace ube

@@ -1,0 +1,177 @@
+#ifndef UBE_QEF_QEF_H_
+#define UBE_QEF_QEF_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "matching/cluster_matcher.h"
+#include "source/universe.h"
+
+namespace ube {
+
+/// Everything a QEF may look at when scoring a candidate source set S.
+///
+/// Built once per candidate by QualityModel::MakeContext, which precomputes
+/// the aggregates shared by several QEFs (total cardinality, union-of-S
+/// distinct estimate over cooperating sources, the Match(S) result).
+struct EvalContext {
+  const Universe* universe = nullptr;
+  /// The candidate S (each id valid for *universe).
+  const std::vector<SourceId>* sources = nullptr;
+  /// Result of Match(S) for this candidate; may be null when the model has
+  /// no matching QEF. When present and !valid, the candidate is infeasible
+  /// and QualityModel::Evaluate returns 0 overall.
+  const MatchResult* match = nullptr;
+
+  /// Σ_{s∈S} |s| over all sources of S.
+  int64_t total_cardinality = 0;
+  /// Number of sources in S that provided a hash signature.
+  int cooperating_count = 0;
+  /// Σ |s| over cooperating sources only.
+  int64_t cooperating_cardinality = 0;
+  /// Estimated |∪S| over cooperating sources (0 if none cooperate).
+  double union_estimate = 0.0;
+};
+
+/// A quality evaluation function F_k(S) ∈ [0, 1]; higher is better
+/// (Section 2.3). Implementations must be stateless w.r.t. candidates so a
+/// single instance can score many candidates during one search.
+class Qef {
+ public:
+  virtual ~Qef() = default;
+
+  /// Aggregate quality of the candidate described by `ctx`, in [0, 1].
+  virtual double Evaluate(const EvalContext& ctx) const = 0;
+
+  /// Stable identifier used in weight maps and reports.
+  virtual std::string_view name() const = 0;
+};
+
+/// F1: matching quality — how well the schemas of S match each other
+/// (the average GA quality of the generated mediated schema, Section 3).
+class MatchingQualityQef final : public Qef {
+ public:
+  double Evaluate(const EvalContext& ctx) const override;
+  std::string_view name() const override { return "matching"; }
+};
+
+/// F2: Card(S) = Σ_{s∈S}|s| / Σ_{t∈U}|t| — the amount of data in S
+/// relative to the whole universe (Section 4).
+class CardinalityQef final : public Qef {
+ public:
+  double Evaluate(const EvalContext& ctx) const override;
+  std::string_view name() const override { return "cardinality"; }
+};
+
+/// F3: Coverage(S) = |∪S| / |∪U| — how much of the universe's distinct
+/// data S can deliver (Section 4). Uses the PCSA union estimates;
+/// non-cooperating sources contribute nothing (Section 4 fallback).
+class CoverageQef final : public Qef {
+ public:
+  double Evaluate(const EvalContext& ctx) const override;
+  std::string_view name() const override { return "coverage"; }
+};
+
+/// F4: Redundancy(S) — degree of overlap among the sources of S, oriented
+/// so 0 is the worst (all sources identical) and 1 the best (pairwise
+/// disjoint), as Section 4 requires.
+class RedundancyQef final : public Qef {
+ public:
+  enum class Mode {
+    /// (|S'| − o) / (|S'| − 1) with overlap factor o = Σ|s| / |∪S'| over the
+    /// cooperating subset S'. Attains exactly 0 and 1 at the stated
+    /// extremes (DESIGN.md §2 reconstruction; default).
+    kOverlapFactor,
+    /// |∪S'| / Σ_{s∈S'}|s| — simpler ratio, used by the design ablation.
+    kUnionRatio,
+  };
+
+  explicit RedundancyQef(Mode mode = Mode::kOverlapFactor) : mode_(mode) {}
+  double Evaluate(const EvalContext& ctx) const override;
+  std::string_view name() const override { return "redundancy"; }
+  Mode mode() const { return mode_; }
+
+ private:
+  Mode mode_;
+};
+
+/// Schema coherence: the fraction of the selected sources' attributes
+/// that the generated mediated schema covers (i.e. that matched *some*
+/// other attribute). F1 scores how well the formed GAs match internally
+/// but is blind to attributes that matched nothing; this QEF is the
+/// complementary signal — it is what drops a source that "expresses the
+/// concepts it contains in a way that is different from other data
+/// sources" (Section 1's semantic-coherence argument). Built as one of the
+/// user-defined QEFs Section 2.3 allows.
+class SchemaCoverageQef final : public Qef {
+ public:
+  double Evaluate(const EvalContext& ctx) const override;
+  std::string_view name() const override { return "schema-coverage"; }
+};
+
+/// How a CharacteristicQef folds per-source values into [0, 1] (Section 5).
+enum class Aggregation {
+  /// The paper's wsum: cardinality-weighted mean of min-max-normalized
+  /// values — a high-MTTF source with many tuples counts more than a
+  /// high-MTTF source with few.
+  kWeightedSum,
+  kMean,  ///< unweighted mean of normalized values
+  kMin,   ///< worst normalized value in S
+  kMax,   ///< best normalized value in S
+};
+
+/// QEF over a named per-source characteristic (latency, availability, fees,
+/// reputation, MTTF, ...). Values are positive reals of any magnitude;
+/// normalization is min-max over the sources of U that define the
+/// characteristic. Sources lacking the characteristic contribute the worst
+/// normalized value (0).
+class CharacteristicQef final : public Qef {
+ public:
+  /// `invert` flips the normalization for smaller-is-better characteristics
+  /// (latency, fees): normalized = (max − q) / (max − min).
+  CharacteristicQef(std::string characteristic, Aggregation aggregation,
+                    bool invert = false);
+
+  double Evaluate(const EvalContext& ctx) const override;
+  std::string_view name() const override { return display_name_; }
+
+  const std::string& characteristic() const { return characteristic_; }
+  Aggregation aggregation() const { return aggregation_; }
+  bool invert() const { return invert_; }
+
+ private:
+  /// Normalized value of one source, or 0 if it lacks the characteristic or
+  /// the universe-wide range is degenerate (then every source scores 1).
+  double Normalized(const Universe& universe, SourceId s, double min_u,
+                    double max_u) const;
+
+  std::string characteristic_;
+  std::string display_name_;
+  Aggregation aggregation_;
+  bool invert_;
+};
+
+/// User-defined QEF from a callable — "the user can also define other QEFs"
+/// (Section 2.3).
+class LambdaQef final : public Qef {
+ public:
+  LambdaQef(std::string name,
+            std::function<double(const EvalContext&)> function)
+      : name_(std::move(name)), function_(std::move(function)) {}
+
+  double Evaluate(const EvalContext& ctx) const override {
+    return function_(ctx);
+  }
+  std::string_view name() const override { return name_; }
+
+ private:
+  std::string name_;
+  std::function<double(const EvalContext&)> function_;
+};
+
+}  // namespace ube
+
+#endif  // UBE_QEF_QEF_H_

@@ -1,0 +1,162 @@
+#include "qef/quality_model.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace ube {
+
+QualityModel QualityModel::MakeDefault(std::string mttf_characteristic) {
+  QualityModel model;
+  model.AddQef(std::make_unique<MatchingQualityQef>(), 0.25);
+  model.AddQef(std::make_unique<CardinalityQef>(), 0.25);
+  model.AddQef(std::make_unique<CoverageQef>(), 0.20);
+  model.AddQef(std::make_unique<RedundancyQef>(), 0.15);
+  model.AddQef(std::make_unique<CharacteristicQef>(
+                   std::move(mttf_characteristic), Aggregation::kWeightedSum),
+               0.15);
+  return model;
+}
+
+void QualityModel::AddQef(std::unique_ptr<Qef> qef, double weight) {
+  UBE_CHECK(qef != nullptr, "AddQef requires a QEF");
+  qefs_.push_back(std::move(qef));
+  weights_.push_back(weight);
+}
+
+const Qef& QualityModel::qef(int index) const {
+  UBE_CHECK(index >= 0 && index < num_qefs(), "QEF index out of range");
+  return *qefs_[static_cast<size_t>(index)];
+}
+
+double QualityModel::weight(int index) const {
+  UBE_CHECK(index >= 0 && index < num_qefs(), "QEF index out of range");
+  return weights_[static_cast<size_t>(index)];
+}
+
+int QualityModel::FindQef(std::string_view name) const {
+  for (size_t i = 0; i < qefs_.size(); ++i) {
+    if (qefs_[i]->name() == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Status QualityModel::SetWeights(const std::vector<double>& weights) {
+  if (weights.size() != weights_.size()) {
+    return Status::InvalidArgument("weight count does not match QEF count");
+  }
+  std::vector<double> candidate = weights;
+  std::swap(candidate, weights_);
+  Status status = ValidateWeights();
+  if (!status.ok()) std::swap(candidate, weights_);  // roll back
+  return status;
+}
+
+Status QualityModel::SetWeightRescaling(std::string_view name, double weight) {
+  int index = FindQef(name);
+  if (index < 0) {
+    return Status::NotFound("no QEF named '" + std::string(name) + "'");
+  }
+  if (weight < 0.0 || weight > 1.0) {
+    return Status::InvalidArgument("weight must be in [0, 1]");
+  }
+  double others = 0.0;
+  for (size_t i = 0; i < weights_.size(); ++i) {
+    if (static_cast<int>(i) != index) others += weights_[i];
+  }
+  double remaining = 1.0 - weight;
+  if (others <= 0.0) {
+    // All other weights are zero: distribute `remaining` uniformly.
+    double share = weights_.size() > 1
+                       ? remaining / static_cast<double>(weights_.size() - 1)
+                       : 0.0;
+    for (size_t i = 0; i < weights_.size(); ++i) {
+      weights_[i] = static_cast<int>(i) == index ? weight : share;
+    }
+  } else {
+    double scale = remaining / others;
+    for (size_t i = 0; i < weights_.size(); ++i) {
+      if (static_cast<int>(i) == index) {
+        weights_[i] = weight;
+      } else {
+        weights_[i] *= scale;
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Status QualityModel::ValidateWeights() const {
+  if (qefs_.empty()) {
+    return Status::FailedPrecondition("quality model has no QEFs");
+  }
+  double sum = 0.0;
+  for (double w : weights_) {
+    if (w < 0.0 || w > 1.0) {
+      return Status::InvalidArgument("each weight must be in [0, 1]");
+    }
+    sum += w;
+  }
+  if (std::fabs(sum - 1.0) > 1e-6) {
+    return Status::InvalidArgument("weights must sum to 1");
+  }
+  return Status::Ok();
+}
+
+bool QualityModel::NeedsMatching() const {
+  for (const auto& qef : qefs_) {
+    if (dynamic_cast<const MatchingQualityQef*>(qef.get()) != nullptr ||
+        dynamic_cast<const SchemaCoverageQef*>(qef.get()) != nullptr) {
+      return true;
+    }
+  }
+  return false;
+}
+
+EvalContext QualityModel::MakeContext(const Universe& universe,
+                                      const std::vector<SourceId>& sources,
+                                      const MatchResult* match) const {
+  EvalContext ctx;
+  ctx.universe = &universe;
+  ctx.sources = &sources;
+  ctx.match = match;
+
+  std::unique_ptr<DistinctSignature> union_sig;
+  for (SourceId s : sources) {
+    const DataSource& source = universe.source(s);
+    ctx.total_cardinality += source.cardinality();
+    if (!source.has_signature()) continue;
+    ++ctx.cooperating_count;
+    ctx.cooperating_cardinality += source.cardinality();
+    if (union_sig == nullptr) {
+      union_sig = source.signature().Clone();
+    } else {
+      union_sig->MergeFrom(source.signature());
+    }
+  }
+  ctx.union_estimate = union_sig == nullptr ? 0.0 : union_sig->Estimate();
+  return ctx;
+}
+
+QualityBreakdown QualityModel::Evaluate(const EvalContext& ctx) const {
+  UBE_CHECK(ValidateWeights().ok(),
+            "QualityModel weights are invalid: " +
+                ValidateWeights().ToString());
+  UBE_CHECK(!NeedsMatching() || ctx.match != nullptr,
+            "model has a matching QEF but the context has no Match result");
+
+  QualityBreakdown out;
+  out.scores.resize(qefs_.size(), 0.0);
+  if (ctx.match != nullptr && !ctx.match->valid) {
+    out.feasible = false;
+    out.overall = 0.0;
+    return out;
+  }
+  for (size_t i = 0; i < qefs_.size(); ++i) {
+    out.scores[i] = qefs_[i]->Evaluate(ctx);
+    out.overall += weights_[i] * out.scores[i];
+  }
+  return out;
+}
+
+}  // namespace ube

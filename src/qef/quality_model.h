@@ -1,0 +1,86 @@
+#ifndef UBE_QEF_QUALITY_MODEL_H_
+#define UBE_QEF_QUALITY_MODEL_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "qef/qef.h"
+#include "util/result.h"
+
+namespace ube {
+
+/// Per-QEF scores plus the weighted overall quality of one candidate.
+struct QualityBreakdown {
+  /// Q(S) = Σ_k w_k F_k(S); 0 when the candidate is infeasible.
+  double overall = 0.0;
+  /// True iff the Match(S) result (when a matching QEF is present) is valid
+  /// on the source constraints.
+  bool feasible = true;
+  /// F_k(S), parallel to the model's QEF list.
+  std::vector<double> scores;
+};
+
+/// The set of QEFs F and weights W defining the overall quality
+/// Q(S) = Σ w_i F_i(S) with 0 <= w_i <= 1 and Σ w_i = 1 (Section 2.3).
+///
+/// The user adjusts weights between µBE iterations "to guide the search for
+/// a solution towards different parts of the search space"; SetWeights and
+/// SetWeight support that feedback loop.
+class QualityModel {
+ public:
+  QualityModel() = default;
+
+  QualityModel(QualityModel&&) = default;
+  QualityModel& operator=(QualityModel&&) = default;
+  QualityModel(const QualityModel&) = delete;
+  QualityModel& operator=(const QualityModel&) = delete;
+
+  /// The paper's default model (Section 7.1): matching 0.25, cardinality
+  /// 0.25, coverage 0.2, redundancy 0.15, wsum(MTTF) 0.15.
+  static QualityModel MakeDefault(std::string mttf_characteristic = "mttf");
+
+  /// Adds a QEF with the given weight. Weights are validated by
+  /// ValidateWeights / at Evaluate time via UBE_CHECK in debug use.
+  void AddQef(std::unique_ptr<Qef> qef, double weight);
+
+  int num_qefs() const { return static_cast<int>(qefs_.size()); }
+  const Qef& qef(int index) const;
+  double weight(int index) const;
+  /// Index of the QEF with this name, or -1.
+  int FindQef(std::string_view name) const;
+
+  /// Replaces all weights (size must match; each in [0,1]; sum within 1e-6
+  /// of 1).
+  Status SetWeights(const std::vector<double>& weights);
+  /// Sets one weight by QEF name and rescales the others proportionally so
+  /// the sum stays 1 — the natural "turn this knob" user feedback.
+  Status SetWeightRescaling(std::string_view name, double weight);
+
+  /// OK iff every weight is in [0,1] and they sum to 1 (±1e-6).
+  Status ValidateWeights() const;
+
+  /// True if any registered QEF is a MatchingQualityQef (i.e. evaluation
+  /// requires running Match(S)).
+  bool NeedsMatching() const;
+
+  /// Builds the evaluation context for candidate `sources` (precomputes the
+  /// shared aggregates). `match` may be null iff !NeedsMatching().
+  EvalContext MakeContext(const Universe& universe,
+                          const std::vector<SourceId>& sources,
+                          const MatchResult* match) const;
+
+  /// Scores a prepared context. If the context carries an invalid Match
+  /// result the candidate is infeasible: overall = 0, feasible = false
+  /// (the paper's Match returns NULL and the optimizer treats Q as 0).
+  QualityBreakdown Evaluate(const EvalContext& ctx) const;
+
+ private:
+  std::vector<std::unique_ptr<Qef>> qefs_;
+  std::vector<double> weights_;
+};
+
+}  // namespace ube
+
+#endif  // UBE_QEF_QUALITY_MODEL_H_

@@ -1,0 +1,130 @@
+#include "schema/mediated_schema.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace ube {
+
+GlobalAttribute::GlobalAttribute(std::vector<AttributeId> attributes)
+    : attributes_(std::move(attributes)) {
+  std::sort(attributes_.begin(), attributes_.end());
+  attributes_.erase(std::unique(attributes_.begin(), attributes_.end()),
+                    attributes_.end());
+}
+
+bool GlobalAttribute::IsValid() const {
+  if (attributes_.empty()) return false;
+  for (size_t i = 1; i < attributes_.size(); ++i) {
+    if (attributes_[i].source == attributes_[i - 1].source) return false;
+  }
+  return true;
+}
+
+bool GlobalAttribute::Contains(const AttributeId& id) const {
+  return std::binary_search(attributes_.begin(), attributes_.end(), id);
+}
+
+bool GlobalAttribute::TouchesSource(SourceId source) const {
+  // attributes_ is sorted by (source, attr_index); binary search on source.
+  auto it = std::lower_bound(
+      attributes_.begin(), attributes_.end(), source,
+      [](const AttributeId& a, SourceId s) { return a.source < s; });
+  return it != attributes_.end() && it->source == source;
+}
+
+bool GlobalAttribute::ContainsAll(const GlobalAttribute& other) const {
+  return std::includes(attributes_.begin(), attributes_.end(),
+                       other.attributes_.begin(), other.attributes_.end());
+}
+
+bool GlobalAttribute::Intersects(const GlobalAttribute& other) const {
+  auto a = attributes_.begin();
+  auto b = other.attributes_.begin();
+  while (a != attributes_.end() && b != other.attributes_.end()) {
+    if (*a < *b) {
+      ++a;
+    } else if (*b < *a) {
+      ++b;
+    } else {
+      return true;
+    }
+  }
+  return false;
+}
+
+void GlobalAttribute::Add(const AttributeId& id) {
+  auto it = std::lower_bound(attributes_.begin(), attributes_.end(), id);
+  if (it != attributes_.end() && *it == id) return;
+  attributes_.insert(it, id);
+}
+
+std::vector<SourceId> GlobalAttribute::Sources() const {
+  std::vector<SourceId> out;
+  out.reserve(attributes_.size());
+  for (const AttributeId& id : attributes_) {
+    if (out.empty() || out.back() != id.source) out.push_back(id.source);
+  }
+  return out;
+}
+
+const GlobalAttribute& MediatedSchema::ga(int index) const {
+  UBE_CHECK(index >= 0 && index < num_gas(), "GA index out of range");
+  return gas_[static_cast<size_t>(index)];
+}
+
+bool MediatedSchema::GasAreDisjointAndValid() const {
+  for (const GlobalAttribute& g : gas_) {
+    if (!g.IsValid()) return false;
+  }
+  for (size_t i = 0; i < gas_.size(); ++i) {
+    for (size_t j = i + 1; j < gas_.size(); ++j) {
+      if (gas_[i].Intersects(gas_[j])) return false;
+    }
+  }
+  return true;
+}
+
+bool MediatedSchema::IsValidOn(const std::vector<SourceId>& sources) const {
+  if (!GasAreDisjointAndValid()) return false;
+  for (SourceId s : sources) {
+    bool touched = false;
+    for (const GlobalAttribute& g : gas_) {
+      if (g.TouchesSource(s)) {
+        touched = true;
+        break;
+      }
+    }
+    if (!touched) return false;
+  }
+  return true;
+}
+
+bool MediatedSchema::IsSubsumedBy(const MediatedSchema& other) const {
+  for (const GlobalAttribute& mine : gas_) {
+    bool contained = false;
+    for (const GlobalAttribute& theirs : other.gas_) {
+      if (theirs.ContainsAll(mine)) {
+        contained = true;
+        break;
+      }
+    }
+    if (!contained) return false;
+  }
+  return true;
+}
+
+int MediatedSchema::TotalAttributes() const {
+  int total = 0;
+  for (const GlobalAttribute& g : gas_) total += g.size();
+  return total;
+}
+
+int MediatedSchema::FindGaContaining(const AttributeId& id) const {
+  for (size_t i = 0; i < gas_.size(); ++i) {
+    if (gas_[i].Contains(id)) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace ube

@@ -1,0 +1,92 @@
+#ifndef UBE_SCHEMA_MEDIATED_SCHEMA_H_
+#define UBE_SCHEMA_MEDIATED_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "schema/schema.h"
+
+namespace ube {
+
+/// A Global Attribute (GA): a set of attributes from different sources that
+/// all express the same concept and map to one (unnamed) mediated-schema
+/// attribute (Definition 1).
+///
+/// Attribute ids are kept sorted and unique. A GA is *valid* iff it is
+/// non-empty and contains at most one attribute per source.
+class GlobalAttribute {
+ public:
+  GlobalAttribute() = default;
+  /// Builds a GA from an arbitrary list (sorted and deduplicated).
+  explicit GlobalAttribute(std::vector<AttributeId> attributes);
+
+  /// Definition 1: g ≠ ∅ and no two attributes come from the same source.
+  bool IsValid() const;
+
+  int size() const { return static_cast<int>(attributes_.size()); }
+  bool empty() const { return attributes_.empty(); }
+
+  bool Contains(const AttributeId& id) const;
+  /// True if the GA has an attribute from source `source` (g ∩ s ≠ ∅).
+  bool TouchesSource(SourceId source) const;
+  /// True if every attribute of `other` is contained in this GA.
+  bool ContainsAll(const GlobalAttribute& other) const;
+  /// True if the two GAs share at least one attribute.
+  bool Intersects(const GlobalAttribute& other) const;
+
+  /// Adds an attribute (keeps order/uniqueness). Validity is not enforced
+  /// here so callers can construct-and-check.
+  void Add(const AttributeId& id);
+
+  /// The distinct sources touched by this GA, sorted.
+  std::vector<SourceId> Sources() const;
+
+  const std::vector<AttributeId>& attributes() const { return attributes_; }
+
+  friend bool operator==(const GlobalAttribute&,
+                         const GlobalAttribute&) = default;
+
+ private:
+  std::vector<AttributeId> attributes_;  // sorted, unique
+};
+
+/// A mediated schema M: a set of GAs (Definition 2). M is valid on a set of
+/// sources S iff (a) the GAs are pairwise disjoint and (b) every source in S
+/// has at least one attribute in some GA.
+class MediatedSchema {
+ public:
+  MediatedSchema() = default;
+  explicit MediatedSchema(std::vector<GlobalAttribute> gas)
+      : gas_(std::move(gas)) {}
+
+  int num_gas() const { return static_cast<int>(gas_.size()); }
+  bool empty() const { return gas_.empty(); }
+
+  const GlobalAttribute& ga(int index) const;
+  const std::vector<GlobalAttribute>& gas() const { return gas_; }
+
+  void Add(GlobalAttribute ga) { gas_.push_back(std::move(ga)); }
+
+  /// Pairwise-disjointness half of Definition 2 (plus per-GA validity).
+  bool GasAreDisjointAndValid() const;
+
+  /// Full Definition 2 check against the given source set.
+  bool IsValidOn(const std::vector<SourceId>& sources) const;
+
+  /// Definition 3: this ⊑ other — every GA of *this* is contained in some
+  /// GA of `other`.
+  bool IsSubsumedBy(const MediatedSchema& other) const;
+
+  /// Total number of attributes across all GAs.
+  int TotalAttributes() const;
+
+  /// Index of the GA containing `id`, or -1.
+  int FindGaContaining(const AttributeId& id) const;
+
+ private:
+  std::vector<GlobalAttribute> gas_;
+};
+
+}  // namespace ube
+
+#endif  // UBE_SCHEMA_MEDIATED_SCHEMA_H_

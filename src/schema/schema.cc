@@ -1,0 +1,24 @@
+#include "schema/schema.h"
+
+#include "util/check.h"
+
+namespace ube {
+
+std::string ToString(const AttributeId& id) {
+  return std::to_string(id.source) + ":" + std::to_string(id.attr_index);
+}
+
+const std::string& SourceSchema::attribute_name(int index) const {
+  UBE_CHECK(index >= 0 && index < num_attributes(),
+            "attribute index out of range");
+  return names_[static_cast<size_t>(index)];
+}
+
+int SourceSchema::FindAttribute(std::string_view name) const {
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace ube

@@ -1,0 +1,67 @@
+#ifndef UBE_SCHEMA_SCHEMA_H_
+#define UBE_SCHEMA_SCHEMA_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ube {
+
+/// Index of a data source within the universe.
+using SourceId = int32_t;
+
+/// Identifies one attribute a_ij: attribute `attr_index` of source
+/// `source`. Ordered lexicographically so GAs can be kept sorted.
+struct AttributeId {
+  SourceId source = -1;
+  int32_t attr_index = -1;
+
+  friend bool operator==(const AttributeId&, const AttributeId&) = default;
+  friend auto operator<=>(const AttributeId&, const AttributeId&) = default;
+};
+
+/// "source:index" — debugging aid.
+std::string ToString(const AttributeId& id);
+
+/// The relational schema of one data source: an ordered list of attribute
+/// names, e.g. {"title", "author", "keyword"} (Section 2.1 restricts µBE's
+/// prototype to relational schemas with 1:1 matching; compound elements can
+/// be modeled by treating an element set as a single named attribute).
+class SourceSchema {
+ public:
+  SourceSchema() = default;
+  explicit SourceSchema(std::vector<std::string> attribute_names)
+      : names_(std::move(attribute_names)) {}
+
+  int num_attributes() const { return static_cast<int>(names_.size()); }
+  bool empty() const { return names_.empty(); }
+
+  /// Name of attribute `index`; index must be in range.
+  const std::string& attribute_name(int index) const;
+
+  /// Index of the first attribute with this exact name, or -1.
+  int FindAttribute(std::string_view name) const;
+
+  const std::vector<std::string>& names() const { return names_; }
+
+  friend bool operator==(const SourceSchema&, const SourceSchema&) = default;
+
+ private:
+  std::vector<std::string> names_;
+};
+
+}  // namespace ube
+
+namespace std {
+template <>
+struct hash<ube::AttributeId> {
+  size_t operator()(const ube::AttributeId& id) const noexcept {
+    return (static_cast<size_t>(id.source) << 32) ^
+           static_cast<size_t>(static_cast<uint32_t>(id.attr_index));
+  }
+};
+}  // namespace std
+
+#endif  // UBE_SCHEMA_SCHEMA_H_

@@ -1,0 +1,92 @@
+#include "sketch/pcsa.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace ube {
+
+namespace {
+
+constexpr double kPhi = 0.77351;          // Flajolet–Martin magic constant
+constexpr double kKappa = 1.75;           // small-range bias correction
+
+uint64_t HashString(std::string_view s) {
+  // FNV-1a, then splitmix64 finalizer for avalanche.
+  uint64_t h = 1469598103934665603ULL;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return SplitMix64(h);
+}
+
+}  // namespace
+
+PcsaSketch::PcsaSketch(int num_bitmaps) {
+  UBE_CHECK(num_bitmaps >= 1 && num_bitmaps <= 65536 &&
+                std::has_single_bit(static_cast<unsigned>(num_bitmaps)),
+            "num_bitmaps must be a power of two in [1, 65536]");
+  bitmaps_.assign(static_cast<size_t>(num_bitmaps), 0);
+  index_bits_ = std::countr_zero(static_cast<unsigned>(num_bitmaps));
+}
+
+void PcsaSketch::AddHash(uint64_t value) {
+  uint64_t h = SplitMix64(value);
+  uint64_t index = h & ((uint64_t{1} << index_bits_) - 1);
+  uint64_t rest = h >> index_bits_;
+  // ρ = number of trailing zeros of the remaining bits; geometric with
+  // P(ρ = r) = 2^-(r+1). rest == 0 is vanishingly rare; cap at bit 31.
+  int rho = rest == 0 ? 31 : std::countr_zero(rest);
+  if (rho > 31) rho = 31;
+  bitmaps_[index] |= (uint32_t{1} << rho);
+}
+
+void PcsaSketch::AddString(std::string_view item) { AddHash(HashString(item)); }
+
+bool PcsaSketch::IsEmpty() const {
+  for (uint32_t word : bitmaps_) {
+    if (word != 0) return false;
+  }
+  return true;
+}
+
+double PcsaSketch::Estimate() const {
+  if (IsEmpty()) return 0.0;
+  const double k = static_cast<double>(bitmaps_.size());
+  double sum_r = 0.0;
+  for (uint32_t word : bitmaps_) {
+    // R = index of the lowest zero bit.
+    sum_r += std::countr_one(word);
+  }
+  const double mean_r = sum_r / k;
+  // Scheuermann–Mauve small-range correction: E = k/φ · (2^A - 2^{-κA}).
+  double estimate =
+      (k / kPhi) * (std::exp2(mean_r) - std::exp2(-kKappa * mean_r));
+  // A non-empty sketch has seen at least one item; the corrected estimator
+  // can otherwise round tiny cardinalities down to 0.
+  return std::max(estimate, 1.0);
+}
+
+void PcsaSketch::Merge(const PcsaSketch& other) {
+  UBE_CHECK(bitmaps_.size() == other.bitmaps_.size(),
+            "cannot merge PCSA sketches with different bitmap counts");
+  for (size_t i = 0; i < bitmaps_.size(); ++i) bitmaps_[i] |= other.bitmaps_[i];
+}
+
+PcsaSketch PcsaSketch::Union(const PcsaSketch& a, const PcsaSketch& b) {
+  PcsaSketch out = a;
+  out.Merge(b);
+  return out;
+}
+
+PcsaSketch PcsaSketch::FromBitmaps(std::vector<uint32_t> bitmaps) {
+  PcsaSketch out(static_cast<int>(bitmaps.size()));
+  out.bitmaps_ = std::move(bitmaps);
+  return out;
+}
+
+}  // namespace ube

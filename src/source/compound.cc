@@ -1,0 +1,157 @@
+#include "source/compound.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace ube {
+
+const std::vector<AttributeId>& CompoundMapping::OriginalsOf(
+    const AttributeId& derived) const {
+  UBE_CHECK(derived.source >= 0 &&
+                static_cast<size_t>(derived.source) < originals_.size(),
+            "derived source out of range");
+  const auto& per_source = originals_[static_cast<size_t>(derived.source)];
+  UBE_CHECK(derived.attr_index >= 0 &&
+                static_cast<size_t>(derived.attr_index) < per_source.size(),
+            "derived attribute out of range");
+  return per_source[static_cast<size_t>(derived.attr_index)];
+}
+
+AttributeId CompoundMapping::DerivedOf(const AttributeId& original) const {
+  UBE_CHECK(original.source >= 0 &&
+                static_cast<size_t>(original.source) < derived_.size(),
+            "original source out of range");
+  const auto& per_source = derived_[static_cast<size_t>(original.source)];
+  UBE_CHECK(original.attr_index >= 0 &&
+                static_cast<size_t>(original.attr_index) < per_source.size(),
+            "original attribute out of range");
+  return per_source[static_cast<size_t>(original.attr_index)];
+}
+
+std::vector<AttributeId> CompoundMapping::ExpandGa(
+    const GlobalAttribute& derived_ga) const {
+  std::vector<AttributeId> out;
+  for (const AttributeId& derived : derived_ga.attributes()) {
+    const std::vector<AttributeId>& originals = OriginalsOf(derived);
+    out.insert(out.end(), originals.begin(), originals.end());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::vector<AttributeId>> CompoundMapping::ExpandSchema(
+    const MediatedSchema& derived_schema) const {
+  std::vector<std::vector<AttributeId>> out;
+  out.reserve(static_cast<size_t>(derived_schema.num_gas()));
+  for (const GlobalAttribute& ga : derived_schema.gas()) {
+    out.push_back(ExpandGa(ga));
+  }
+  return out;
+}
+
+Result<std::pair<Universe, CompoundMapping>> BuildCompoundUniverse(
+    const Universe& original, const std::vector<CompoundGroup>& groups) {
+  // --- validate the groups --------------------------------------------
+  // group_of[source][attr] = index into `groups`, or -1.
+  std::vector<std::vector<int>> group_of(
+      static_cast<size_t>(original.num_sources()));
+  for (SourceId s = 0; s < original.num_sources(); ++s) {
+    group_of[static_cast<size_t>(s)].assign(
+        static_cast<size_t>(original.source(s).schema().num_attributes()),
+        -1);
+  }
+  for (size_t g = 0; g < groups.size(); ++g) {
+    const CompoundGroup& group = groups[g];
+    if (group.source < 0 || group.source >= original.num_sources()) {
+      return Status::InvalidArgument("compound group source out of range");
+    }
+    std::vector<int> indices = group.attr_indices;
+    std::sort(indices.begin(), indices.end());
+    if (indices.size() < 2 ||
+        std::adjacent_find(indices.begin(), indices.end()) != indices.end()) {
+      return Status::InvalidArgument(
+          "a compound group needs at least two distinct attributes");
+    }
+    auto& marks = group_of[static_cast<size_t>(group.source)];
+    for (int index : indices) {
+      if (index < 0 || static_cast<size_t>(index) >= marks.size()) {
+        return Status::InvalidArgument(
+            "compound group attribute index out of range");
+      }
+      if (marks[static_cast<size_t>(index)] != -1) {
+        return Status::InvalidArgument(
+            "compound groups of one source must be disjoint");
+      }
+      marks[static_cast<size_t>(index)] = static_cast<int>(g);
+    }
+  }
+
+  // --- build the derived universe ---------------------------------------
+  Universe derived;
+  CompoundMapping mapping;
+  mapping.originals_.resize(static_cast<size_t>(original.num_sources()));
+  mapping.derived_.resize(static_cast<size_t>(original.num_sources()));
+
+  for (SourceId s = 0; s < original.num_sources(); ++s) {
+    const DataSource& source = original.source(s);
+    const SourceSchema& schema = source.schema();
+    const auto& marks = group_of[static_cast<size_t>(s)];
+
+    std::vector<std::string> names;
+    auto& originals = mapping.originals_[static_cast<size_t>(s)];
+    auto& derived_ids = mapping.derived_[static_cast<size_t>(s)];
+    derived_ids.assign(static_cast<size_t>(schema.num_attributes()),
+                       AttributeId{});
+
+    // Walk attributes in order; emit non-grouped attributes as-is and each
+    // group once, at the position of its first member — so derived schemas
+    // keep the original reading order.
+    std::vector<char> group_emitted(groups.size(), 0);
+    for (int a = 0; a < schema.num_attributes(); ++a) {
+      int g = marks[static_cast<size_t>(a)];
+      if (g == -1) {
+        int derived_index = static_cast<int>(names.size());
+        names.push_back(schema.attribute_name(a));
+        originals.push_back({AttributeId{s, a}});
+        derived_ids[static_cast<size_t>(a)] = AttributeId{s, derived_index};
+        continue;
+      }
+      if (group_emitted[static_cast<size_t>(g)]) continue;
+      group_emitted[static_cast<size_t>(g)] = 1;
+      const CompoundGroup& group = groups[static_cast<size_t>(g)];
+      std::vector<int> indices = group.attr_indices;
+      std::sort(indices.begin(), indices.end());
+      std::string name = group.name;
+      std::vector<AttributeId> members;
+      for (int index : indices) {
+        if (name.empty() || group.name.empty()) {
+          if (!name.empty()) name += " ";
+          name += schema.attribute_name(index);
+        }
+        members.push_back(AttributeId{s, index});
+      }
+      int derived_index = static_cast<int>(names.size());
+      names.push_back(name);
+      originals.push_back(members);
+      for (int index : indices) {
+        derived_ids[static_cast<size_t>(index)] =
+            AttributeId{s, derived_index};
+      }
+    }
+
+    DataSource derived_source(source.name(), SourceSchema(std::move(names)));
+    derived_source.set_cardinality(source.cardinality());
+    if (source.has_signature()) {
+      derived_source.set_signature(source.signature().Clone());
+    }
+    for (const auto& [characteristic, value] : source.characteristics()) {
+      derived_source.SetCharacteristic(characteristic, value);
+    }
+    derived.AddSource(std::move(derived_source));
+  }
+
+  return std::make_pair(std::move(derived), std::move(mapping));
+}
+
+}  // namespace ube

@@ -1,0 +1,87 @@
+#ifndef UBE_SOURCE_COMPOUND_H_
+#define UBE_SOURCE_COMPOUND_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "schema/mediated_schema.h"
+#include "source/universe.h"
+#include "util/result.h"
+
+namespace ube {
+
+/// Compound schema elements — the extension sketched in Section 2.1:
+/// "our formulation may be extended to accommodate compound schema elements
+/// by replacing the attributes in our definitions with compound elements
+/// (e.g., elements consisting of sets of attributes). This would enable us
+/// to handle matching with n:m cardinality by mapping n:m matches to 1:1
+/// matches on compound elements."
+///
+/// BuildCompoundUniverse derives a new universe in which user-specified
+/// attribute groups of a source are fused into single compound attributes
+/// (e.g. {"first name", "last name"} -> "first name last name"), so source
+/// A's two attributes can match source B's single "full name" — a 2:1
+/// match expressed as 1:1 over compounds. The returned CompoundMapping
+/// translates ids and mediated schemas between the two universes.
+
+/// One group of attributes of one source to fuse.
+struct CompoundGroup {
+  SourceId source = -1;
+  /// Distinct in-range attribute indices; at least 2.
+  std::vector<int> attr_indices;
+  /// Name of the compound attribute in the derived schema; empty = the
+  /// member names joined with spaces (in index order).
+  std::string name;
+};
+
+/// Bidirectional id translation between an original universe and its
+/// compound derivation.
+class CompoundMapping {
+ public:
+  CompoundMapping() = default;
+
+  /// Original attributes behind a derived attribute (size 1 for
+  /// non-compound attributes, group size for compounds).
+  const std::vector<AttributeId>& OriginalsOf(const AttributeId& derived)
+      const;
+
+  /// Derived attribute holding an original attribute.
+  AttributeId DerivedOf(const AttributeId& original) const;
+
+  /// True if the derived attribute is a compound (> 1 originals).
+  bool IsCompound(const AttributeId& derived) const {
+    return OriginalsOf(derived).size() > 1;
+  }
+
+  /// Expands a GA over the derived universe into the original attribute
+  /// ids. The result can contain several attributes of one source — that
+  /// is exactly the n:m semantics compounds encode — so it is returned as
+  /// a plain id list, not a (1:1) GlobalAttribute.
+  std::vector<AttributeId> ExpandGa(const GlobalAttribute& derived_ga) const;
+
+  /// Expands every GA of a mediated schema over the derived universe.
+  std::vector<std::vector<AttributeId>> ExpandSchema(
+      const MediatedSchema& derived_schema) const;
+
+ private:
+  friend Result<std::pair<Universe, CompoundMapping>> BuildCompoundUniverse(
+      const Universe& original, const std::vector<CompoundGroup>& groups);
+
+  // originals_[source][derived attr index] -> original ids.
+  std::vector<std::vector<std::vector<AttributeId>>> originals_;
+  // derived_[source][original attr index] -> derived id.
+  std::vector<std::vector<AttributeId>> derived_;
+};
+
+/// Builds the derived universe. Groups must reference valid sources and
+/// attribute indices, contain at least two distinct indices each, and be
+/// pairwise disjoint within a source. Source data (cardinality, signature,
+/// characteristics) carries over unchanged — fusing interface fields does
+/// not change the underlying tuples.
+Result<std::pair<Universe, CompoundMapping>> BuildCompoundUniverse(
+    const Universe& original, const std::vector<CompoundGroup>& groups);
+
+}  // namespace ube
+
+#endif  // UBE_SOURCE_COMPOUND_H_

@@ -1,0 +1,71 @@
+#ifndef UBE_SOURCE_DATA_SOURCE_H_
+#define UBE_SOURCE_DATA_SOURCE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "schema/schema.h"
+#include "sketch/distinct_estimator.h"
+
+namespace ube {
+
+/// One data source as µBE sees it (Section 2.1): a schema, data
+/// characteristics (tuple cardinality plus a distinct-count signature
+/// provided by a *cooperating* source), and a set of named non-functional
+/// characteristics such as latency, availability, fees or MTTF.
+///
+/// A source that does not cooperate simply has no signature
+/// (has_signature() == false); the coverage/redundancy QEFs then assign it
+/// zero contribution, per Section 4.
+class DataSource {
+ public:
+  DataSource() = default;
+  DataSource(std::string name, SourceSchema schema)
+      : name_(std::move(name)), schema_(std::move(schema)) {}
+
+  // Movable but not copyable (owns a signature); copies are rarely needed
+  // and must be explicit via CloneShallow-style helpers if ever required.
+  DataSource(DataSource&&) = default;
+  DataSource& operator=(DataSource&&) = default;
+  DataSource(const DataSource&) = delete;
+  DataSource& operator=(const DataSource&) = delete;
+
+  const std::string& name() const { return name_; }
+  const SourceSchema& schema() const { return schema_; }
+  SourceSchema* mutable_schema() { return &schema_; }
+
+  /// Total number of tuples at the source ("obtained directly from the
+  /// sources", Section 4). Includes duplicates the source may hold.
+  int64_t cardinality() const { return cardinality_; }
+  void set_cardinality(int64_t cardinality) { cardinality_ = cardinality; }
+
+  /// The hash signature a cooperating source computed over its tuples.
+  bool has_signature() const { return signature_ != nullptr; }
+  const DistinctSignature& signature() const;
+  void set_signature(std::unique_ptr<DistinctSignature> signature) {
+    signature_ = std::move(signature);
+  }
+
+  /// Named non-functional characteristics (Section 5). Values are positive
+  /// reals of any magnitude; aggregation into [0,1] happens in the QEFs.
+  void SetCharacteristic(std::string_view name, double value);
+  std::optional<double> GetCharacteristic(std::string_view name) const;
+  const std::map<std::string, double, std::less<>>& characteristics() const {
+    return characteristics_;
+  }
+
+ private:
+  std::string name_;
+  SourceSchema schema_;
+  int64_t cardinality_ = 0;
+  std::unique_ptr<DistinctSignature> signature_;
+  std::map<std::string, double, std::less<>> characteristics_;
+};
+
+}  // namespace ube
+
+#endif  // UBE_SOURCE_DATA_SOURCE_H_

@@ -1,0 +1,83 @@
+#include "source/universe.h"
+
+#include <numeric>
+
+#include "util/check.h"
+
+namespace ube {
+
+const DistinctSignature& DataSource::signature() const {
+  UBE_CHECK(signature_ != nullptr,
+            "signature() called on a non-cooperating source");
+  return *signature_;
+}
+
+void DataSource::SetCharacteristic(std::string_view name, double value) {
+  characteristics_.insert_or_assign(std::string(name), value);
+}
+
+std::optional<double> DataSource::GetCharacteristic(
+    std::string_view name) const {
+  auto it = characteristics_.find(name);
+  if (it == characteristics_.end()) return std::nullopt;
+  return it->second;
+}
+
+SourceId Universe::AddSource(DataSource source) {
+  sources_.push_back(std::move(source));
+  union_dirty_ = true;
+  return static_cast<SourceId>(sources_.size() - 1);
+}
+
+const DataSource& Universe::source(SourceId id) const {
+  UBE_CHECK(id >= 0 && id < num_sources(), "SourceId out of range");
+  return sources_[static_cast<size_t>(id)];
+}
+
+DataSource* Universe::mutable_source(SourceId id) {
+  UBE_CHECK(id >= 0 && id < num_sources(), "SourceId out of range");
+  union_dirty_ = true;
+  return &sources_[static_cast<size_t>(id)];
+}
+
+Result<SourceId> Universe::FindByName(std::string_view name) const {
+  for (size_t i = 0; i < sources_.size(); ++i) {
+    if (sources_[i].name() == name) return static_cast<SourceId>(i);
+  }
+  return Status::NotFound("no source named '" + std::string(name) + "'");
+}
+
+int64_t Universe::TotalCardinality() const {
+  int64_t total = 0;
+  for (const DataSource& s : sources_) total += s.cardinality();
+  return total;
+}
+
+const DistinctSignature* Universe::UnionSignature() const {
+  if (union_dirty_) {
+    union_signature_.reset();
+    for (const DataSource& s : sources_) {
+      if (!s.has_signature()) continue;
+      if (union_signature_ == nullptr) {
+        union_signature_ = s.signature().Clone();
+      } else {
+        union_signature_->MergeFrom(s.signature());
+      }
+    }
+    union_dirty_ = false;
+  }
+  return union_signature_.get();
+}
+
+double Universe::UnionCardinalityEstimate() const {
+  const DistinctSignature* sig = UnionSignature();
+  return sig == nullptr ? 0.0 : sig->Estimate();
+}
+
+std::vector<SourceId> Universe::AllIds() const {
+  std::vector<SourceId> ids(sources_.size());
+  std::iota(ids.begin(), ids.end(), 0);
+  return ids;
+}
+
+}  // namespace ube

@@ -1,0 +1,65 @@
+#ifndef UBE_SOURCE_UNIVERSE_H_
+#define UBE_SOURCE_UNIVERSE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "source/data_source.h"
+#include "util/result.h"
+
+namespace ube {
+
+/// The universe U = {s_1, ..., s_N}: all data sources µBE may choose from
+/// (Section 2.1; "hundreds to a few thousands of sources").
+///
+/// Owns the sources; SourceId is the index into this container. Also caches
+/// the union signature and total cardinality over all of U, which the
+/// Coverage and Card QEFs use as denominators.
+class Universe {
+ public:
+  Universe() = default;
+
+  Universe(Universe&&) = default;
+  Universe& operator=(Universe&&) = default;
+  Universe(const Universe&) = delete;
+  Universe& operator=(const Universe&) = delete;
+
+  /// Adds a source and returns its id. Names need not be unique, but
+  /// FindByName returns the first match.
+  SourceId AddSource(DataSource source);
+
+  int num_sources() const { return static_cast<int>(sources_.size()); }
+  bool empty() const { return sources_.empty(); }
+
+  const DataSource& source(SourceId id) const;
+  DataSource* mutable_source(SourceId id);
+
+  /// First source with the given name, or NotFound.
+  Result<SourceId> FindByName(std::string_view name) const;
+
+  /// Σ_{t∈U} |t| — denominator of the Card QEF.
+  int64_t TotalCardinality() const;
+
+  /// Union signature over every cooperating source in U (the |∪U|
+  /// denominator of Coverage). Null when no source has a signature.
+  /// Computed on first use and cached; invalidated by AddSource and by
+  /// mutable_source (conservatively).
+  const DistinctSignature* UnionSignature() const;
+
+  /// Estimated |∪U| (0 when no source cooperates).
+  double UnionCardinalityEstimate() const;
+
+  /// All ids, 0..N-1 (convenience for "validate on all of U" call sites).
+  std::vector<SourceId> AllIds() const;
+
+ private:
+  std::vector<DataSource> sources_;
+  mutable std::unique_ptr<DistinctSignature> union_signature_;
+  mutable bool union_dirty_ = true;
+};
+
+}  // namespace ube
+
+#endif  // UBE_SOURCE_UNIVERSE_H_

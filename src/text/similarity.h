@@ -1,0 +1,117 @@
+#ifndef UBE_TEXT_SIMILARITY_H_
+#define UBE_TEXT_SIMILARITY_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+#include <string_view>
+
+namespace ube {
+
+/// Pairwise attribute-name similarity measure in [0, 1].
+///
+/// µBE "can use any attribute similarity measure, whether it is schema based
+/// or data based" (Section 3); the matcher is parameterized on this
+/// interface. Implementations must be symmetric and return 1 for identical
+/// inputs. All built-in measures normalize names with
+/// NormalizeAttributeName before comparing.
+class AttributeSimilarity {
+ public:
+  virtual ~AttributeSimilarity() = default;
+
+  /// Similarity of the two attribute names, in [0, 1].
+  virtual double Score(std::string_view a, std::string_view b) const = 0;
+
+  /// Short identifier for diagnostics ("ngram-jaccard", "levenshtein", ...).
+  virtual std::string_view name() const = 0;
+};
+
+/// The paper's measure: Jaccard coefficient over character n-grams
+/// (default n = 3).
+class NgramJaccardSimilarity final : public AttributeSimilarity {
+ public:
+  explicit NgramJaccardSimilarity(int n = 3) : n_(n) {}
+  double Score(std::string_view a, std::string_view b) const override;
+  std::string_view name() const override { return "ngram-jaccard"; }
+  int n() const { return n_; }
+
+ private:
+  int n_;
+};
+
+/// Normalized Levenshtein similarity: 1 - dist(a, b) / max(|a|, |b|).
+class LevenshteinSimilarity final : public AttributeSimilarity {
+ public:
+  double Score(std::string_view a, std::string_view b) const override;
+  std::string_view name() const override { return "levenshtein"; }
+};
+
+/// Jaro or Jaro-Winkler similarity (Winkler prefix boost optional), one of
+/// the classic name-matching measures from the Cohen et al. study the paper
+/// cites for string distance metrics.
+class JaroWinklerSimilarity final : public AttributeSimilarity {
+ public:
+  /// prefix_scale = 0 gives plain Jaro; the conventional Winkler scale is
+  /// 0.1 with up to 4 prefix characters.
+  explicit JaroWinklerSimilarity(double prefix_scale = 0.1)
+      : prefix_scale_(prefix_scale) {}
+  double Score(std::string_view a, std::string_view b) const override;
+  std::string_view name() const override { return "jaro-winkler"; }
+
+ private:
+  double prefix_scale_;
+};
+
+/// Cosine similarity over whitespace-delimited word tokens — useful for
+/// multi-word interface labels ("publication year" vs "year published").
+class TokenCosineSimilarity final : public AttributeSimilarity {
+ public:
+  double Score(std::string_view a, std::string_view b) const override;
+  std::string_view name() const override { return "token-cosine"; }
+};
+
+/// Combines several measures into one score — useful when no single
+/// measure dominates (e.g. n-gram Jaccard for word-order-insensitive
+/// matches plus Jaro-Winkler for typo tolerance). Section 3 allows any
+/// similarity measure; this is the standard way to build ensemble ones.
+class HybridSimilarity final : public AttributeSimilarity {
+ public:
+  enum class Combine {
+    kMax,          ///< most optimistic member wins
+    kWeightedMean, ///< weighted average (weights normalized internally)
+  };
+
+  explicit HybridSimilarity(Combine combine = Combine::kMax)
+      : combine_(combine) {}
+
+  /// Adds a member measure. `weight` only matters for kWeightedMean;
+  /// weights need not sum to 1 (they are normalized). Must be called at
+  /// least once before Score.
+  void Add(std::unique_ptr<AttributeSimilarity> measure, double weight = 1.0);
+
+  double Score(std::string_view a, std::string_view b) const override;
+  std::string_view name() const override { return "hybrid"; }
+
+  int num_members() const { return static_cast<int>(members_.size()); }
+  Combine combine() const { return combine_; }
+
+ private:
+  Combine combine_;
+  std::vector<std::pair<std::unique_ptr<AttributeSimilarity>, double>>
+      members_;
+};
+
+/// Raw edit distance (exposed for tests and for users building their own
+/// measures).
+size_t LevenshteinDistance(std::string_view a, std::string_view b);
+
+/// Plain Jaro similarity in [0, 1].
+double JaroSimilarity(std::string_view a, std::string_view b);
+
+/// Factory for the paper's default measure (3-gram Jaccard).
+std::unique_ptr<AttributeSimilarity> MakeDefaultSimilarity();
+
+}  // namespace ube
+
+#endif  // UBE_TEXT_SIMILARITY_H_

@@ -1,0 +1,15 @@
+#include "util/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ube::internal {
+
+void CheckFailed(const char* file, int line, const std::string& message) {
+  std::fprintf(stderr, "UBE_CHECK failed at %s:%d: %s\n", file, line,
+               message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace ube::internal

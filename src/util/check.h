@@ -1,0 +1,34 @@
+#ifndef UBE_UTIL_CHECK_H_
+#define UBE_UTIL_CHECK_H_
+
+#include <string>
+
+namespace ube::internal {
+
+/// Prints "UBE_CHECK failed at file:line: message" to stderr and aborts.
+[[noreturn]] void CheckFailed(const char* file, int line,
+                              const std::string& message);
+
+}  // namespace ube::internal
+
+/// Aborts the process with a diagnostic when `cond` is false.
+///
+/// Used for programmer errors (violated preconditions, broken invariants) —
+/// never for conditions that depend on user input; those return ube::Status.
+#define UBE_CHECK(cond, message)                                  \
+  do {                                                            \
+    if (!(cond)) {                                                \
+      ::ube::internal::CheckFailed(__FILE__, __LINE__, (message)); \
+    }                                                             \
+  } while (false)
+
+/// Like assert(): compiled out in NDEBUG builds. For hot inner loops.
+#ifdef NDEBUG
+#define UBE_DCHECK(cond, message) \
+  do {                            \
+  } while (false)
+#else
+#define UBE_DCHECK(cond, message) UBE_CHECK(cond, message)
+#endif
+
+#endif  // UBE_UTIL_CHECK_H_

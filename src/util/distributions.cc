@@ -1,0 +1,50 @@
+#include "util/distributions.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace ube {
+
+ZipfSampler::ZipfSampler(int n, double s) : s_(s) {
+  UBE_CHECK(n >= 1, "ZipfSampler requires n >= 1");
+  UBE_CHECK(s > 0.0, "ZipfSampler requires s > 0");
+  cdf_.resize(n);
+  double total = 0.0;
+  for (int k = 1; k <= n; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k), s);
+    cdf_[k - 1] = total;
+  }
+  for (double& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // guard against rounding
+}
+
+int ZipfSampler::Sample(Rng& rng) const {
+  double u = rng.UniformDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<int>(it - cdf_.begin()) + 1;
+}
+
+double TruncatedNormal(Rng& rng, double mean, double stddev, double lower) {
+  UBE_CHECK(stddev > 0.0, "TruncatedNormal requires stddev > 0");
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    double x = mean + stddev * rng.StandardNormal();
+    if (x > lower) return x;
+  }
+  // Pathological truncation point; fall back to the boundary.
+  return lower + stddev * 1e-6;
+}
+
+int64_t ZipfRankToRange(int rank, int n, int64_t lo, int64_t hi) {
+  UBE_CHECK(n >= 1 && rank >= 1 && rank <= n, "rank out of range");
+  UBE_CHECK(lo <= hi, "ZipfRankToRange requires lo <= hi");
+  if (n == 1) return hi;
+  double inv_r = 1.0 / static_cast<double>(rank);
+  double inv_n = 1.0 / static_cast<double>(n);
+  double frac = (inv_r - inv_n) / (1.0 - inv_n);  // 1 at rank 1, 0 at rank n
+  return lo + static_cast<int64_t>(
+                  std::llround(frac * static_cast<double>(hi - lo)));
+}
+
+}  // namespace ube

@@ -1,0 +1,48 @@
+#ifndef UBE_UTIL_DISTRIBUTIONS_H_
+#define UBE_UTIL_DISTRIBUTIONS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace ube {
+
+/// Samples ranks from a Zipf distribution over {1, ..., n} with exponent s:
+/// P(rank = k) ∝ 1 / k^s.
+///
+/// Used by the workload generator to assign source cardinalities following
+/// the paper's "cardinality ... follows a Zipf distribution" (Section 7.1).
+/// Precomputes the CDF once; each draw is a binary search (O(log n)).
+class ZipfSampler {
+ public:
+  /// n >= 1, s > 0.
+  ZipfSampler(int n, double s);
+
+  /// Draws a rank in [1, n].
+  int Sample(Rng& rng) const;
+
+  int n() const { return static_cast<int>(cdf_.size()); }
+  double s() const { return s_; }
+
+ private:
+  double s_;
+  std::vector<double> cdf_;  // cdf_[k-1] = P(rank <= k)
+};
+
+/// Draws from Normal(mean, stddev) truncated to be strictly greater than
+/// `lower` (resampling; `lower` must be below mean + a few stddevs to
+/// terminate quickly). Used for the MTTF source characteristic
+/// (mean 100 days, stddev 40, Section 7.1).
+double TruncatedNormal(Rng& rng, double mean, double stddev, double lower);
+
+/// Maps a Zipf rank r in [1, n] onto the inclusive value range [lo, hi] so
+/// that rank 1 -> hi (largest) and rank n -> lo, interpolating by 1/r:
+/// value(r) = lo + (hi - lo) * ((1/r - 1/n) / (1 - 1/n)) for n > 1.
+/// This reproduces "cardinality ranging from 10,000 to 1,000,000 that
+/// follows a Zipf distribution": many small sources, few large ones.
+int64_t ZipfRankToRange(int rank, int n, int64_t lo, int64_t hi);
+
+}  // namespace ube
+
+#endif  // UBE_UTIL_DISTRIBUTIONS_H_

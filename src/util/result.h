@@ -1,0 +1,59 @@
+#ifndef UBE_UTIL_RESULT_H_
+#define UBE_UTIL_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "util/check.h"
+#include "util/status.h"
+
+namespace ube {
+
+/// Either a value of type T or a non-OK Status — µBE's lightweight analogue
+/// of absl::StatusOr<T>.
+///
+/// Accessing value() on a failed Result is a programmer error and aborts
+/// (UBE_CHECK), so callers must test ok() first:
+///
+///   Result<Solution> r = engine.Solve(spec);
+///   if (!r.ok()) return r.status();
+///   Use(r.value());
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (mirrors absl::StatusOr).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from a (necessarily non-OK) Status.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    UBE_CHECK(!status_.ok(), "Result<T> constructed from an OK Status");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    UBE_CHECK(ok(), "Result::value() called on error: " + status_.ToString());
+    return *value_;
+  }
+  T& value() & {
+    UBE_CHECK(ok(), "Result::value() called on error: " + status_.ToString());
+    return *value_;
+  }
+  T&& value() && {
+    UBE_CHECK(ok(), "Result::value() called on error: " + status_.ToString());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;           // kOk iff value_ holds a value
+  std::optional<T> value_;
+};
+
+}  // namespace ube
+
+#endif  // UBE_UTIL_RESULT_H_

@@ -1,0 +1,64 @@
+#ifndef UBE_UTIL_RNG_H_
+#define UBE_UTIL_RNG_H_
+
+#include <cstdint>
+
+#include "util/check.h"
+
+namespace ube {
+
+/// Mixes a 64-bit value through the splitmix64 finalizer. Also usable as a
+/// cheap, high-quality hash of 64-bit keys (tuple ids, seeds).
+uint64_t SplitMix64(uint64_t x);
+
+/// Deterministic xoshiro256** pseudo-random generator.
+///
+/// Every randomized component in µBE (workload generation, solvers) takes an
+/// explicit seed and derives its stream from this generator, so any run is
+/// exactly reproducible. Satisfies std::uniform_random_bit_generator.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  /// Seeds the four lanes of state by iterating splitmix64, per the xoshiro
+  /// authors' recommendation. Any seed (including 0) is valid.
+  explicit Rng(uint64_t seed);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~uint64_t{0}; }
+
+  /// Next 64 uniformly random bits.
+  uint64_t operator()() { return Next64(); }
+  uint64_t Next64();
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  /// Uses Lemire's multiply-shift rejection method (unbiased).
+  uint64_t UniformInt(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double UniformDouble();
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi);
+
+  /// Bernoulli draw with success probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Standard normal draw (Box–Muller; one value per call, no caching so the
+  /// stream is position-independent).
+  double StandardNormal();
+
+  /// Forks an independent deterministic child stream; child streams derived
+  /// with different labels are statistically independent.
+  Rng Fork(uint64_t label);
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace ube
+
+#endif  // UBE_UTIL_RNG_H_

@@ -1,0 +1,91 @@
+#ifndef UBE_UTIL_STATUS_H_
+#define UBE_UTIL_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace ube {
+
+/// Error category for a failed operation.
+///
+/// µBE never throws exceptions across its public API; recoverable failures
+/// are reported through Status / Result<T> (see result.h). Programmer errors
+/// (violated preconditions) abort via UBE_CHECK instead.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< caller-supplied value violates the documented contract
+  kNotFound,          ///< referenced entity (source, attribute, QEF) does not exist
+  kFailedPrecondition,///< operation not valid in the current object state
+  kInfeasible,        ///< optimization constraints admit no solution
+  kInternal,          ///< invariant violation that was caught gracefully
+};
+
+/// Returns a stable human-readable name ("OK", "INVALID_ARGUMENT", ...).
+std::string_view StatusCodeName(StatusCode code);
+
+/// A cheap value type describing the outcome of an operation.
+///
+/// Usage:
+///   Status s = engine.AddSource(...);
+///   if (!s.ok()) { std::cerr << s << "\n"; return; }
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  /// Constructs a status with the given code and diagnostic message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  /// Factory helpers, mirroring absl::Status conventions.
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string message) {
+    return Status(StatusCode::kInvalidArgument, std::move(message));
+  }
+  static Status NotFound(std::string message) {
+    return Status(StatusCode::kNotFound, std::move(message));
+  }
+  static Status FailedPrecondition(std::string message) {
+    return Status(StatusCode::kFailedPrecondition, std::move(message));
+  }
+  static Status Infeasible(std::string message) {
+    return Status(StatusCode::kInfeasible, std::move(message));
+  }
+  static Status Internal(std::string message) {
+    return Status(StatusCode::kInternal, std::move(message));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "INVALID_ARGUMENT: why it failed".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+}  // namespace ube
+
+/// Propagates a non-OK Status to the caller.
+#define UBE_RETURN_IF_ERROR(expr)                  \
+  do {                                             \
+    ::ube::Status ube_status_tmp_ = (expr);        \
+    if (!ube_status_tmp_.ok()) return ube_status_tmp_; \
+  } while (false)
+
+#endif  // UBE_UTIL_STATUS_H_

@@ -1,0 +1,69 @@
+#include "util/strings.h"
+
+#include <cctype>
+
+namespace ube {
+
+std::string AsciiToLower(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    out.push_back(static_cast<char>(
+        std::tolower(static_cast<unsigned char>(c))));
+  }
+  return out;
+}
+
+std::vector<std::string> SplitTokens(std::string_view s,
+                                     std::string_view delims) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start < s.size()) {
+    size_t end = s.find_first_of(delims, start);
+    if (end == std::string_view::npos) end = s.size();
+    if (end > start) out.emplace_back(s.substr(start, end - start));
+    start = end + 1;
+  }
+  return out;
+}
+
+std::string_view TrimWhitespace(std::string_view s) {
+  size_t begin = 0;
+  while (begin < s.size() &&
+         std::isspace(static_cast<unsigned char>(s[begin]))) {
+    ++begin;
+  }
+  size_t end = s.size();
+  while (end > begin && std::isspace(static_cast<unsigned char>(s[end - 1]))) {
+    --end;
+  }
+  return s.substr(begin, end - begin);
+}
+
+std::string NormalizeAttributeName(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  bool pending_space = false;
+  for (char raw : name) {
+    auto c = static_cast<unsigned char>(raw);
+    if (std::isalnum(c)) {
+      if (pending_space && !out.empty()) out.push_back(' ');
+      pending_space = false;
+      out.push_back(static_cast<char>(std::tolower(c)));
+    } else {
+      pending_space = true;
+    }
+  }
+  return out;
+}
+
+std::string Join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+}  // namespace ube

@@ -1,0 +1,31 @@
+#ifndef UBE_UTIL_STRINGS_H_
+#define UBE_UTIL_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ube {
+
+/// Returns `s` lowercased (ASCII only; attribute names in Web query
+/// interfaces are ASCII in practice).
+std::string AsciiToLower(std::string_view s);
+
+/// Splits on any run of characters from `delims`, dropping empty pieces.
+std::vector<std::string> SplitTokens(std::string_view s,
+                                     std::string_view delims = " \t\r\n");
+
+/// Trims ASCII whitespace from both ends.
+std::string_view TrimWhitespace(std::string_view s);
+
+/// Normalizes an attribute name for similarity computation: lowercases and
+/// collapses every run of non-alphanumeric characters into a single space.
+/// "First_Name " and "first  name" normalize identically.
+std::string NormalizeAttributeName(std::string_view name);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+}  // namespace ube
+
+#endif  // UBE_UTIL_STRINGS_H_

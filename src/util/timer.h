@@ -1,0 +1,32 @@
+#ifndef UBE_UTIL_TIMER_H_
+#define UBE_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace ube {
+
+/// Monotonic wall-clock stopwatch used by solvers (time limits) and by the
+/// benchmark harnesses (Figures 5 and 6 report execution time).
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last Reset().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace ube
+
+#endif  // UBE_UTIL_TIMER_H_

@@ -1,0 +1,25 @@
+#include "workload/books_repository.h"
+
+#include "util/check.h"
+#include "workload/domains.h"
+
+namespace ube {
+
+namespace {
+
+// Fixed seed: the base schemas are part of the repository definition and
+// must be identical across runs, machines and user seeds — like the real
+// BAMM files would be.
+constexpr uint64_t kRepositorySeed = 0xB00C5u;
+constexpr int kNumBaseSchemas = 50;
+
+}  // namespace
+
+BooksRepository::BooksRepository()
+    : SchemaRepository(BammDomains()[0].name, BammDomains()[0].concepts,
+                       BammDomains()[0].popularity, kNumBaseSchemas,
+                       kRepositorySeed) {
+  UBE_CHECK(num_concepts() == 14, "the Books domain has 14 concepts");
+}
+
+}  // namespace ube

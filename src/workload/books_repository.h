@@ -1,0 +1,21 @@
+#ifndef UBE_WORKLOAD_BOOKS_REPOSITORY_H_
+#define UBE_WORKLOAD_BOOKS_REPOSITORY_H_
+
+#include "workload/schema_repository.h"
+
+namespace ube {
+
+/// The Books domain of the BAMM repository — the domain the paper's
+/// Section 7 experiments use: 14 ground-truth concepts (the manually
+/// counted Table 1 ground truth) and 50 stable base schemas.
+///
+/// Thin convenience wrapper over SchemaRepository; the other BAMM domains
+/// live in workload/domains.h.
+class BooksRepository : public SchemaRepository {
+ public:
+  BooksRepository();
+};
+
+}  // namespace ube
+
+#endif  // UBE_WORKLOAD_BOOKS_REPOSITORY_H_

@@ -1,0 +1,135 @@
+#include "workload/domains.h"
+
+#include "util/check.h"
+
+namespace ube {
+
+namespace {
+
+DomainSpec MakeBooks() {
+  // Must stay byte-identical to the original Books definition: the base
+  // schemas derived from it are part of the repository contract (tests and
+  // experiment goldens depend on them).
+  DomainSpec spec;
+  spec.name = "books";
+  spec.concepts = {
+      {"title", {"title", "book title", "title of book", "titles"}},
+      {"author", {"author", "author name", "book author", "authors"}},
+      {"keyword", {"keyword", "keywords", "keyword search", "key word"}},
+      {"isbn", {"isbn", "isbn number", "isbn code"}},
+      {"publisher",
+       {"publisher", "publisher name", "publishers name", "publishing house"}},
+      {"price", {"price", "max price", "price range", "list price"}},
+      {"format", {"format", "book format", "format type", "binding"}},
+      {"subject", {"subject", "subject area", "subjects"}},
+      {"edition", {"edition", "book edition", "editions"}},
+      {"language", {"language", "book language", "languages"}},
+      {"publication-year",
+       {"publication year", "publication years", "year of publication",
+        "pub year"}},
+      {"condition", {"condition", "book condition", "item condition"}},
+      {"seller", {"seller", "seller name", "sellers", "book seller"}},
+      {"reader-age", {"reader age", "readers age", "age group", "age range"}},
+  };
+  spec.popularity = {1.0, 1.0,  0.9,  0.6,  0.6, 0.8, 0.5,
+                     0.5, 0.35, 0.35, 0.45, 0.4, 0.4, 0.3};
+  return spec;
+}
+
+DomainSpec MakeAirfares() {
+  DomainSpec spec;
+  spec.name = "airfares";
+  spec.concepts = {
+      {"from", {"departure city", "departure cities", "leaving from",
+                "origin city"}},
+      {"to", {"arrival city", "arrival cities", "going to",
+              "destination city"}},
+      {"depart-date", {"departure date", "departure dates", "depart on"}},
+      {"return-date", {"return date", "return dates", "returning on"}},
+      {"passengers", {"passengers", "number of passengers", "passenger count",
+                      "travelers"}},
+      {"airline-class", {"cabin class", "cabin classes", "travel class",
+                         "service class"}},
+      {"airline", {"airline", "airlines", "airline name", "carrier"}},
+      {"ticket-price", {"ticket price", "ticket prices", "maximum fare",
+                        "fare limit"}},
+      {"stops", {"number of stops", "stops", "nonstop only"}},
+      {"flight-time", {"departure time", "departure times", "time of day"}},
+  };
+  spec.popularity = {1.0, 1.0, 0.95, 0.8, 0.75, 0.5, 0.55, 0.5, 0.35, 0.3};
+  return spec;
+}
+
+DomainSpec MakeMovies() {
+  DomainSpec spec;
+  spec.name = "movies";
+  spec.concepts = {
+      {"movie-title", {"movie title", "movie titles", "film title",
+                       "title of movie"}},
+      {"director", {"director", "directors", "director name",
+                    "directed by"}},
+      {"actor", {"actor", "actors", "actor name", "starring"}},
+      {"movie-genre", {"movie genre", "movie genres", "film genre",
+                       "category of movie"}},
+      {"release-year", {"release year", "release years", "year released",
+                        "year of release"}},
+      {"rating", {"mpaa rating", "mpaa ratings", "viewer rating",
+                  "rated"}},
+      {"movie-format", {"dvd format", "dvd formats", "disc format",
+                        "video format"}},
+      {"studio", {"studio", "studios", "studio name", "production studio"}},
+      {"movie-price", {"movie price", "movie prices", "dvd price"}},
+      {"runtime", {"running time", "running times", "length in minutes"}},
+  };
+  spec.popularity = {1.0, 0.8, 0.85, 0.7, 0.6, 0.5, 0.45, 0.35, 0.55, 0.3};
+  return spec;
+}
+
+DomainSpec MakeMusicRecords() {
+  DomainSpec spec;
+  spec.name = "musicrecords";
+  spec.concepts = {
+      {"album", {"album title", "album titles", "title of album",
+                 "record title"}},
+      {"artist", {"artist", "artists", "artist name", "band name"}},
+      {"song", {"song title", "song titles", "track title",
+                "title of song"}},
+      {"music-genre", {"music genre", "music genres", "style of music"}},
+      {"label", {"record label", "record labels", "label name"}},
+      {"album-year", {"album year", "album years", "year of album"}},
+      {"media", {"media type", "media types", "disc type"}},
+      {"album-price", {"album price", "album prices", "cd price"}},
+      {"composer", {"composer", "composers", "composer name",
+                    "composed by"}},
+  };
+  spec.popularity = {1.0, 1.0, 0.8, 0.6, 0.45, 0.45, 0.4, 0.55, 0.3};
+  return spec;
+}
+
+}  // namespace
+
+const std::vector<DomainSpec>& BammDomains() {
+  static const std::vector<DomainSpec>* const kDomains = [] {
+    auto* domains = new std::vector<DomainSpec>;
+    domains->push_back(MakeBooks());
+    domains->push_back(MakeAirfares());
+    domains->push_back(MakeMovies());
+    domains->push_back(MakeMusicRecords());
+    for (const DomainSpec& spec : *domains) {
+      UBE_CHECK(spec.concepts.size() == spec.popularity.size(),
+                "domain popularity must parallel its concepts");
+    }
+    return domains;
+  }();
+  return *kDomains;
+}
+
+int FindDomain(const std::string& name) {
+  const std::vector<DomainSpec>& domains = BammDomains();
+  for (size_t i = 0; i < domains.size(); ++i) {
+    if (domains[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace ube

@@ -1,0 +1,36 @@
+#ifndef UBE_WORKLOAD_DOMAINS_H_
+#define UBE_WORKLOAD_DOMAINS_H_
+
+#include <string>
+#include <vector>
+
+#include "workload/schema_repository.h"
+
+namespace ube {
+
+/// A query-interface domain: its ground-truth concepts (each a family of
+/// attribute-name variants) and their relative popularity across the
+/// domain's Web interfaces.
+struct DomainSpec {
+  std::string name;
+  std::vector<DomainConcept> concepts;
+  /// Parallel to `concepts`; relative sampling weight of each concept.
+  std::vector<double> popularity;
+};
+
+/// The four domains of the BAMM/UIUC Web-integration repository the paper
+/// draws on — **B**ooks, **A**irfares, **M**ovies, **M**usicRecords —
+/// recreated synthetically (see DESIGN.md substitutions). Index 0 (Books)
+/// is exactly the domain the Section 7 experiments use; the others enable
+/// mixed-domain universes that exercise the paper's core motivation: out
+/// of many discovered sources, only a semantically coherent subset should
+/// be selected.
+const std::vector<DomainSpec>& BammDomains();
+
+/// Index of a domain by name ("books", "airfares", "movies",
+/// "musicrecords"), or -1.
+int FindDomain(const std::string& name);
+
+}  // namespace ube
+
+#endif  // UBE_WORKLOAD_DOMAINS_H_

@@ -1,0 +1,365 @@
+#include "workload/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <unordered_set>
+
+#include "util/check.h"
+#include "util/distributions.h"
+#include "util/rng.h"
+
+namespace ube {
+
+const std::string& GroundTruth::concept_name(int concept_id) const {
+  UBE_CHECK(concept_id >= 0 && concept_id < num_concepts_,
+            "concept index out of range");
+  return concept_names_[static_cast<size_t>(concept_id)];
+}
+
+int GroundTruth::ConceptOf(const AttributeId& id) const {
+  UBE_CHECK(id.source >= 0 &&
+                static_cast<size_t>(id.source) < concept_of_.size(),
+            "source out of range");
+  const std::vector<int>& per_attr =
+      concept_of_[static_cast<size_t>(id.source)];
+  UBE_CHECK(id.attr_index >= 0 &&
+                static_cast<size_t>(id.attr_index) < per_attr.size(),
+            "attribute out of range");
+  return per_attr[static_cast<size_t>(id.attr_index)];
+}
+
+std::vector<int> GroundTruth::ConceptsAvailable(
+    const std::vector<SourceId>& sources, int min_sources) const {
+  std::vector<int> source_count(static_cast<size_t>(num_concepts_), 0);
+  for (SourceId s : sources) {
+    UBE_CHECK(s >= 0 && static_cast<size_t>(s) < concept_of_.size(),
+              "source out of range");
+    std::vector<char> seen(static_cast<size_t>(num_concepts_), 0);
+    for (int concept_id : concept_of_[static_cast<size_t>(s)]) {
+      if (concept_id >= 0 && !seen[static_cast<size_t>(concept_id)]) {
+        seen[static_cast<size_t>(concept_id)] = 1;
+        ++source_count[static_cast<size_t>(concept_id)];
+      }
+    }
+  }
+  std::vector<int> out;
+  for (int c = 0; c < num_concepts_; ++c) {
+    if (source_count[static_cast<size_t>(c)] >= min_sources) out.push_back(c);
+  }
+  return out;
+}
+
+namespace {
+
+// Draws a noise attribute name that is unique across the whole universe.
+// The BAMM experiments never produced false GAs, which requires replacement
+// words not to collide across sources; we build "word word" pairs (and
+// triples on collision) from the unrelated vocabulary and track used names.
+std::string DrawNoiseName(Rng& rng,
+                          std::unordered_set<std::string>& used_names) {
+  const std::vector<std::string>& words = SchemaRepository::UnrelatedWords();
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const std::string& w1 = words[rng.UniformInt(words.size())];
+    const std::string& w2 = words[rng.UniformInt(words.size())];
+    std::string name = w1 + " " + w2;
+    if (attempt >= 8) {
+      name += " " + words[rng.UniformInt(words.size())];
+    }
+    if (used_names.insert(name).second) return name;
+  }
+  // Vocabulary exhausted (pathological); fall back to a numbered name.
+  for (int counter = 0;; ++counter) {
+    std::string name = "noise attribute " + std::to_string(counter);
+    if (used_names.insert(name).second) return name;
+  }
+}
+
+// Greatest common divisor (for coprime stride selection).
+int64_t Gcd(int64_t a, int64_t b) {
+  while (b != 0) {
+    int64_t t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+// Streams `count` distinct pseudo-random ids from [pool_base,
+// pool_base + pool_size) into the signature, using a coprime stride walk:
+// distinct, deterministic, and uniform enough for hashing-based sketches.
+void StreamTuples(Rng& rng, int64_t pool_base, int64_t pool_size,
+                  int64_t count, DistinctSignature* signature) {
+  if (pool_size <= 0 || count <= 0) return;
+  count = std::min(count, pool_size);
+  int64_t offset = static_cast<int64_t>(
+      rng.UniformInt(static_cast<uint64_t>(pool_size)));
+  int64_t stride;
+  do {
+    stride = 1 + static_cast<int64_t>(
+                     rng.UniformInt(static_cast<uint64_t>(pool_size - 1)));
+  } while (Gcd(stride, pool_size) != 1);
+  int64_t position = offset;
+  for (int64_t i = 0; i < count; ++i) {
+    if (signature != nullptr) {
+      signature->Add(static_cast<uint64_t>(pool_base + position));
+    }
+    position += stride;
+    if (position >= pool_size) position -= pool_size;
+  }
+}
+
+// Shared mutable state of one generation run (a plain Books run is a
+// mixed run with a single domain).
+struct GenerationStreams {
+  Rng schema_rng;
+  Rng data_rng;
+  Rng char_rng;
+  std::unordered_set<std::string> used_noise_names;
+  ZipfSampler zipf;
+};
+
+int64_t Scaled(int64_t value, double scale) {
+  return std::max<int64_t>(
+      1, static_cast<int64_t>(std::llround(static_cast<double>(value) *
+                                           scale)));
+}
+
+// Appends `count` sources derived from `repository` to the universe:
+// base-schema copies (exact for the first num_base_schemas when configured)
+// with perturbation, Zipf cardinalities, tuples from this domain's pools,
+// and the MTTF characteristic. Concept ids in `concept_of` are offset by
+// `concept_offset`.
+void AppendDomainSources(const SchemaRepository& repository,
+                         const WorkloadConfig& config, int count,
+                         int concept_offset, int64_t pool_base,
+                         GenerationStreams& streams, Universe* universe,
+                         std::vector<std::vector<int>>* concept_of) {
+  const int64_t general_pool = Scaled(config.general_pool, config.scale);
+  const int64_t specialty_pool = Scaled(config.specialty_pool, config.scale);
+  const int num_base = repository.num_base_schemas();
+
+  for (int i = 0; i < count; ++i) {
+    const SourceSchema& base =
+        repository.base_schemas()[static_cast<size_t>(i % num_base)];
+
+    // --- schema: exact copy or perturbed copy --------------------------
+    std::vector<std::string> names;
+    std::vector<int> concepts;
+    const bool exact = config.keep_first_copies_exact && i < num_base;
+    auto concept_for = [&](const std::string& name) {
+      int local = repository.ConceptOf(name);
+      return local < 0 ? -1 : local + concept_offset;
+    };
+    for (int a = 0; a < base.num_attributes(); ++a) {
+      const std::string& name = base.attribute_name(a);
+      if (!exact && streams.schema_rng.Bernoulli(config.remove_probability)) {
+        continue;
+      }
+      if (!exact &&
+          streams.schema_rng.Bernoulli(config.replace_probability)) {
+        names.push_back(
+            DrawNoiseName(streams.schema_rng, streams.used_noise_names));
+        concepts.push_back(-1);
+        continue;
+      }
+      names.push_back(name);
+      concepts.push_back(concept_for(name));
+    }
+    if (!exact) {
+      int added = 0;
+      while (added < config.max_added_attributes &&
+             streams.schema_rng.Bernoulli(config.add_probability)) {
+        names.push_back(
+            DrawNoiseName(streams.schema_rng, streams.used_noise_names));
+        concepts.push_back(-1);
+        ++added;
+      }
+    }
+    if (names.empty()) {
+      // Perturbation removed everything; keep one original attribute so the
+      // source still has a schema.
+      const std::string& name = base.attribute_name(0);
+      names.push_back(name);
+      concepts.push_back(concept_for(name));
+    }
+
+    DataSource source(repository.domain_name() + "-src-" +
+                          std::to_string(universe->num_sources()),
+                      SourceSchema(std::move(names)));
+
+    // --- data ------------------------------------------------------------
+    int64_t cardinality = ZipfRankToRange(
+        streams.zipf.Sample(streams.data_rng), std::max(1, config.zipf_ranks),
+        Scaled(config.min_cardinality, config.scale),
+        Scaled(config.max_cardinality, config.scale));
+    source.set_cardinality(cardinality);
+
+    if (config.generate_data) {
+      const bool uncooperative =
+          streams.data_rng.Bernoulli(config.uncooperative_fraction);
+      std::unique_ptr<DistinctSignature> signature =
+          uncooperative ? nullptr
+                        : MakeSignature(config.signature_kind,
+                                        config.pcsa_bitmaps);
+      const bool specialty =
+          streams.data_rng.UniformDouble() < config.specialty_source_fraction;
+      int64_t specialty_count =
+          specialty ? static_cast<int64_t>(std::llround(
+                          config.specialty_fraction *
+                          static_cast<double>(cardinality)))
+                    : 0;
+      specialty_count = std::min(specialty_count, specialty_pool);
+      int64_t general_count = cardinality - specialty_count;
+      // Consume the RNG identically whether or not the source cooperates,
+      // so uncooperative_fraction does not reshuffle everything else.
+      StreamTuples(streams.data_rng, pool_base, general_pool, general_count,
+                   signature.get());
+      StreamTuples(streams.data_rng, pool_base + general_pool, specialty_pool,
+                   specialty_count, signature.get());
+      if (signature != nullptr) {
+        source.set_signature(std::move(signature));
+      }
+    }
+
+    // --- characteristics -------------------------------------------------
+    source.SetCharacteristic(
+        kMttfCharacteristic,
+        TruncatedNormal(streams.char_rng, config.mttf_mean,
+                        config.mttf_stddev, 1.0));
+
+    universe->AddSource(std::move(source));
+    concept_of->push_back(std::move(concepts));
+  }
+}
+
+GenerationStreams MakeStreams(const WorkloadConfig& config) {
+  Rng rng(config.seed);
+  Rng schema_rng = rng.Fork(1);
+  Rng data_rng = rng.Fork(2);
+  Rng char_rng = rng.Fork(3);
+  return GenerationStreams{schema_rng, data_rng, char_rng,
+                           {},
+                           ZipfSampler(std::max(1, config.zipf_ranks),
+                                       config.zipf_exponent)};
+}
+
+}  // namespace
+
+GeneratedWorkload GenerateWorkload(const WorkloadConfig& config) {
+  UBE_CHECK(config.num_sources >= 1, "num_sources must be >= 1");
+  UBE_CHECK(config.scale > 0.0, "scale must be positive");
+
+  BooksRepository repository;
+  GenerationStreams streams = MakeStreams(config);
+
+  GeneratedWorkload out;
+  std::vector<std::vector<int>> concept_of;
+  concept_of.reserve(static_cast<size_t>(config.num_sources));
+  AppendDomainSources(repository, config, config.num_sources,
+                      /*concept_offset=*/0, /*pool_base=*/0, streams,
+                      &out.universe, &concept_of);
+
+  std::vector<std::string> concept_names;
+  concept_names.reserve(static_cast<size_t>(repository.num_concepts()));
+  for (const DomainConcept& dc : repository.concepts()) {
+    concept_names.push_back(dc.name);
+  }
+  out.ground_truth = GroundTruth(repository.num_concepts(),
+                                 std::move(concept_of),
+                                 std::move(concept_names));
+  return out;
+}
+
+Result<MixedWorkload> GenerateMixedWorkload(
+    const MixedWorkloadConfig& config) {
+  if (config.base.num_sources < 1) {
+    return Status::InvalidArgument("num_sources must be >= 1");
+  }
+  if (config.base.scale <= 0.0) {
+    return Status::InvalidArgument("scale must be positive");
+  }
+  if (config.mix.empty()) {
+    return Status::InvalidArgument("mix must name at least one domain");
+  }
+  if (config.schemas_per_domain < 1) {
+    return Status::InvalidArgument("schemas_per_domain must be >= 1");
+  }
+  const std::vector<DomainSpec>& domains = BammDomains();
+  double total_fraction = 0.0;
+  std::vector<char> seen(domains.size(), 0);
+  for (const DomainShare& share : config.mix) {
+    if (share.domain < 0 ||
+        static_cast<size_t>(share.domain) >= domains.size()) {
+      return Status::InvalidArgument("unknown domain index in mix");
+    }
+    if (share.fraction <= 0.0) {
+      return Status::InvalidArgument("domain fractions must be positive");
+    }
+    if (seen[static_cast<size_t>(share.domain)]) {
+      return Status::InvalidArgument("duplicate domain in mix");
+    }
+    seen[static_cast<size_t>(share.domain)] = 1;
+    total_fraction += share.fraction;
+  }
+
+  // Per-domain source counts: proportional, remainder to the first domain.
+  std::vector<int> counts(config.mix.size(), 0);
+  int assigned = 0;
+  for (size_t i = 0; i < config.mix.size(); ++i) {
+    counts[i] = static_cast<int>(std::floor(
+        config.mix[i].fraction / total_fraction * config.base.num_sources));
+    assigned += counts[i];
+  }
+  counts[0] += config.base.num_sources - assigned;
+
+  // Global concept id blocks, per BammDomains() index.
+  MixedWorkload out;
+  out.concept_offset.resize(domains.size(), 0);
+  int next_offset = 0;
+  for (size_t d = 0; d < domains.size(); ++d) {
+    out.concept_offset[d] = next_offset;
+    next_offset += static_cast<int>(domains[d].concepts.size());
+  }
+  std::vector<std::string> concept_names;
+  concept_names.reserve(static_cast<size_t>(next_offset));
+  for (const DomainSpec& spec : domains) {
+    for (const DomainConcept& dc : spec.concepts) {
+      concept_names.push_back(spec.name + "/" + dc.name);
+    }
+  }
+
+  GenerationStreams streams = MakeStreams(config.base);
+  std::vector<std::vector<int>> concept_of;
+  concept_of.reserve(static_cast<size_t>(config.base.num_sources));
+  out.domain_counts.assign(domains.size(), 0);
+
+  const int64_t pool_span =
+      Scaled(config.base.general_pool, config.base.scale) +
+      Scaled(config.base.specialty_pool, config.base.scale);
+
+  for (size_t i = 0; i < config.mix.size(); ++i) {
+    const int domain = config.mix[i].domain;
+    if (counts[i] <= 0) continue;
+    // Base-schema seed derives from the repository seed and the domain so
+    // each domain's schemas are stable across runs and mixes.
+    SchemaRepository repository(
+        domains[static_cast<size_t>(domain)].name,
+        domains[static_cast<size_t>(domain)].concepts,
+        domains[static_cast<size_t>(domain)].popularity,
+        config.schemas_per_domain,
+        0xB00C5u + static_cast<uint64_t>(domain));
+    for (int j = 0; j < counts[i]; ++j) out.domain_of.push_back(domain);
+    out.domain_counts[static_cast<size_t>(domain)] = counts[i];
+    AppendDomainSources(repository, config.base, counts[i],
+                        out.concept_offset[static_cast<size_t>(domain)],
+                        /*pool_base=*/static_cast<int64_t>(domain) * pool_span,
+                        streams, &out.universe, &concept_of);
+  }
+
+  out.ground_truth = GroundTruth(next_offset, std::move(concept_of),
+                                 std::move(concept_names));
+  return out;
+}
+
+}  // namespace ube

@@ -1,0 +1,168 @@
+#ifndef UBE_WORKLOAD_GENERATOR_H_
+#define UBE_WORKLOAD_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sketch/distinct_estimator.h"
+#include "source/universe.h"
+#include "workload/books_repository.h"
+#include "workload/domains.h"
+
+namespace ube {
+
+/// Parameters of the Section 7.1 synthetic workload. Defaults reproduce the
+/// paper's setup; `scale` shrinks the data volumes for fast tests without
+/// changing the structure.
+struct WorkloadConfig {
+  /// Number of sources in the universe (paper: up to 700).
+  int num_sources = 700;
+  /// Master seed; everything derives deterministically from it.
+  uint64_t seed = 17;
+
+  // --- schema perturbation ("add, remove, or replace attributes") -------
+  /// Per-attribute probability of being removed.
+  double remove_probability = 0.10;
+  /// Per-attribute probability of being replaced by an unrelated name.
+  double replace_probability = 0.10;
+  /// Probability of adding each successive unrelated noise attribute
+  /// (geometric; expected extra attributes = p/(1-p)).
+  double add_probability = 0.35;
+  /// Hard cap on added noise attributes per schema.
+  int max_added_attributes = 3;
+  /// The first num_base_schemas sources keep their base schema verbatim
+  /// ("fully conformant" sources, used as constraint targets in Section 7.2).
+  bool keep_first_copies_exact = true;
+
+  // --- data (tuples are 64-bit identities; see DESIGN.md substitutions) --
+  /// Paper: cardinalities in [10 000, 1 000 000], Zipf distributed.
+  int64_t min_cardinality = 10'000;
+  int64_t max_cardinality = 1'000'000;
+  /// Zipf exponent for the cardinality distribution.
+  double zipf_exponent = 1.0;
+  /// Number of Zipf rank buckets mapped onto the cardinality range.
+  int zipf_ranks = 100;
+  /// Paper: 4M distinct tuples, half General, half Specialty.
+  int64_t general_pool = 2'000'000;
+  int64_t specialty_pool = 2'000'000;
+  /// Fraction of a Specialty source's tuples drawn from the Specialty pool
+  /// ("a small number of tuples from the Specialty pool").
+  double specialty_fraction = 0.10;
+  /// Fraction of sources that are Specialty sources (paper: half).
+  double specialty_source_fraction = 0.5;
+  /// Global multiplier on cardinalities and pool sizes (tests use ~0.01).
+  double scale = 1.0;
+  /// Skip tuple generation entirely (schemas + characteristics only);
+  /// sources then have cardinality but no signature.
+  bool generate_data = true;
+  /// Fraction of sources that refuse to provide a hash signature
+  /// (Section 4's uncooperative sources).
+  double uncooperative_fraction = 0.0;
+
+  // --- signatures ---------------------------------------------------------
+  SignatureKind signature_kind = SignatureKind::kPcsa;
+  int pcsa_bitmaps = 64;
+
+  // --- characteristics ------------------------------------------------------
+  /// MTTF ~ Normal(100, 40) days, truncated positive (Section 7.1).
+  double mttf_mean = 100.0;
+  double mttf_stddev = 40.0;
+};
+
+/// Attribute → concept ground truth for a generated universe, used by the
+/// Table 1 evaluation ("we manually counted the number of distinct concepts
+/// in the BAMM schemas" — here the generator knows them exactly).
+///
+/// For mixed-domain universes, concept ids are global across the domains
+/// (each domain's concepts occupy a contiguous id block) and names are
+/// prefixed, e.g. "airfares/from".
+class GroundTruth {
+ public:
+  GroundTruth() = default;
+  GroundTruth(int num_concepts, std::vector<std::vector<int>> concept_of,
+              std::vector<std::string> concept_names)
+      : num_concepts_(num_concepts),
+        concept_of_(std::move(concept_of)),
+        concept_names_(std::move(concept_names)) {}
+
+  int num_concepts() const { return num_concepts_; }
+  const std::string& concept_name(int concept_id) const;
+
+  /// Concept index of an attribute, or -1 for noise attributes.
+  int ConceptOf(const AttributeId& id) const;
+
+  /// Concepts that appear (via any variant) in at least `min_sources` of
+  /// the given sources — the concepts a solution over those sources could
+  /// possibly express as GAs.
+  std::vector<int> ConceptsAvailable(const std::vector<SourceId>& sources,
+                                     int min_sources = 2) const;
+
+ private:
+  int num_concepts_ = 0;
+  std::vector<std::vector<int>> concept_of_;  // [source][attr] -> concept
+  std::vector<std::string> concept_names_;
+};
+
+/// A generated universe plus its ground truth.
+struct GeneratedWorkload {
+  Universe universe;
+  GroundTruth ground_truth;
+};
+
+/// Generates the Section 7.1 synthetic workload: `config.num_sources`
+/// Books-domain sources (50 base schemas + perturbed copies), Zipf
+/// cardinalities, General/Specialty tuple pools streamed into per-source
+/// signatures, and an MTTF characteristic aggregated with wsum.
+GeneratedWorkload GenerateWorkload(const WorkloadConfig& config);
+
+/// Name of the MTTF characteristic the generator sets ("mttf").
+inline constexpr const char* kMttfCharacteristic = "mttf";
+
+// ---------------------------------------------------------------------------
+// Mixed-domain universes
+// ---------------------------------------------------------------------------
+
+/// Share of one BAMM domain in a mixed universe.
+struct DomainShare {
+  /// Index into BammDomains().
+  int domain = 0;
+  /// Fraction of the universe's sources (shares are normalized).
+  double fraction = 1.0;
+};
+
+/// Configuration for a mixed-domain universe: the Internet-scale scenario
+/// of Section 1 where source discovery returns many sources, only some of
+/// which belong to the domain the user cares about.
+struct MixedWorkloadConfig {
+  /// Data/perturbation parameters shared by all domains; `num_sources` is
+  /// the total across domains.
+  WorkloadConfig base;
+  /// Domain composition; e.g. {{books, 0.5}, {airfares, 0.5}}.
+  std::vector<DomainShare> mix;
+  /// Base schemas generated per domain (the Books domain always has 50).
+  int schemas_per_domain = 50;
+};
+
+/// A generated mixed-domain universe.
+struct MixedWorkload {
+  Universe universe;
+  /// Ground truth with globally unique concept ids across domains.
+  GroundTruth ground_truth;
+  /// Domain (index into BammDomains()) of each source.
+  std::vector<int> domain_of;
+  /// First global concept id of each BammDomains() domain.
+  std::vector<int> concept_offset;
+  /// Sources per domain, parallel to BammDomains().
+  std::vector<int> domain_counts;
+};
+
+/// Generates a mixed-domain universe. Each domain gets its own tuple pools
+/// (sources from different domains never share data) but all sources share
+/// one noise-name space, one Zipf cardinality law, and one MTTF law.
+Result<MixedWorkload> GenerateMixedWorkload(const MixedWorkloadConfig& config);
+
+}  // namespace ube
+
+#endif  // UBE_WORKLOAD_GENERATOR_H_

@@ -1,0 +1,92 @@
+#include "workload/schema_repository.h"
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace ube {
+
+SchemaRepository::SchemaRepository(std::string domain_name,
+                                   std::vector<DomainConcept> concepts,
+                                   std::vector<double> popularity,
+                                   int num_schemas, uint64_t seed)
+    : domain_name_(std::move(domain_name)), concepts_(std::move(concepts)) {
+  UBE_CHECK(!concepts_.empty(), "a domain needs at least one concept");
+  UBE_CHECK(popularity.size() == concepts_.size(),
+            "popularity must parallel concepts");
+  UBE_CHECK(num_schemas >= 1, "num_schemas must be >= 1");
+
+  Rng rng(seed);
+  base_schemas_.reserve(static_cast<size_t>(num_schemas));
+  for (int i = 0; i < num_schemas; ++i) {
+    int num_attrs = static_cast<int>(rng.UniformInt(3, 8));
+
+    // Weighted sampling of distinct concepts.
+    std::vector<int> remaining(concepts_.size());
+    for (size_t c = 0; c < concepts_.size(); ++c) {
+      remaining[c] = static_cast<int>(c);
+    }
+    std::vector<std::string> names;
+    while (static_cast<int>(names.size()) < num_attrs && !remaining.empty()) {
+      double total = 0.0;
+      for (int c : remaining) total += popularity[static_cast<size_t>(c)];
+      double pick = rng.UniformDouble() * total;
+      size_t chosen = 0;
+      for (size_t j = 0; j < remaining.size(); ++j) {
+        pick -= popularity[static_cast<size_t>(remaining[j])];
+        if (pick <= 0.0) {
+          chosen = j;
+          break;
+        }
+      }
+      const DomainConcept& chosen_concept =
+          concepts_[static_cast<size_t>(remaining[chosen])];
+      remaining.erase(remaining.begin() + static_cast<long>(chosen));
+
+      // Dominant variant 60% of the time, otherwise a uniform alternate.
+      size_t variant = 0;
+      if (chosen_concept.variants.size() > 1 && !rng.Bernoulli(0.6)) {
+        variant = 1 + rng.UniformInt(chosen_concept.variants.size() - 1);
+      }
+      names.push_back(chosen_concept.variants[variant]);
+    }
+    base_schemas_.emplace_back(std::move(names));
+  }
+}
+
+int SchemaRepository::ConceptOf(std::string_view attribute_name) const {
+  for (size_t c = 0; c < concepts_.size(); ++c) {
+    for (const std::string& variant : concepts_[c].variants) {
+      if (variant == attribute_name) return static_cast<int>(c);
+    }
+  }
+  return -1;
+}
+
+const std::vector<std::string>& SchemaRepository::UnrelatedWords() {
+  // Vocabulary from query-interface domains outside BAMM (jobs, autos,
+  // electronics, real estate, weather, legal, ...). Noise attribute names
+  // are built as word pairs/triples by the generator, which keeps them
+  // unique across a universe.
+  static const std::vector<std::string>* const kWords =
+      new std::vector<std::string>{
+          "hatchback",  "odometer",   "horsepower", "engine",     "sedan",
+          "transmission", "cylinder", "doors",      "salary",     "employer",
+          "occupation", "industry",   "benefits",   "resume",     "cpu",
+          "memory",     "screen",     "battery",    "resolution", "warranty",
+          "bedrooms",   "bathrooms",  "acreage",    "garage",     "zipcode",
+          "county",     "latitude",   "longitude",  "cuisine",    "calories",
+          "ingredient", "dosage",     "symptom",    "diagnosis",  "clinic",
+          "insurance",  "premium",    "deductible", "beneficiary", "voltage",
+          "wattage",    "frequency",  "bandwidth",  "protocol",   "firmware",
+          "tonnage",    "cargo",      "freight",    "container",  "manifest",
+          "fabric",     "sleeve",     "collar",     "waist",      "inseam",
+          "stadium",    "league",     "referee",    "tournament", "roster",
+          "altitude",   "humidity",   "rainfall",   "forecast",   "visibility",
+          "docket",     "plaintiff",  "defendant",  "verdict",    "statute",
+          "turbine",    "sprocket",   "gasket",     "flywheel",   "camshaft",
+          "scaffold",   "drywall",    "rebar",      "mortar",     "plumb",
+      };
+  return *kWords;
+}
+
+}  // namespace ube

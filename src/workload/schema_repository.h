@@ -1,0 +1,65 @@
+#ifndef UBE_WORKLOAD_SCHEMA_REPOSITORY_H_
+#define UBE_WORKLOAD_SCHEMA_REPOSITORY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "schema/schema.h"
+
+namespace ube {
+
+/// One ground-truth domain concept: a family of attribute-name variants
+/// that all express it in different Web query interfaces.
+struct DomainConcept {
+  std::string name;                   ///< canonical label ("author")
+  std::vector<std::string> variants;  ///< surface forms seen in interfaces
+};
+
+/// Synthetic stand-in for one domain of the BAMM/UIUC Web-integration
+/// repository: a set of ground-truth concepts plus `num_schemas` base
+/// schemas deterministically derived from them (weighted concept sampling,
+/// dominant-variant selection). The Books instance reproduces the paper's
+/// experimental domain exactly; see workload/domains.h for the other BAMM
+/// domains and workload/books_repository.h for the Books convenience
+/// wrapper.
+class SchemaRepository {
+ public:
+  /// `popularity` must parallel `concepts`; schemas draw 3-8 distinct
+  /// concepts weighted by it. The same (concepts, num_schemas, seed) always
+  /// produce the same base schemas.
+  SchemaRepository(std::string domain_name,
+                   std::vector<DomainConcept> concepts,
+                   std::vector<double> popularity, int num_schemas,
+                   uint64_t seed);
+
+  const std::string& domain_name() const { return domain_name_; }
+
+  const std::vector<DomainConcept>& concepts() const { return concepts_; }
+  int num_concepts() const { return static_cast<int>(concepts_.size()); }
+
+  const std::vector<SourceSchema>& base_schemas() const {
+    return base_schemas_;
+  }
+  int num_base_schemas() const {
+    return static_cast<int>(base_schemas_.size());
+  }
+
+  /// Concept index of a variant attribute name, or -1 for unknown names
+  /// (noise words). Exact, case-sensitive match on the stored variants.
+  int ConceptOf(std::string_view attribute_name) const;
+
+  /// Vocabulary of words unrelated to any BAMM domain, used by the
+  /// perturbation step ("a list of words unrelated to the Books domain").
+  static const std::vector<std::string>& UnrelatedWords();
+
+ private:
+  std::string domain_name_;
+  std::vector<DomainConcept> concepts_;
+  std::vector<SourceSchema> base_schemas_;
+};
+
+}  // namespace ube
+
+#endif  // UBE_WORKLOAD_SCHEMA_REPOSITORY_H_

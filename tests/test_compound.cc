@@ -1,0 +1,172 @@
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "matching/cluster_matcher.h"
+#include "matching/similarity_graph.h"
+#include "sketch/distinct_estimator.h"
+#include "source/compound.h"
+#include "source/universe.h"
+
+namespace ube {
+namespace {
+
+Universe MakeUniverse(const std::vector<std::vector<std::string>>& schemas) {
+  Universe u;
+  for (size_t i = 0; i < schemas.size(); ++i) {
+    u.AddSource(DataSource("src-" + std::to_string(i),
+                           SourceSchema(schemas[i])));
+  }
+  return u;
+}
+
+TEST(CompoundTest, EmptyGroupsIsIdentity) {
+  Universe original = MakeUniverse({{"a", "b"}, {"c"}});
+  auto result = BuildCompoundUniverse(original, {});
+  ASSERT_TRUE(result.ok());
+  const auto& [derived, mapping] = *result;
+  ASSERT_EQ(derived.num_sources(), 2);
+  EXPECT_EQ(derived.source(0).schema(), original.source(0).schema());
+  EXPECT_EQ(mapping.DerivedOf(AttributeId{0, 1}), (AttributeId{0, 1}));
+  EXPECT_EQ(mapping.OriginalsOf(AttributeId{0, 1}),
+            (std::vector<AttributeId>{AttributeId{0, 1}}));
+  EXPECT_FALSE(mapping.IsCompound(AttributeId{0, 0}));
+}
+
+TEST(CompoundTest, FusesGroupAtFirstMemberPosition) {
+  Universe original =
+      MakeUniverse({{"first name", "age", "last name", "city"}});
+  CompoundGroup group;
+  group.source = 0;
+  group.attr_indices = {2, 0};  // order-insensitive
+  auto result = BuildCompoundUniverse(original, {group});
+  ASSERT_TRUE(result.ok());
+  const auto& [derived, mapping] = *result;
+  // Derived schema: compound at position of "first name", then age, city.
+  EXPECT_EQ(derived.source(0).schema().names(),
+            (std::vector<std::string>{"first name last name", "age",
+                                      "city"}));
+  EXPECT_TRUE(mapping.IsCompound(AttributeId{0, 0}));
+  EXPECT_EQ(mapping.OriginalsOf(AttributeId{0, 0}),
+            (std::vector<AttributeId>{AttributeId{0, 0}, AttributeId{0, 2}}));
+  EXPECT_EQ(mapping.DerivedOf(AttributeId{0, 0}), (AttributeId{0, 0}));
+  EXPECT_EQ(mapping.DerivedOf(AttributeId{0, 2}), (AttributeId{0, 0}));
+  EXPECT_EQ(mapping.DerivedOf(AttributeId{0, 1}), (AttributeId{0, 1}));
+  EXPECT_EQ(mapping.DerivedOf(AttributeId{0, 3}), (AttributeId{0, 2}));
+}
+
+TEST(CompoundTest, CustomName) {
+  Universe original = MakeUniverse({{"first", "last"}});
+  CompoundGroup group;
+  group.source = 0;
+  group.attr_indices = {0, 1};
+  group.name = "full name";
+  auto result = BuildCompoundUniverse(original, {group});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->first.source(0).schema().attribute_name(0), "full name");
+}
+
+TEST(CompoundTest, CarriesDataAndCharacteristics) {
+  Universe original;
+  DataSource source("s", SourceSchema({"a", "b"}));
+  source.set_cardinality(123);
+  source.SetCharacteristic("mttf", 9.5);
+  auto sig = std::make_unique<ExactSignature>();
+  sig->Add(1);
+  sig->Add(2);
+  source.set_signature(std::move(sig));
+  original.AddSource(std::move(source));
+
+  CompoundGroup group;
+  group.source = 0;
+  group.attr_indices = {0, 1};
+  auto result = BuildCompoundUniverse(original, {group});
+  ASSERT_TRUE(result.ok());
+  const DataSource& derived = result->first.source(0);
+  EXPECT_EQ(derived.cardinality(), 123);
+  EXPECT_EQ(derived.GetCharacteristic("mttf"), 9.5);
+  ASSERT_TRUE(derived.has_signature());
+  EXPECT_DOUBLE_EQ(derived.signature().Estimate(), 2.0);
+}
+
+TEST(CompoundTest, ValidationErrors) {
+  Universe original = MakeUniverse({{"a", "b", "c"}});
+  CompoundGroup bad_source;
+  bad_source.source = 5;
+  bad_source.attr_indices = {0, 1};
+  EXPECT_FALSE(BuildCompoundUniverse(original, {bad_source}).ok());
+
+  CompoundGroup too_small;
+  too_small.source = 0;
+  too_small.attr_indices = {0};
+  EXPECT_FALSE(BuildCompoundUniverse(original, {too_small}).ok());
+
+  CompoundGroup duplicate_index;
+  duplicate_index.source = 0;
+  duplicate_index.attr_indices = {1, 1};
+  EXPECT_FALSE(BuildCompoundUniverse(original, {duplicate_index}).ok());
+
+  CompoundGroup out_of_range;
+  out_of_range.source = 0;
+  out_of_range.attr_indices = {0, 9};
+  EXPECT_FALSE(BuildCompoundUniverse(original, {out_of_range}).ok());
+
+  CompoundGroup g1;
+  g1.source = 0;
+  g1.attr_indices = {0, 1};
+  CompoundGroup g2;
+  g2.source = 0;
+  g2.attr_indices = {1, 2};  // overlaps g1
+  EXPECT_FALSE(BuildCompoundUniverse(original, {g1, g2}).ok());
+}
+
+// The n:m scenario from Section 2.1: source 0 splits a name into two
+// fields, source 1 has one "full name" field. Fusing source 0's fields
+// lets the matcher express the 2:1 correspondence as a 1:1 match.
+TEST(CompoundTest, EnablesNtoMMatching) {
+  Universe scenario = MakeUniverse(
+      {{"customer full", "name"},    // the concept split into two fragments
+       {"customer full name"}});     // the same concept as one field
+
+  // Without compounds neither fragment reaches θ on its own
+  // (J("customer full", "customer full name") ≈ 0.59).
+  SimilarityGraph flat_graph = SimilarityGraph::WithDefaults(scenario, 0.25);
+  ClusterMatcher flat_matcher(scenario, flat_graph);
+  MatchOptions options;
+  options.theta = 0.8;
+  Result<MatchResult> flat = flat_matcher.Match({0, 1}, {}, {}, options);
+  ASSERT_TRUE(flat.ok());
+  EXPECT_EQ(flat->schema.num_gas(), 0);  // no 1:1 match at this θ
+
+  // With a compound over source 0's two fragments, the derived attribute
+  // "customer full name" matches source 1's field exactly.
+  CompoundGroup group;
+  group.source = 0;
+  group.attr_indices = {0, 1};
+  auto derived = BuildCompoundUniverse(scenario, {group});
+  ASSERT_TRUE(derived.ok());
+  auto& [compound_universe, mapping] = *derived;
+  SimilarityGraph graph = SimilarityGraph::WithDefaults(compound_universe,
+                                                        0.25);
+  ClusterMatcher matcher(compound_universe, graph);
+  Result<MatchResult> fused = matcher.Match({0, 1}, {}, {}, options);
+  ASSERT_TRUE(fused.ok());
+  ASSERT_EQ(fused->schema.num_gas(), 1);
+
+  // Expanding the derived GA yields the n:m match over original ids:
+  // both fragments of source 0 plus source 1's single attribute.
+  std::vector<AttributeId> expanded =
+      mapping.ExpandGa(fused->schema.ga(0));
+  EXPECT_EQ(expanded,
+            (std::vector<AttributeId>{AttributeId{0, 0}, AttributeId{0, 1},
+                                      AttributeId{1, 0}}));
+  // ExpandSchema covers the whole mediated schema.
+  auto all = mapping.ExpandSchema(fused->schema);
+  ASSERT_EQ(all.size(), 1u);
+  EXPECT_EQ(all[0], expanded);
+}
+
+}  // namespace
+}  // namespace ube

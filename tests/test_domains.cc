@@ -1,0 +1,266 @@
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "workload/domains.h"
+#include "workload/generator.h"
+
+namespace ube {
+namespace {
+
+// ------------------------------ domains ---------------------------------
+
+TEST(DomainsTest, FourBammDomains) {
+  const std::vector<DomainSpec>& domains = BammDomains();
+  ASSERT_EQ(domains.size(), 4u);
+  EXPECT_EQ(domains[0].name, "books");
+  EXPECT_EQ(domains[1].name, "airfares");
+  EXPECT_EQ(domains[2].name, "movies");
+  EXPECT_EQ(domains[3].name, "musicrecords");
+  EXPECT_EQ(domains[0].concepts.size(), 14u);  // the paper's ground truth
+  for (const DomainSpec& spec : domains) {
+    EXPECT_GE(spec.concepts.size(), 8u);
+    EXPECT_EQ(spec.concepts.size(), spec.popularity.size());
+  }
+}
+
+TEST(DomainsTest, FindDomain) {
+  EXPECT_EQ(FindDomain("books"), 0);
+  EXPECT_EQ(FindDomain("airfares"), 1);
+  EXPECT_EQ(FindDomain("movies"), 2);
+  EXPECT_EQ(FindDomain("musicrecords"), 3);
+  EXPECT_EQ(FindDomain("theater"), -1);
+}
+
+TEST(DomainsTest, VariantsUniqueAcrossAllDomains) {
+  // Mixed-domain ground truth requires globally unambiguous variant names.
+  std::set<std::string> all;
+  for (const DomainSpec& spec : BammDomains()) {
+    for (const DomainConcept& concept_def : spec.concepts) {
+      for (const std::string& variant : concept_def.variants) {
+        EXPECT_TRUE(all.insert(variant).second)
+            << "variant reused across domains: " << variant;
+      }
+    }
+  }
+}
+
+TEST(DomainsTest, UnrelatedWordsDisjointFromAllVariants) {
+  // Noise names are pairs of unrelated words; no single unrelated word may
+  // appear in any domain variant, or noise could shadow a concept.
+  std::set<std::string> variant_words;
+  for (const DomainSpec& spec : BammDomains()) {
+    for (const DomainConcept& concept_def : spec.concepts) {
+      for (const std::string& variant : concept_def.variants) {
+        size_t start = 0;
+        while (start < variant.size()) {
+          size_t space = variant.find(' ', start);
+          if (space == std::string::npos) space = variant.size();
+          variant_words.insert(variant.substr(start, space - start));
+          start = space + 1;
+        }
+      }
+    }
+  }
+  for (const std::string& word : SchemaRepository::UnrelatedWords()) {
+    EXPECT_FALSE(variant_words.contains(word))
+        << "unrelated word collides with a variant word: " << word;
+  }
+}
+
+TEST(DomainsTest, BooksRepositoryIsDomainZero) {
+  BooksRepository books;
+  const DomainSpec& spec = BammDomains()[0];
+  ASSERT_EQ(books.num_concepts(), static_cast<int>(spec.concepts.size()));
+  for (int c = 0; c < books.num_concepts(); ++c) {
+    EXPECT_EQ(books.concepts()[c].name, spec.concepts[c].name);
+  }
+  EXPECT_EQ(books.domain_name(), "books");
+}
+
+TEST(SchemaRepositoryTest, DeterministicForSameInputs) {
+  const DomainSpec& spec = BammDomains()[1];
+  SchemaRepository a(spec.name, spec.concepts, spec.popularity, 30, 99);
+  SchemaRepository b(spec.name, spec.concepts, spec.popularity, 30, 99);
+  ASSERT_EQ(a.num_base_schemas(), 30);
+  for (int i = 0; i < 30; ++i) {
+    EXPECT_EQ(a.base_schemas()[i], b.base_schemas()[i]);
+  }
+}
+
+TEST(SchemaRepositoryTest, DifferentSeedsDiffer) {
+  const DomainSpec& spec = BammDomains()[2];
+  SchemaRepository a(spec.name, spec.concepts, spec.popularity, 30, 1);
+  SchemaRepository b(spec.name, spec.concepts, spec.popularity, 30, 2);
+  int differing = 0;
+  for (int i = 0; i < 30; ++i) {
+    if (!(a.base_schemas()[i] == b.base_schemas()[i])) ++differing;
+  }
+  EXPECT_GT(differing, 0);
+}
+
+// --------------------------- mixed workloads -----------------------------
+
+MixedWorkloadConfig SmallMix() {
+  MixedWorkloadConfig config;
+  config.base.num_sources = 120;
+  config.base.seed = 5;
+  config.base.scale = 0.001;
+  config.mix = {{FindDomain("books"), 0.5},
+                {FindDomain("airfares"), 0.25},
+                {FindDomain("movies"), 0.25}};
+  return config;
+}
+
+TEST(MixedWorkloadTest, CountsFollowFractions) {
+  Result<MixedWorkload> workload = GenerateMixedWorkload(SmallMix());
+  ASSERT_TRUE(workload.ok()) << workload.status();
+  EXPECT_EQ(workload->universe.num_sources(), 120);
+  EXPECT_EQ(workload->domain_of.size(), 120u);
+  EXPECT_EQ(workload->domain_counts[0], 60);   // books
+  EXPECT_EQ(workload->domain_counts[1], 30);   // airfares
+  EXPECT_EQ(workload->domain_counts[2], 30);   // movies
+  EXPECT_EQ(workload->domain_counts[3], 0);    // musicrecords absent
+}
+
+TEST(MixedWorkloadTest, SourceNamesCarryDomain) {
+  Result<MixedWorkload> workload = GenerateMixedWorkload(SmallMix());
+  ASSERT_TRUE(workload.ok());
+  for (SourceId s = 0; s < workload->universe.num_sources(); ++s) {
+    int domain = workload->domain_of[static_cast<size_t>(s)];
+    const std::string& name = workload->universe.source(s).name();
+    EXPECT_EQ(name.rfind(BammDomains()[static_cast<size_t>(domain)].name, 0),
+              0u)
+        << name;
+  }
+}
+
+TEST(MixedWorkloadTest, GroundTruthUsesGlobalConceptIds) {
+  Result<MixedWorkload> workload = GenerateMixedWorkload(SmallMix());
+  ASSERT_TRUE(workload.ok());
+  const GroundTruth& truth = workload->ground_truth;
+  // 14 + 10 + 10 + 9 concepts across the four domains.
+  EXPECT_EQ(truth.num_concepts(), 43);
+  EXPECT_EQ(truth.concept_name(0), "books/title");
+  EXPECT_EQ(truth.concept_name(workload->concept_offset[1]),
+            "airfares/from");
+  // Every non-noise attribute's concept lies in its source's domain block.
+  for (SourceId s = 0; s < workload->universe.num_sources(); ++s) {
+    int domain = workload->domain_of[static_cast<size_t>(s)];
+    int lo = workload->concept_offset[static_cast<size_t>(domain)];
+    int hi = lo + static_cast<int>(
+                      BammDomains()[static_cast<size_t>(domain)]
+                          .concepts.size());
+    const SourceSchema& schema = workload->universe.source(s).schema();
+    for (int a = 0; a < schema.num_attributes(); ++a) {
+      int c = truth.ConceptOf(AttributeId{s, a});
+      if (c < 0) continue;
+      EXPECT_GE(c, lo);
+      EXPECT_LT(c, hi);
+    }
+  }
+}
+
+TEST(MixedWorkloadTest, DomainsHaveDisjointTuplePools) {
+  MixedWorkloadConfig config = SmallMix();
+  config.base.signature_kind = SignatureKind::kExact;
+  Result<MixedWorkload> workload = GenerateMixedWorkload(config);
+  ASSERT_TRUE(workload.ok());
+  // Union estimate of a books source and an airfares source must equal the
+  // sum of their distinct counts (disjoint pools).
+  SourceId books_src = -1, air_src = -1;
+  for (SourceId s = 0; s < workload->universe.num_sources(); ++s) {
+    if (workload->domain_of[static_cast<size_t>(s)] == 0 && books_src < 0) {
+      books_src = s;
+    }
+    if (workload->domain_of[static_cast<size_t>(s)] == 1 && air_src < 0) {
+      air_src = s;
+    }
+  }
+  ASSERT_GE(books_src, 0);
+  ASSERT_GE(air_src, 0);
+  auto merged = workload->universe.source(books_src).signature().Clone();
+  merged->MergeFrom(workload->universe.source(air_src).signature());
+  EXPECT_DOUBLE_EQ(
+      merged->Estimate(),
+      workload->universe.source(books_src).signature().Estimate() +
+          workload->universe.source(air_src).signature().Estimate());
+}
+
+TEST(MixedWorkloadTest, Deterministic) {
+  Result<MixedWorkload> a = GenerateMixedWorkload(SmallMix());
+  Result<MixedWorkload> b = GenerateMixedWorkload(SmallMix());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (SourceId s = 0; s < a->universe.num_sources(); ++s) {
+    EXPECT_EQ(a->universe.source(s).schema(), b->universe.source(s).schema());
+    EXPECT_EQ(a->universe.source(s).cardinality(),
+              b->universe.source(s).cardinality());
+  }
+}
+
+TEST(MixedWorkloadTest, ValidationErrors) {
+  MixedWorkloadConfig config = SmallMix();
+  config.mix.clear();
+  EXPECT_FALSE(GenerateMixedWorkload(config).ok());
+
+  config = SmallMix();
+  config.mix[0].domain = 99;
+  EXPECT_FALSE(GenerateMixedWorkload(config).ok());
+
+  config = SmallMix();
+  config.mix[0].fraction = -1.0;
+  EXPECT_FALSE(GenerateMixedWorkload(config).ok());
+
+  config = SmallMix();
+  config.mix.push_back({FindDomain("books"), 0.1});  // duplicate domain
+  EXPECT_FALSE(GenerateMixedWorkload(config).ok());
+
+  config = SmallMix();
+  config.schemas_per_domain = 0;
+  EXPECT_FALSE(GenerateMixedWorkload(config).ok());
+}
+
+// End-to-end: with a matching-heavy quality model, µBE selects a
+// domain-coherent subset out of a polluted universe — the paper's core
+// motivation (Section 1).
+TEST(MixedWorkloadTest, SelectionPrefersCoherentDomain) {
+  MixedWorkloadConfig config;
+  config.base.num_sources = 90;
+  config.base.seed = 11;
+  config.base.scale = 0.001;
+  config.mix = {{FindDomain("books"), 0.5},
+                {FindDomain("airfares"), 0.5}};
+  Result<MixedWorkload> workload = GenerateMixedWorkload(config);
+  ASSERT_TRUE(workload.ok());
+  std::vector<int> domain_of = workload->domain_of;
+
+  QualityModel model;
+  model.AddQef(std::make_unique<MatchingQualityQef>(), 0.8);
+  model.AddQef(std::make_unique<CardinalityQef>(), 0.2);
+  Engine engine(std::move(workload->universe), std::move(model));
+  ProblemSpec spec;
+  spec.max_sources = 10;
+  SolverOptions options;
+  options.seed = 4;
+  options.max_iterations = 250;
+  options.stall_iterations = 60;
+  Result<Solution> solution = engine.Solve(spec, SolverKind::kTabu, options);
+  ASSERT_TRUE(solution.ok());
+
+  int counts[2] = {0, 0};
+  for (SourceId s : solution->sources) {
+    ++counts[domain_of[static_cast<size_t>(s)] == 0 ? 0 : 1];
+  }
+  // A coherent majority domain should dominate the selection (matching
+  // quality rewards same-domain attribute overlap).
+  int majority = std::max(counts[0], counts[1]);
+  EXPECT_GE(majority, 8) << "books=" << counts[0]
+                         << " airfares=" << counts[1];
+}
+
+}  // namespace
+}  // namespace ube

@@ -1,0 +1,286 @@
+// Differential test: an independent, deliberately naive implementation of
+// Algorithm 1 (quadratic similarity recomputation, no similarity graph, no
+// cluster_of index, plain vectors) must produce exactly the same mediated
+// schemas as the production ClusterMatcher on random instances. This
+// catches data-structure bugs (adjacency maintenance, cluster indexing,
+// retirement bookkeeping) that invariants alone would miss.
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "matching/cluster_matcher.h"
+#include "matching/similarity_graph.h"
+#include "source/universe.h"
+#include "text/similarity.h"
+#include "util/rng.h"
+#include "workload/generator.h"
+
+namespace ube {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Reference implementation
+// ---------------------------------------------------------------------------
+
+struct RefCluster {
+  std::vector<AttributeId> attrs;
+  bool keep = false;
+  bool retired = false;
+  bool alive = true;
+};
+
+bool RefValidMerge(const RefCluster& a, const RefCluster& b) {
+  std::set<SourceId> sources;
+  for (const AttributeId& id : a.attrs) sources.insert(id.source);
+  for (const AttributeId& id : b.attrs) {
+    if (!sources.insert(id.source).second) return false;
+  }
+  return true;
+}
+
+// Max-linkage similarity between two clusters, recomputed from names.
+double RefClusterSim(const Universe& universe, const AttributeSimilarity& sim,
+                     const RefCluster& a, const RefCluster& b) {
+  double best = 0.0;
+  for (const AttributeId& x : a.attrs) {
+    for (const AttributeId& y : b.attrs) {
+      if (x.source == y.source) continue;  // no same-source edges
+      best = std::max(
+          best, sim.Score(
+                    universe.source(x.source).schema().attribute_name(
+                        x.attr_index),
+                    universe.source(y.source).schema().attribute_name(
+                        y.attr_index)));
+    }
+  }
+  return best;
+}
+
+// Runs Algorithm 1 naively and returns the set of output GAs (attribute-id
+// sets), applying the same elimination-as-retirement policy and β filter as
+// the production matcher.
+std::set<std::vector<AttributeId>> ReferenceMatch(
+    const Universe& universe, const std::vector<SourceId>& sources,
+    const std::vector<GlobalAttribute>& ga_constraints, double theta,
+    int beta) {
+  NgramJaccardSimilarity sim(3);
+  std::vector<RefCluster> clusters;
+
+  std::set<AttributeId> constrained;
+  for (const GlobalAttribute& g : ga_constraints) {
+    RefCluster c;
+    c.attrs = g.attributes();
+    c.keep = true;
+    for (const AttributeId& id : c.attrs) constrained.insert(id);
+    clusters.push_back(std::move(c));
+  }
+  std::vector<SourceId> sorted_sources = sources;
+  std::sort(sorted_sources.begin(), sorted_sources.end());
+  for (SourceId s : sorted_sources) {
+    const SourceSchema& schema = universe.source(s).schema();
+    for (int a = 0; a < schema.num_attributes(); ++a) {
+      AttributeId id{s, a};
+      if (constrained.contains(id)) continue;
+      RefCluster c;
+      c.attrs = {id};
+      clusters.push_back(std::move(c));
+    }
+  }
+
+  bool done = false;
+  while (!done) {
+    done = true;
+    // Active cluster indices.
+    std::vector<size_t> active;
+    for (size_t i = 0; i < clusters.size(); ++i) {
+      if (clusters[i].alive && !clusters[i].retired) active.push_back(i);
+    }
+    // All pairs with similarity >= theta, sorted by (sim desc, i, j). The
+    // production code sorts by creation-order cluster ids; reference
+    // clusters are created in the same order, so indices align.
+    struct Pair {
+      double sim;
+      size_t i, j;
+    };
+    std::vector<Pair> pairs;
+    for (size_t x = 0; x < active.size(); ++x) {
+      for (size_t y = x + 1; y < active.size(); ++y) {
+        double s = RefClusterSim(universe, sim, clusters[active[x]],
+                                 clusters[active[y]]);
+        // Production stores edge similarities as float and compares the
+        // float against theta; mirror that exactly.
+        if (static_cast<float>(s) >= static_cast<float>(theta) && s > 0.0) {
+          pairs.push_back({s, active[x], active[y]});
+        }
+      }
+    }
+    std::sort(pairs.begin(), pairs.end(), [](const Pair& a, const Pair& b) {
+      // Production stores similarities as float; mirror that rounding so
+      // tie-breaking agrees.
+      float fa = static_cast<float>(a.sim);
+      float fb = static_cast<float>(b.sim);
+      if (fa != fb) return fa > fb;
+      if (a.i != b.i) return a.i < b.i;
+      return a.j < b.j;
+    });
+
+    std::set<size_t> merged_this_round;
+    std::set<size_t> mergecand;
+    std::set<size_t> newly_created;
+    for (const Pair& p : pairs) {
+      bool i_merged = merged_this_round.contains(p.i);
+      bool j_merged = merged_this_round.contains(p.j);
+      if (!i_merged && !j_merged) {
+        if (!RefValidMerge(clusters[p.i], clusters[p.j])) continue;
+        RefCluster merged;
+        merged.attrs = clusters[p.i].attrs;
+        merged.attrs.insert(merged.attrs.end(), clusters[p.j].attrs.begin(),
+                            clusters[p.j].attrs.end());
+        merged.keep = clusters[p.i].keep || clusters[p.j].keep;
+        clusters[p.i].alive = false;
+        clusters[p.j].alive = false;
+        merged_this_round.insert(p.i);
+        merged_this_round.insert(p.j);
+        newly_created.insert(clusters.size());
+        clusters.push_back(std::move(merged));
+      } else if (i_merged != j_merged) {
+        mergecand.insert(i_merged ? p.j : p.i);
+        done = false;
+      } else {
+        done = false;  // both merged: possible follow-up merge next round
+      }
+    }
+    for (size_t i = 0; i < clusters.size(); ++i) {
+      RefCluster& c = clusters[i];
+      if (!c.alive || c.retired) continue;
+      if (newly_created.contains(i) || mergecand.contains(i) || c.keep) {
+        continue;
+      }
+      if (c.attrs.size() >= 2) {
+        c.retired = true;
+      } else {
+        c.alive = false;
+      }
+    }
+  }
+
+  std::set<std::vector<AttributeId>> out;
+  for (const RefCluster& c : clusters) {
+    if (!c.alive) continue;
+    if (!c.keep && static_cast<int>(c.attrs.size()) < std::max(2, beta)) {
+      continue;
+    }
+    std::vector<AttributeId> attrs = c.attrs;
+    std::sort(attrs.begin(), attrs.end());
+    out.insert(std::move(attrs));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Differential runs
+// ---------------------------------------------------------------------------
+
+std::set<std::vector<AttributeId>> ProductionMatch(
+    const Universe& universe, const std::vector<SourceId>& sources,
+    const std::vector<GlobalAttribute>& ga_constraints, double theta,
+    int beta) {
+  SimilarityGraph graph = SimilarityGraph::WithDefaults(universe, 0.25);
+  ClusterMatcher matcher(universe, graph);
+  MatchOptions options;
+  options.theta = theta;
+  options.beta = beta;
+  Result<MatchResult> result =
+      matcher.Match(sources, {}, ga_constraints, options);
+  EXPECT_TRUE(result.ok()) << result.status();
+  std::set<std::vector<AttributeId>> out;
+  for (const GlobalAttribute& ga : result->schema.gas()) {
+    out.insert(ga.attributes());
+  }
+  return out;
+}
+
+std::string Describe(const std::set<std::vector<AttributeId>>& schema) {
+  std::string out;
+  for (const auto& ga : schema) {
+    out += "{";
+    for (const AttributeId& id : ga) out += ToString(id) + " ";
+    out += "} ";
+  }
+  return out;
+}
+
+class MatcherReferenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MatcherReferenceTest, AgreesOnRandomBooksInstances) {
+  WorkloadConfig config;
+  config.num_sources = 24;
+  config.seed = static_cast<uint64_t>(GetParam()) * 101 + 3;
+  config.generate_data = false;
+  GeneratedWorkload workload = GenerateWorkload(config);
+
+  Rng rng(static_cast<uint64_t>(GetParam()) * 7 + 1);
+  for (double theta : {0.5, 0.75, 0.9}) {
+    std::vector<SourceId> sources;
+    for (SourceId s = 0; s < 24; ++s) {
+      if (rng.Bernoulli(0.5)) sources.push_back(s);
+    }
+    if (sources.size() < 2) sources = {0, 1, 2};
+    auto expected =
+        ReferenceMatch(workload.universe, sources, {}, theta, 2);
+    auto actual =
+        ProductionMatch(workload.universe, sources, {}, theta, 2);
+    EXPECT_EQ(actual, expected)
+        << "theta=" << theta << "\nexpected: " << Describe(expected)
+        << "\nactual:   " << Describe(actual);
+  }
+}
+
+TEST_P(MatcherReferenceTest, AgreesWithGaConstraints) {
+  WorkloadConfig config;
+  config.num_sources = 16;
+  config.seed = static_cast<uint64_t>(GetParam()) * 31 + 9;
+  config.generate_data = false;
+  GeneratedWorkload workload = GenerateWorkload(config);
+
+  std::vector<SourceId> sources = workload.universe.AllIds();
+  // Bridge the first attribute of sources 0 and 1 (always distinct
+  // sources, hence a valid GA).
+  GlobalAttribute bridge({AttributeId{0, 0}, AttributeId{1, 0}});
+  for (double theta : {0.55, 0.8}) {
+    auto expected =
+        ReferenceMatch(workload.universe, sources, {bridge}, theta, 2);
+    auto actual =
+        ProductionMatch(workload.universe, sources, {bridge}, theta, 2);
+    EXPECT_EQ(actual, expected)
+        << "theta=" << theta << "\nexpected: " << Describe(expected)
+        << "\nactual:   " << Describe(actual);
+  }
+}
+
+TEST_P(MatcherReferenceTest, AgreesOnBetaFiltering) {
+  WorkloadConfig config;
+  config.num_sources = 20;
+  config.seed = static_cast<uint64_t>(GetParam()) * 13 + 5;
+  config.generate_data = false;
+  GeneratedWorkload workload = GenerateWorkload(config);
+  std::vector<SourceId> sources = workload.universe.AllIds();
+  for (int beta : {2, 3, 4}) {
+    auto expected =
+        ReferenceMatch(workload.universe, sources, {}, 0.75, beta);
+    auto actual =
+        ProductionMatch(workload.universe, sources, {}, 0.75, beta);
+    EXPECT_EQ(actual, expected) << "beta=" << beta;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MatcherReferenceTest,
+                         ::testing::Range(1, 11));
+
+}  // namespace
+}  // namespace ube

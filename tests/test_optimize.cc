@@ -1,0 +1,446 @@
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "matching/cluster_matcher.h"
+#include "optimize/evaluator.h"
+#include "optimize/search_state.h"
+#include "optimize/solver.h"
+#include "optimize/solvers.h"
+#include "qef/quality_model.h"
+#include "sketch/distinct_estimator.h"
+#include "source/universe.h"
+#include "util/rng.h"
+
+namespace ube {
+namespace {
+
+// A 10-source universe whose optimum is known by construction: sources with
+// higher ids have more tuples, all disjoint, identical schemas ("title"),
+// so quality = Card (weight 1) and the best m sources are the top-m ids.
+class KnownOptimumFixture {
+ public:
+  explicit KnownOptimumFixture(int n = 10) {
+    for (int i = 0; i < n; ++i) {
+      DataSource s("s" + std::to_string(i), SourceSchema({"title"}));
+      s.set_cardinality((i + 1) * 100);
+      auto sig = std::make_unique<ExactSignature>();
+      for (int t = 0; t < (i + 1) * 100; ++t) {
+        sig->Add(static_cast<uint64_t>(i) * 1000000 + t);
+      }
+      s.set_signature(std::move(sig));
+      universe_.AddSource(std::move(s));
+    }
+    model_.AddQef(std::make_unique<CardinalityQef>(), 1.0);
+    graph_ = std::make_unique<SimilarityGraph>(
+        SimilarityGraph::WithDefaults(universe_, 0.25));
+    matcher_ = std::make_unique<ClusterMatcher>(universe_, *graph_);
+  }
+
+  CandidateEvaluator MakeEvaluator(const ProblemSpec& spec) {
+    return CandidateEvaluator(universe_, *matcher_, model_, spec);
+  }
+
+  Universe universe_;
+  QualityModel model_;
+  std::unique_ptr<SimilarityGraph> graph_;
+  std::unique_ptr<ClusterMatcher> matcher_;
+};
+
+ProblemSpec SpecWithM(int m) {
+  ProblemSpec spec;
+  spec.max_sources = m;
+  return spec;
+}
+
+// ----------------------------- evaluator --------------------------------
+
+TEST(EvaluatorTest, ValidateSpecCatchesBadInput) {
+  KnownOptimumFixture fx;
+  ProblemSpec spec = SpecWithM(0);
+  EXPECT_FALSE(CandidateEvaluator::ValidateSpec(fx.universe_, spec).ok());
+  spec = SpecWithM(3);
+  spec.theta = 1.5;
+  EXPECT_FALSE(CandidateEvaluator::ValidateSpec(fx.universe_, spec).ok());
+  spec = SpecWithM(3);
+  spec.beta = 0;
+  EXPECT_FALSE(CandidateEvaluator::ValidateSpec(fx.universe_, spec).ok());
+  spec = SpecWithM(3);
+  spec.source_constraints = {99};
+  EXPECT_FALSE(CandidateEvaluator::ValidateSpec(fx.universe_, spec).ok());
+  spec = SpecWithM(1);
+  spec.source_constraints = {0, 1};
+  Status s = CandidateEvaluator::ValidateSpec(fx.universe_, spec);
+  EXPECT_EQ(s.code(), StatusCode::kInfeasible);
+  spec = SpecWithM(3);
+  spec.ga_constraints = {GlobalAttribute({AttributeId{0, 0},
+                                          AttributeId{0, 0}})};
+  EXPECT_TRUE(CandidateEvaluator::ValidateSpec(fx.universe_, spec).ok());
+  spec.ga_constraints = {GlobalAttribute({AttributeId{0, 7}})};
+  EXPECT_FALSE(CandidateEvaluator::ValidateSpec(fx.universe_, spec).ok());
+}
+
+TEST(EvaluatorTest, RequiredSourcesUnionOfConstraints) {
+  KnownOptimumFixture fx;
+  ProblemSpec spec = SpecWithM(5);
+  spec.source_constraints = {3, 1};
+  spec.ga_constraints = {
+      GlobalAttribute({AttributeId{5, 0}, AttributeId{1, 0}})};
+  CandidateEvaluator eval = fx.MakeEvaluator(spec);
+  EXPECT_EQ(eval.required_sources(), (std::vector<SourceId>{1, 3, 5}));
+}
+
+TEST(EvaluatorTest, QualityMemoizes) {
+  KnownOptimumFixture fx;
+  ProblemSpec spec = SpecWithM(3);
+  CandidateEvaluator eval = fx.MakeEvaluator(spec);
+  std::vector<SourceId> candidate = {7, 8, 9};
+  double q1 = eval.Quality(candidate);
+  int64_t evals = eval.num_evaluations();
+  double q2 = eval.Quality(candidate);
+  EXPECT_DOUBLE_EQ(q1, q2);
+  EXPECT_EQ(eval.num_evaluations(), evals);
+  EXPECT_EQ(eval.num_cache_hits(), 1);
+}
+
+TEST(EvaluatorTest, QualityIsCardFraction) {
+  KnownOptimumFixture fx;
+  ProblemSpec spec = SpecWithM(2);
+  CandidateEvaluator eval = fx.MakeEvaluator(spec);
+  // Total cardinality = 100 * (1 + ... + 10) = 5500.
+  EXPECT_NEAR(eval.Quality({8, 9}), (900.0 + 1000.0) / 5500.0, 1e-12);
+}
+
+// ----------------------------- SearchState ------------------------------
+
+TEST(SearchStateTest, RandomInitialIsFeasible) {
+  KnownOptimumFixture fx;
+  ProblemSpec spec = SpecWithM(4);
+  spec.source_constraints = {2};
+  CandidateEvaluator eval = fx.MakeEvaluator(spec);
+  Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    SearchState state(eval, rng);
+    EXPECT_EQ(state.size(), 4);
+    EXPECT_TRUE(state.Contains(2));
+    EXPECT_TRUE(std::is_sorted(state.sources().begin(),
+                               state.sources().end()));
+  }
+}
+
+TEST(SearchStateTest, MovesPreserveInvariants) {
+  KnownOptimumFixture fx;
+  ProblemSpec spec = SpecWithM(4);
+  spec.source_constraints = {0, 5};
+  CandidateEvaluator eval = fx.MakeEvaluator(spec);
+  Rng rng(6);
+  SearchState state(eval, rng);
+  for (int step = 0; step < 2000; ++step) {
+    SearchState::Move move;
+    ASSERT_TRUE(state.RandomMove(rng, &move));
+    std::vector<SourceId> next = state.Apply(move);
+    EXPECT_TRUE(std::is_sorted(next.begin(), next.end()));
+    EXPECT_GE(next.size(), 1u);
+    EXPECT_LE(next.size(), 4u);
+    EXPECT_TRUE(std::binary_search(next.begin(), next.end(), 0));
+    EXPECT_TRUE(std::binary_search(next.begin(), next.end(), 5));
+    state.Commit(move);
+    EXPECT_EQ(state.sources(), next);
+  }
+}
+
+TEST(SearchStateTest, NoMovesWhenEverythingRequired) {
+  KnownOptimumFixture fx(3);
+  ProblemSpec spec = SpecWithM(3);
+  spec.source_constraints = {0, 1, 2};
+  CandidateEvaluator eval = fx.MakeEvaluator(spec);
+  Rng rng(7);
+  SearchState state(eval, rng);
+  SearchState::Move move;
+  EXPECT_FALSE(state.RandomMove(rng, &move));
+}
+
+TEST(SearchStateTest, NonMembers) {
+  KnownOptimumFixture fx(5);
+  ProblemSpec spec = SpecWithM(2);
+  CandidateEvaluator eval = fx.MakeEvaluator(spec);
+  SearchState state(eval, {1, 3});
+  EXPECT_EQ(state.NonMembers(), (std::vector<SourceId>{0, 2, 4}));
+}
+
+// ------------------------------ solvers ---------------------------------
+
+SolverOptions FastOptions(uint64_t seed = 42) {
+  SolverOptions options;
+  options.seed = seed;
+  options.max_iterations = 150;
+  options.stall_iterations = 40;
+  options.random_samples = 300;
+  return options;
+}
+
+class AllSolversTest : public ::testing::TestWithParam<SolverKind> {};
+
+TEST_P(AllSolversTest, FindsKnownOptimum) {
+  KnownOptimumFixture fx;
+  ProblemSpec spec = SpecWithM(3);
+  CandidateEvaluator eval = fx.MakeEvaluator(spec);
+  std::unique_ptr<Solver> solver = MakeSolver(GetParam());
+  Result<Solution> solution = solver->Solve(eval, FastOptions());
+  ASSERT_TRUE(solution.ok()) << solution.status();
+  // Optimum: {7, 8, 9} with Q = 2700/5500.
+  EXPECT_EQ(solution->sources, (std::vector<SourceId>{7, 8, 9}))
+      << "solver " << SolverKindName(GetParam());
+  EXPECT_NEAR(solution->quality, 2700.0 / 5500.0, 1e-9);
+  EXPECT_EQ(solution->stats.solver_name, SolverKindName(GetParam()));
+  EXPECT_GT(solution->stats.evaluations, 0);
+}
+
+TEST_P(AllSolversTest, HonorsSourceConstraints) {
+  KnownOptimumFixture fx;
+  ProblemSpec spec = SpecWithM(3);
+  spec.source_constraints = {0};  // worst source, must still be chosen
+  CandidateEvaluator eval = fx.MakeEvaluator(spec);
+  std::unique_ptr<Solver> solver = MakeSolver(GetParam());
+  Result<Solution> solution = solver->Solve(eval, FastOptions());
+  ASSERT_TRUE(solution.ok()) << solution.status();
+  EXPECT_TRUE(std::binary_search(solution->sources.begin(),
+                                 solution->sources.end(), 0));
+  EXPECT_LE(solution->sources.size(), 3u);
+}
+
+TEST_P(AllSolversTest, RespectsMaxSources) {
+  KnownOptimumFixture fx;
+  for (int m : {1, 2, 5}) {
+    ProblemSpec spec = SpecWithM(m);
+    CandidateEvaluator eval = fx.MakeEvaluator(spec);
+    std::unique_ptr<Solver> solver = MakeSolver(GetParam());
+    Result<Solution> solution = solver->Solve(eval, FastOptions());
+    ASSERT_TRUE(solution.ok());
+    EXPECT_LE(static_cast<int>(solution->sources.size()), m);
+    EXPECT_GE(solution->sources.size(), 1u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kinds, AllSolversTest,
+    ::testing::Values(SolverKind::kTabu, SolverKind::kLocalSearch,
+                      SolverKind::kAnnealing, SolverKind::kPso,
+                      SolverKind::kGreedy, SolverKind::kRandom,
+                      SolverKind::kExhaustive),
+    [](const ::testing::TestParamInfo<SolverKind>& info) {
+      return std::string(SolverKindName(info.param));
+    });
+
+TEST(TabuSearchTest, DeterministicForSeed) {
+  KnownOptimumFixture fx;
+  ProblemSpec spec = SpecWithM(4);
+  TabuSearchSolver solver;
+  CandidateEvaluator e1 = fx.MakeEvaluator(spec);
+  CandidateEvaluator e2 = fx.MakeEvaluator(spec);
+  Result<Solution> a = solver.Solve(e1, FastOptions(7));
+  Result<Solution> b = solver.Solve(e2, FastOptions(7));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->sources, b->sources);
+  EXPECT_DOUBLE_EQ(a->quality, b->quality);
+  EXPECT_EQ(a->stats.iterations, b->stats.iterations);
+}
+
+TEST(TabuSearchTest, MatchesExhaustiveOnSmallInstances) {
+  for (uint64_t seed : {1ull, 2ull, 3ull}) {
+    KnownOptimumFixture fx(8);
+    ProblemSpec spec = SpecWithM(3);
+    spec.source_constraints = {1};
+    CandidateEvaluator tabu_eval = fx.MakeEvaluator(spec);
+    CandidateEvaluator exact_eval = fx.MakeEvaluator(spec);
+    Result<Solution> tabu =
+        TabuSearchSolver().Solve(tabu_eval, FastOptions(seed));
+    Result<Solution> exact =
+        ExhaustiveSolver().Solve(exact_eval, FastOptions());
+    ASSERT_TRUE(tabu.ok());
+    ASSERT_TRUE(exact.ok());
+    EXPECT_NEAR(tabu->quality, exact->quality, 1e-9);
+  }
+}
+
+TEST(ExhaustiveTest, CountsAllCandidates) {
+  KnownOptimumFixture fx(5);
+  ProblemSpec spec = SpecWithM(2);
+  CandidateEvaluator eval = fx.MakeEvaluator(spec);
+  Result<Solution> solution = ExhaustiveSolver().Solve(eval, SolverOptions());
+  ASSERT_TRUE(solution.ok());
+  // Candidates: C(5,1) + C(5,2) = 5 + 10 = 15 (empty set excluded).
+  EXPECT_EQ(solution->stats.iterations, 15);
+}
+
+TEST(ExhaustiveTest, RefusesHugeInstances) {
+  KnownOptimumFixture fx(40);
+  ProblemSpec spec = SpecWithM(15);
+  CandidateEvaluator eval = fx.MakeEvaluator(spec);
+  Result<Solution> solution = ExhaustiveSolver().Solve(eval, SolverOptions());
+  ASSERT_FALSE(solution.ok());
+  EXPECT_EQ(solution.status().code(), StatusCode::kFailedPrecondition);
+}
+
+// ------------------------------ traces ----------------------------------
+
+class TraceTest : public ::testing::TestWithParam<SolverKind> {};
+
+TEST_P(TraceTest, TraceIsMonotoneAndEndsAtSolutionQuality) {
+  KnownOptimumFixture fx;
+  ProblemSpec spec = SpecWithM(3);
+  CandidateEvaluator eval = fx.MakeEvaluator(spec);
+  SolverOptions options = FastOptions();
+  options.record_trace = true;
+  std::unique_ptr<Solver> solver = MakeSolver(GetParam());
+  Result<Solution> solution = solver->Solve(eval, options);
+  ASSERT_TRUE(solution.ok());
+  const std::vector<TracePoint>& trace = solution->stats.trace;
+  ASSERT_FALSE(trace.empty()) << SolverKindName(GetParam());
+  for (size_t i = 1; i < trace.size(); ++i) {
+    EXPECT_GE(trace[i].best_quality, trace[i - 1].best_quality);
+    EXPECT_GE(trace[i].evaluations, trace[i - 1].evaluations);
+  }
+  EXPECT_NEAR(trace.back().best_quality, solution->quality, 1e-9);
+  EXPECT_LE(trace.back().evaluations, solution->stats.evaluations);
+}
+
+TEST_P(TraceTest, NoTraceByDefault) {
+  KnownOptimumFixture fx;
+  ProblemSpec spec = SpecWithM(3);
+  CandidateEvaluator eval = fx.MakeEvaluator(spec);
+  std::unique_ptr<Solver> solver = MakeSolver(GetParam());
+  Result<Solution> solution = solver->Solve(eval, FastOptions());
+  ASSERT_TRUE(solution.ok());
+  EXPECT_TRUE(solution->stats.trace.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kinds, TraceTest,
+    ::testing::Values(SolverKind::kTabu, SolverKind::kLocalSearch,
+                      SolverKind::kAnnealing, SolverKind::kPso,
+                      SolverKind::kGreedy, SolverKind::kRandom),
+    [](const ::testing::TestParamInfo<SolverKind>& info) {
+      return std::string(SolverKindName(info.param));
+    });
+
+TEST(SolverFactoryTest, NamesRoundTrip) {
+  for (SolverKind kind :
+       {SolverKind::kTabu, SolverKind::kLocalSearch, SolverKind::kAnnealing,
+        SolverKind::kPso, SolverKind::kGreedy, SolverKind::kRandom,
+        SolverKind::kExhaustive}) {
+    std::unique_ptr<Solver> solver = MakeSolver(kind);
+    ASSERT_NE(solver, nullptr);
+    EXPECT_EQ(solver->name(), SolverKindName(kind));
+  }
+}
+
+TEST(SolverTest, EmptyUniverseIsInfeasible) {
+  Universe u;
+  QualityModel model;
+  model.AddQef(std::make_unique<CardinalityQef>(), 1.0);
+  SimilarityGraph graph = SimilarityGraph::WithDefaults(u, 0.25);
+  ClusterMatcher matcher(u, graph);
+  ProblemSpec spec = SpecWithM(3);
+  CandidateEvaluator eval(u, matcher, model, spec);
+  Result<Solution> solution = TabuSearchSolver().Solve(eval, SolverOptions());
+  ASSERT_FALSE(solution.ok());
+  EXPECT_EQ(solution.status().code(), StatusCode::kInfeasible);
+}
+
+// ----------------------------- banned sources ----------------------------
+
+TEST(BannedSourcesTest, ValidateSpecRejectsContradictions) {
+  KnownOptimumFixture fx;
+  ProblemSpec spec = SpecWithM(3);
+  spec.banned_sources = {99};
+  EXPECT_FALSE(CandidateEvaluator::ValidateSpec(fx.universe_, spec).ok());
+  spec = SpecWithM(3);
+  spec.source_constraints = {2};
+  spec.banned_sources = {2};
+  EXPECT_EQ(CandidateEvaluator::ValidateSpec(fx.universe_, spec).code(),
+            StatusCode::kInfeasible);
+  spec = SpecWithM(3);
+  spec.ga_constraints = {GlobalAttribute({AttributeId{4, 0}})};
+  spec.banned_sources = {4};
+  EXPECT_EQ(CandidateEvaluator::ValidateSpec(fx.universe_, spec).code(),
+            StatusCode::kInfeasible);
+  spec = SpecWithM(3);
+  spec.banned_sources = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  EXPECT_EQ(CandidateEvaluator::ValidateSpec(fx.universe_, spec).code(),
+            StatusCode::kInfeasible);
+}
+
+class BannedSolversTest : public ::testing::TestWithParam<SolverKind> {};
+
+TEST_P(BannedSolversTest, NeverSelectsBannedSources) {
+  KnownOptimumFixture fx;
+  ProblemSpec spec = SpecWithM(3);
+  // Ban the three best sources; the optimum becomes {4, 5, 6} (0-indexed
+  // ids 6, 5, 4 have cardinalities 700, 600, 500).
+  spec.banned_sources = {7, 8, 9};
+  CandidateEvaluator eval = fx.MakeEvaluator(spec);
+  std::unique_ptr<Solver> solver = MakeSolver(GetParam());
+  Result<Solution> solution = solver->Solve(eval, FastOptions());
+  ASSERT_TRUE(solution.ok()) << solution.status();
+  for (SourceId banned : {7, 8, 9}) {
+    EXPECT_FALSE(std::binary_search(solution->sources.begin(),
+                                    solution->sources.end(), banned))
+        << SolverKindName(GetParam());
+  }
+  EXPECT_EQ(solution->sources, (std::vector<SourceId>{4, 5, 6}))
+      << SolverKindName(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kinds, BannedSolversTest,
+    ::testing::Values(SolverKind::kTabu, SolverKind::kLocalSearch,
+                      SolverKind::kAnnealing, SolverKind::kPso,
+                      SolverKind::kGreedy, SolverKind::kRandom,
+                      SolverKind::kExhaustive),
+    [](const ::testing::TestParamInfo<SolverKind>& info) {
+      return std::string(SolverKindName(info.param));
+    });
+
+TEST(BannedSourcesTest, SearchStateNeverProposesBanned) {
+  KnownOptimumFixture fx;
+  ProblemSpec spec = SpecWithM(4);
+  spec.banned_sources = {1, 3, 5};
+  CandidateEvaluator eval = fx.MakeEvaluator(spec);
+  Rng rng(9);
+  SearchState state(eval, rng);
+  for (int step = 0; step < 1000; ++step) {
+    SearchState::Move move;
+    ASSERT_TRUE(state.RandomMove(rng, &move));
+    if (move.kind != SearchState::Move::Kind::kDrop) {
+      EXPECT_NE(move.in, 1);
+      EXPECT_NE(move.in, 3);
+      EXPECT_NE(move.in, 5);
+    }
+    state.Commit(move);
+  }
+}
+
+TEST(SolverComparisonTest, TabuAtLeastAsGoodAsRandom) {
+  // Structured instance: matching quality + cardinality; tabu should find
+  // at least as good a solution as random sampling given equal budget.
+  KnownOptimumFixture fx;
+  ProblemSpec spec = SpecWithM(4);
+  SolverOptions options = FastOptions(11);
+  options.random_samples = 100;
+  options.max_iterations = 100;
+  CandidateEvaluator tabu_eval = fx.MakeEvaluator(spec);
+  CandidateEvaluator random_eval = fx.MakeEvaluator(spec);
+  Result<Solution> tabu = TabuSearchSolver().Solve(tabu_eval, options);
+  Result<Solution> random = RandomSolver().Solve(random_eval, options);
+  ASSERT_TRUE(tabu.ok());
+  ASSERT_TRUE(random.ok());
+  EXPECT_GE(tabu->quality + 1e-9, random->quality);
+}
+
+}  // namespace
+}  // namespace ube

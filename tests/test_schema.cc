@@ -1,0 +1,219 @@
+#include <unordered_set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "schema/mediated_schema.h"
+#include "schema/schema.h"
+
+namespace ube {
+namespace {
+
+AttributeId A(SourceId s, int a) { return AttributeId{s, a}; }
+
+// ----------------------------- AttributeId ------------------------------
+
+TEST(AttributeIdTest, Ordering) {
+  EXPECT_LT(A(0, 5), A(1, 0));
+  EXPECT_LT(A(1, 0), A(1, 1));
+  EXPECT_EQ(A(2, 3), A(2, 3));
+}
+
+TEST(AttributeIdTest, HashDistinguishes) {
+  std::unordered_set<AttributeId> set;
+  for (SourceId s = 0; s < 10; ++s) {
+    for (int a = 0; a < 10; ++a) set.insert(A(s, a));
+  }
+  EXPECT_EQ(set.size(), 100u);
+}
+
+TEST(AttributeIdTest, ToString) {
+  EXPECT_EQ(ToString(A(3, 7)), "3:7");
+}
+
+// ----------------------------- SourceSchema -----------------------------
+
+TEST(SourceSchemaTest, BasicAccess) {
+  SourceSchema schema({"title", "author", "isbn"});
+  EXPECT_EQ(schema.num_attributes(), 3);
+  EXPECT_FALSE(schema.empty());
+  EXPECT_EQ(schema.attribute_name(0), "title");
+  EXPECT_EQ(schema.attribute_name(2), "isbn");
+}
+
+TEST(SourceSchemaTest, FindAttribute) {
+  SourceSchema schema({"title", "author", "isbn"});
+  EXPECT_EQ(schema.FindAttribute("author"), 1);
+  EXPECT_EQ(schema.FindAttribute("missing"), -1);
+  EXPECT_EQ(schema.FindAttribute("Title"), -1);  // exact match only
+}
+
+TEST(SourceSchemaTest, EmptySchema) {
+  SourceSchema schema;
+  EXPECT_TRUE(schema.empty());
+  EXPECT_EQ(schema.num_attributes(), 0);
+  EXPECT_EQ(schema.FindAttribute("x"), -1);
+}
+
+TEST(SourceSchemaDeathTest, OutOfRangeIndexAborts) {
+  SourceSchema schema({"a"});
+  EXPECT_DEATH(schema.attribute_name(1), "out of range");
+  EXPECT_DEATH(schema.attribute_name(-1), "out of range");
+}
+
+// --------------------------- GlobalAttribute ----------------------------
+
+TEST(GlobalAttributeTest, EmptyIsInvalid) {
+  GlobalAttribute ga;
+  EXPECT_FALSE(ga.IsValid());  // Definition 1: g != empty set
+  EXPECT_TRUE(ga.empty());
+}
+
+TEST(GlobalAttributeTest, SingleAttributeIsValid) {
+  GlobalAttribute ga({A(0, 0)});
+  EXPECT_TRUE(ga.IsValid());
+  EXPECT_EQ(ga.size(), 1);
+}
+
+TEST(GlobalAttributeTest, TwoAttrsSameSourceInvalid) {
+  // Definition 1: i1 = i2 implies j1 = j2 — one attribute per source.
+  GlobalAttribute ga({A(0, 0), A(0, 1)});
+  EXPECT_FALSE(ga.IsValid());
+}
+
+TEST(GlobalAttributeTest, DuplicateAttributesCollapse) {
+  GlobalAttribute ga({A(0, 0), A(0, 0), A(1, 1)});
+  EXPECT_EQ(ga.size(), 2);
+  EXPECT_TRUE(ga.IsValid());
+}
+
+TEST(GlobalAttributeTest, ConstructorSorts) {
+  GlobalAttribute ga({A(2, 0), A(0, 3), A(1, 1)});
+  EXPECT_EQ(ga.attributes()[0], A(0, 3));
+  EXPECT_EQ(ga.attributes()[1], A(1, 1));
+  EXPECT_EQ(ga.attributes()[2], A(2, 0));
+}
+
+TEST(GlobalAttributeTest, ContainsAndTouchesSource) {
+  GlobalAttribute ga({A(0, 2), A(3, 1)});
+  EXPECT_TRUE(ga.Contains(A(0, 2)));
+  EXPECT_FALSE(ga.Contains(A(0, 1)));
+  EXPECT_TRUE(ga.TouchesSource(0));
+  EXPECT_TRUE(ga.TouchesSource(3));
+  EXPECT_FALSE(ga.TouchesSource(1));
+}
+
+TEST(GlobalAttributeTest, ContainsAll) {
+  GlobalAttribute big({A(0, 0), A(1, 1), A(2, 2)});
+  GlobalAttribute small({A(0, 0), A(2, 2)});
+  EXPECT_TRUE(big.ContainsAll(small));
+  EXPECT_FALSE(small.ContainsAll(big));
+  EXPECT_TRUE(big.ContainsAll(big));
+  EXPECT_TRUE(big.ContainsAll(GlobalAttribute{}));  // empty subset
+}
+
+TEST(GlobalAttributeTest, Intersects) {
+  GlobalAttribute a({A(0, 0), A(1, 1)});
+  GlobalAttribute b({A(1, 1), A(2, 2)});
+  GlobalAttribute c({A(3, 3)});
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_FALSE(a.Intersects(c));
+  EXPECT_FALSE(c.Intersects(a));
+}
+
+TEST(GlobalAttributeTest, AddKeepsSortedUnique) {
+  GlobalAttribute ga;
+  ga.Add(A(2, 0));
+  ga.Add(A(0, 0));
+  ga.Add(A(2, 0));  // duplicate ignored
+  EXPECT_EQ(ga.size(), 2);
+  EXPECT_EQ(ga.attributes()[0], A(0, 0));
+}
+
+TEST(GlobalAttributeTest, Sources) {
+  GlobalAttribute ga({A(4, 0), A(1, 2), A(7, 0)});
+  EXPECT_EQ(ga.Sources(), (std::vector<SourceId>{1, 4, 7}));
+}
+
+// ---------------------------- MediatedSchema ----------------------------
+
+TEST(MediatedSchemaTest, EmptyIsDisjointAndValidOnNoSources) {
+  MediatedSchema m;
+  EXPECT_TRUE(m.GasAreDisjointAndValid());
+  EXPECT_TRUE(m.IsValidOn({}));
+  EXPECT_FALSE(m.IsValidOn({0}));  // source 0 is not spanned
+}
+
+TEST(MediatedSchemaTest, DisjointGasValid) {
+  MediatedSchema m({GlobalAttribute({A(0, 0), A(1, 0)}),
+                    GlobalAttribute({A(0, 1), A(2, 0)})});
+  EXPECT_TRUE(m.GasAreDisjointAndValid());
+  EXPECT_TRUE(m.IsValidOn({0, 1, 2}));
+}
+
+TEST(MediatedSchemaTest, IntersectingGasInvalid) {
+  // Definition 2: an attribute cannot appear in two GAs.
+  MediatedSchema m({GlobalAttribute({A(0, 0), A(1, 0)}),
+                    GlobalAttribute({A(0, 0), A(2, 0)})});
+  EXPECT_FALSE(m.GasAreDisjointAndValid());
+  EXPECT_FALSE(m.IsValidOn({0, 1, 2}));
+}
+
+TEST(MediatedSchemaTest, InvalidGaMakesSchemaInvalid) {
+  MediatedSchema m({GlobalAttribute({A(0, 0), A(0, 1)})});
+  EXPECT_FALSE(m.GasAreDisjointAndValid());
+}
+
+TEST(MediatedSchemaTest, MustSpanAllGivenSources) {
+  MediatedSchema m({GlobalAttribute({A(0, 0), A(1, 0)})});
+  EXPECT_TRUE(m.IsValidOn({0, 1}));
+  EXPECT_FALSE(m.IsValidOn({0, 1, 2}));  // source 2 untouched
+}
+
+TEST(MediatedSchemaTest, SubsumptionBasics) {
+  // Definition 3: M2 ⊑ M1 iff every GA of M2 is contained in a GA of M1.
+  MediatedSchema coarse({GlobalAttribute({A(0, 0), A(1, 0), A(2, 0)})});
+  MediatedSchema fine({GlobalAttribute({A(0, 0), A(1, 0)})});
+  EXPECT_TRUE(fine.IsSubsumedBy(coarse));
+  EXPECT_FALSE(coarse.IsSubsumedBy(fine));
+}
+
+TEST(MediatedSchemaTest, SubsumptionIsReflexive) {
+  MediatedSchema m({GlobalAttribute({A(0, 0), A(1, 0)}),
+                    GlobalAttribute({A(2, 1)})});
+  EXPECT_TRUE(m.IsSubsumedBy(m));
+}
+
+TEST(MediatedSchemaTest, EmptySchemaSubsumedByAnything) {
+  MediatedSchema empty;
+  MediatedSchema m({GlobalAttribute({A(0, 0)})});
+  EXPECT_TRUE(empty.IsSubsumedBy(m));
+  EXPECT_TRUE(empty.IsSubsumedBy(empty));
+  EXPECT_FALSE(m.IsSubsumedBy(empty));
+}
+
+TEST(MediatedSchemaTest, SubsumptionNeedsSingleContainingGa) {
+  // {A,B} split across two GAs of M1 does not subsume the joint GA.
+  MediatedSchema split({GlobalAttribute({A(0, 0)}),
+                        GlobalAttribute({A(1, 0)})});
+  MediatedSchema joint({GlobalAttribute({A(0, 0), A(1, 0)})});
+  EXPECT_FALSE(joint.IsSubsumedBy(split));
+  EXPECT_TRUE(split.IsSubsumedBy(joint));
+}
+
+TEST(MediatedSchemaTest, TotalAttributesAndLookup) {
+  MediatedSchema m({GlobalAttribute({A(0, 0), A(1, 0)}),
+                    GlobalAttribute({A(2, 1)})});
+  EXPECT_EQ(m.TotalAttributes(), 3);
+  EXPECT_EQ(m.FindGaContaining(A(2, 1)), 1);
+  EXPECT_EQ(m.FindGaContaining(A(0, 0)), 0);
+  EXPECT_EQ(m.FindGaContaining(A(9, 9)), -1);
+}
+
+TEST(MediatedSchemaDeathTest, GaIndexOutOfRange) {
+  MediatedSchema m;
+  EXPECT_DEATH(m.ga(0), "out of range");
+}
+
+}  // namespace
+}  // namespace ube

@@ -1,0 +1,234 @@
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sketch/distinct_estimator.h"
+#include "sketch/pcsa.h"
+#include "util/rng.h"
+
+namespace ube {
+namespace {
+
+// ------------------------------ PCSA ------------------------------------
+
+TEST(PcsaTest, EmptyEstimatesZero) {
+  PcsaSketch sketch(64);
+  EXPECT_TRUE(sketch.IsEmpty());
+  EXPECT_DOUBLE_EQ(sketch.Estimate(), 0.0);
+}
+
+TEST(PcsaTest, SingleItemSmallEstimate) {
+  PcsaSketch sketch(64);
+  sketch.AddHash(12345);
+  EXPECT_FALSE(sketch.IsEmpty());
+  double est = sketch.Estimate();
+  EXPECT_GT(est, 0.0);
+  EXPECT_LT(est, 10.0);
+}
+
+TEST(PcsaTest, DuplicatesDoNotGrowEstimate) {
+  PcsaSketch sketch(64);
+  for (int i = 0; i < 10000; ++i) sketch.AddHash(42);
+  EXPECT_LT(sketch.Estimate(), 10.0);
+}
+
+TEST(PcsaTest, AddStringMatchesDistinctness) {
+  PcsaSketch a(64), b(64);
+  a.AddString("tuple one");
+  a.AddString("tuple one");
+  b.AddString("tuple one");
+  EXPECT_EQ(a, b);  // duplicate adds leave the signature unchanged
+}
+
+// Accuracy sweep: (#distinct items, #bitmaps, tolerated relative error).
+// PCSA standard error is ~0.78/sqrt(k); we allow ~3x that, plus extra
+// headroom in the small-count regime where stochastic averaging is coarse.
+class PcsaAccuracyTest
+    : public ::testing::TestWithParam<std::tuple<int, int, double>> {};
+
+TEST_P(PcsaAccuracyTest, EstimateWithinTolerance) {
+  auto [count, bitmaps, tolerance] = GetParam();
+  PcsaSketch sketch(bitmaps);
+  Rng rng(1234);
+  for (int i = 0; i < count; ++i) sketch.AddHash(rng.Next64());
+  double est = sketch.Estimate();
+  EXPECT_NEAR(est / count, 1.0, tolerance)
+      << "count=" << count << " bitmaps=" << bitmaps << " est=" << est;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PcsaAccuracyTest,
+    ::testing::Values(std::make_tuple(100, 64, 0.45),
+                      std::make_tuple(1000, 64, 0.30),
+                      std::make_tuple(10000, 64, 0.30),
+                      std::make_tuple(100000, 64, 0.30),
+                      std::make_tuple(1000, 256, 0.20),
+                      std::make_tuple(10000, 256, 0.15),
+                      std::make_tuple(100000, 256, 0.15),
+                      std::make_tuple(100000, 1024, 0.08)));
+
+TEST(PcsaTest, MergeEqualsUnionStream) {
+  // The core property µBE exploits (Section 4): OR of signatures ==
+  // signature of the concatenated streams, exactly.
+  PcsaSketch a(128), b(128), both(128);
+  Rng rng(9);
+  std::vector<uint64_t> items_a, items_b;
+  for (int i = 0; i < 5000; ++i) items_a.push_back(rng.Next64());
+  for (int i = 0; i < 3000; ++i) items_b.push_back(rng.Next64());
+  for (uint64_t x : items_a) {
+    a.AddHash(x);
+    both.AddHash(x);
+  }
+  for (uint64_t x : items_b) {
+    b.AddHash(x);
+    both.AddHash(x);
+  }
+  PcsaSketch merged = PcsaSketch::Union(a, b);
+  EXPECT_EQ(merged, both);
+  EXPECT_DOUBLE_EQ(merged.Estimate(), both.Estimate());
+}
+
+TEST(PcsaTest, MergeIsIdempotentAndCommutative) {
+  PcsaSketch a(64), b(64);
+  Rng rng(10);
+  for (int i = 0; i < 1000; ++i) a.AddHash(rng.Next64());
+  for (int i = 0; i < 1000; ++i) b.AddHash(rng.Next64());
+  PcsaSketch ab = PcsaSketch::Union(a, b);
+  PcsaSketch ba = PcsaSketch::Union(b, a);
+  EXPECT_EQ(ab, ba);
+  PcsaSketch aba = PcsaSketch::Union(ab, a);
+  EXPECT_EQ(aba, ab);  // idempotent
+}
+
+TEST(PcsaTest, MergeWithEmptyIsIdentity) {
+  PcsaSketch a(64), empty(64);
+  Rng rng(11);
+  for (int i = 0; i < 500; ++i) a.AddHash(rng.Next64());
+  PcsaSketch merged = PcsaSketch::Union(a, empty);
+  EXPECT_EQ(merged, a);
+}
+
+TEST(PcsaTest, OverlappingStreamsEstimateDistinct) {
+  // a holds ids [0, 10000), b holds [5000, 15000): union = 15000 distinct.
+  PcsaSketch a(256), b(256);
+  for (uint64_t i = 0; i < 10000; ++i) a.AddHash(i);
+  for (uint64_t i = 5000; i < 15000; ++i) b.AddHash(i);
+  PcsaSketch u = PcsaSketch::Union(a, b);
+  EXPECT_NEAR(u.Estimate() / 15000.0, 1.0, 0.2);
+}
+
+TEST(PcsaTest, FromBitmapsRoundTrip) {
+  PcsaSketch a(64);
+  Rng rng(12);
+  for (int i = 0; i < 2000; ++i) a.AddHash(rng.Next64());
+  PcsaSketch b = PcsaSketch::FromBitmaps(a.bitmaps());
+  EXPECT_EQ(a, b);
+  EXPECT_DOUBLE_EQ(a.Estimate(), b.Estimate());
+}
+
+TEST(PcsaTest, SizeBytes) {
+  EXPECT_EQ(PcsaSketch(64).SizeBytes(), 64 * sizeof(uint32_t));
+  EXPECT_EQ(PcsaSketch(256).SizeBytes(), 256 * sizeof(uint32_t));
+}
+
+TEST(PcsaDeathTest, RejectsNonPowerOfTwoBitmaps) {
+  EXPECT_DEATH(PcsaSketch(63), "power of two");
+  EXPECT_DEATH(PcsaSketch(0), "power of two");
+}
+
+TEST(PcsaDeathTest, RejectsMismatchedMerge) {
+  PcsaSketch a(64), b(128);
+  EXPECT_DEATH(a.Merge(b), "different bitmap counts");
+}
+
+TEST(PcsaTest, EstimateMonotoneInObservedSet) {
+  // Adding more distinct items never decreases the estimate (bitmaps only
+  // gain bits).
+  PcsaSketch sketch(64);
+  Rng rng(13);
+  double prev = 0.0;
+  for (int block = 0; block < 20; ++block) {
+    for (int i = 0; i < 500; ++i) sketch.AddHash(rng.Next64());
+    double est = sketch.Estimate();
+    EXPECT_GE(est, prev);
+    prev = est;
+  }
+}
+
+// ------------------------- DistinctSignature ----------------------------
+
+TEST(ExactSignatureTest, CountsExactly) {
+  ExactSignature sig;
+  for (uint64_t i = 0; i < 100; ++i) sig.Add(i % 10);
+  EXPECT_DOUBLE_EQ(sig.Estimate(), 10.0);
+}
+
+TEST(ExactSignatureTest, MergeIsSetUnion) {
+  ExactSignature a, b;
+  for (uint64_t i = 0; i < 10; ++i) a.Add(i);
+  for (uint64_t i = 5; i < 20; ++i) b.Add(i);
+  a.MergeFrom(b);
+  EXPECT_DOUBLE_EQ(a.Estimate(), 20.0);
+}
+
+TEST(ExactSignatureTest, CloneIsDeep) {
+  ExactSignature a;
+  a.Add(1);
+  std::unique_ptr<DistinctSignature> copy = a.Clone();
+  a.Add(2);
+  EXPECT_DOUBLE_EQ(copy->Estimate(), 1.0);
+  EXPECT_DOUBLE_EQ(a.Estimate(), 2.0);
+}
+
+TEST(PcsaSignatureTest, WrapsSketch) {
+  PcsaSignature sig(64);
+  Rng rng(14);
+  for (int i = 0; i < 5000; ++i) sig.Add(rng.Next64());
+  EXPECT_NEAR(sig.Estimate() / 5000.0, 1.0, 0.3);
+  EXPECT_EQ(sig.SizeBytes(), 64 * sizeof(uint32_t));
+}
+
+TEST(PcsaSignatureTest, CloneAndMergePreserveType) {
+  PcsaSignature a(64), b(64);
+  a.Add(1);
+  b.Add(2);
+  std::unique_ptr<DistinctSignature> c = a.Clone();
+  c->MergeFrom(b);
+  EXPECT_GT(c->Estimate(), 0.0);
+}
+
+TEST(SignatureDeathTest, CrossTypeMergeAborts) {
+  PcsaSignature pcsa(64);
+  ExactSignature exact;
+  EXPECT_DEATH(pcsa.MergeFrom(exact), "PcsaSignature");
+  EXPECT_DEATH(exact.MergeFrom(pcsa), "ExactSignature");
+}
+
+TEST(SignatureFactoryTest, MakesRequestedKind) {
+  auto pcsa = MakeSignature(SignatureKind::kPcsa, 128);
+  auto exact = MakeSignature(SignatureKind::kExact);
+  EXPECT_NE(dynamic_cast<PcsaSignature*>(pcsa.get()), nullptr);
+  EXPECT_NE(dynamic_cast<ExactSignature*>(exact.get()), nullptr);
+  EXPECT_EQ(pcsa->SizeBytes(), 128 * sizeof(uint32_t));
+}
+
+TEST(SignatureParityTest, PcsaTracksExactWithinTolerance) {
+  // The accuracy claim behind Section 7.3's "worst case error of 7%"
+  // (they used enough bitmaps; with 1024 we comfortably reach that band).
+  PcsaSignature pcsa(1024);
+  ExactSignature exact;
+  Rng rng(15);
+  for (int i = 0; i < 50000; ++i) {
+    uint64_t id = rng.UniformInt(uint64_t{40000});
+    pcsa.Add(id);
+    exact.Add(id);
+  }
+  EXPECT_NEAR(pcsa.Estimate() / exact.Estimate(), 1.0, 0.07);
+}
+
+}  // namespace
+}  // namespace ube

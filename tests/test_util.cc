@@ -1,0 +1,350 @@
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/distributions.h"
+#include "util/result.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/strings.h"
+#include "util/timer.h"
+
+namespace ube {
+namespace {
+
+// --------------------------- Status / Result ---------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoriesCarryCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad weight");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad weight");
+  EXPECT_EQ(s.ToString(), "INVALID_ARGUMENT: bad weight");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  EXPECT_EQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_EQ(StatusCodeName(StatusCode::kInvalidArgument), "INVALID_ARGUMENT");
+  EXPECT_EQ(StatusCodeName(StatusCode::kNotFound), "NOT_FOUND");
+  EXPECT_EQ(StatusCodeName(StatusCode::kFailedPrecondition),
+            "FAILED_PRECONDITION");
+  EXPECT_EQ(StatusCodeName(StatusCode::kInfeasible), "INFEASIBLE");
+  EXPECT_EQ(StatusCodeName(StatusCode::kInternal), "INTERNAL");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::Internal("x"));
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  auto fails = []() -> Status { return Status::Internal("boom"); };
+  auto wrapper = [&]() -> Status {
+    UBE_RETURN_IF_ERROR(fails());
+    return Status::Ok();
+  };
+  EXPECT_EQ(wrapper().code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("missing"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::vector<int>> r(std::vector<int>{1, 2, 3});
+  std::vector<int> v = std::move(r).value();
+  EXPECT_EQ(v.size(), 3u);
+}
+
+TEST(ResultDeathTest, ValueOnErrorAborts) {
+  Result<int> r(Status::Internal("x"));
+  EXPECT_DEATH((void)r.value(), "Result::value");
+}
+
+TEST(ResultDeathTest, OkStatusRejected) {
+  EXPECT_DEATH(Result<int>{Status::Ok()}, "OK Status");
+}
+
+// ------------------------------- Rng -----------------------------------
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next64(), b.Next64());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (a.Next64() == b.Next64());
+  EXPECT_LT(equal, 4);
+}
+
+TEST(RngTest, ZeroSeedIsValid) {
+  Rng rng(0);
+  EXPECT_NE(rng.Next64(), rng.Next64());
+}
+
+TEST(RngTest, UniformIntRespectsBound) {
+  Rng rng(7);
+  for (uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.UniformInt(bound), bound);
+  }
+}
+
+TEST(RngTest, UniformIntRangeInclusive) {
+  Rng rng(8);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    int64_t v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit with 500 draws
+}
+
+TEST(RngTest, UniformIntCoversAllResidues) {
+  Rng rng(9);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 400; ++i) seen.insert(rng.UniformInt(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, UniformDoubleInHalfOpenUnit) {
+  Rng rng(10);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.UniformDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, UniformDoubleRange) {
+  Rng rng(11);
+  for (int i = 0; i < 200; ++i) {
+    double v = rng.UniformDouble(5.0, 6.5);
+    EXPECT_GE(v, 5.0);
+    EXPECT_LT(v, 6.5);
+  }
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(12);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(13);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(RngTest, StandardNormalMoments) {
+  Rng rng(14);
+  const int n = 50000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    double x = rng.StandardNormal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, ForkProducesIndependentStreams) {
+  Rng parent(99);
+  Rng child1 = parent.Fork(1);
+  Rng parent2(99);
+  Rng child2 = parent2.Fork(1);
+  // Same label + same parent state => same stream.
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(child1.Next64(), child2.Next64());
+  // Different labels => different streams.
+  Rng parent3(99);
+  Rng other = parent3.Fork(2);
+  int equal = 0;
+  Rng parent4(99);
+  Rng base = parent4.Fork(1);
+  for (int i = 0; i < 64; ++i) equal += (base.Next64() == other.Next64());
+  EXPECT_LT(equal, 4);
+}
+
+TEST(RngTest, SplitMix64KnownValues) {
+  // Reference values from the splitmix64 reference implementation.
+  EXPECT_EQ(SplitMix64(0), 0xe220a8397b1dcdafULL);
+  EXPECT_EQ(SplitMix64(1), 0x910a2dec89025cc1ULL);
+}
+
+// --------------------------- Distributions ------------------------------
+
+TEST(ZipfTest, SamplesWithinRange) {
+  Rng rng(1);
+  ZipfSampler zipf(100, 1.0);
+  for (int i = 0; i < 1000; ++i) {
+    int r = zipf.Sample(rng);
+    EXPECT_GE(r, 1);
+    EXPECT_LE(r, 100);
+  }
+}
+
+TEST(ZipfTest, SingleRank) {
+  Rng rng(2);
+  ZipfSampler zipf(1, 1.0);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(zipf.Sample(rng), 1);
+}
+
+TEST(ZipfTest, LowRanksDominate) {
+  Rng rng(3);
+  ZipfSampler zipf(50, 1.0);
+  int rank1 = 0, rank_ge_10 = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    int r = zipf.Sample(rng);
+    if (r == 1) ++rank1;
+    if (r >= 10) ++rank_ge_10;
+  }
+  // P(rank=1) ≈ 1/H_50 ≈ 0.222 for s=1.
+  EXPECT_NEAR(static_cast<double>(rank1) / n, 0.222, 0.03);
+  EXPECT_GT(rank1, 0);
+  EXPECT_GT(rank_ge_10, 0);
+}
+
+TEST(ZipfTest, HigherExponentSkewsMore) {
+  Rng rng1(4), rng2(4);
+  ZipfSampler flat(50, 0.5), steep(50, 2.0);
+  int flat1 = 0, steep1 = 0;
+  for (int i = 0; i < 5000; ++i) {
+    flat1 += (flat.Sample(rng1) == 1);
+    steep1 += (steep.Sample(rng2) == 1);
+  }
+  EXPECT_GT(steep1, flat1);
+}
+
+TEST(TruncatedNormalTest, RespectsLowerBound) {
+  Rng rng(5);
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_GT(TruncatedNormal(rng, 100.0, 40.0, 1.0), 1.0);
+  }
+}
+
+TEST(TruncatedNormalTest, MeanApproximatelyPreserved) {
+  Rng rng(6);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += TruncatedNormal(rng, 100.0, 40.0, 1.0);
+  // Truncation at 1.0 (2.5 sigmas below) barely shifts the mean.
+  EXPECT_NEAR(sum / n, 100.0, 2.0);
+}
+
+TEST(ZipfRankToRangeTest, Endpoints) {
+  EXPECT_EQ(ZipfRankToRange(1, 100, 10, 1000), 1000);
+  EXPECT_EQ(ZipfRankToRange(100, 100, 10, 1000), 10);
+  EXPECT_EQ(ZipfRankToRange(1, 1, 10, 1000), 1000);
+}
+
+TEST(ZipfRankToRangeTest, MonotoneDecreasingInRank) {
+  int64_t prev = ZipfRankToRange(1, 100, 10, 1000);
+  for (int r = 2; r <= 100; ++r) {
+    int64_t cur = ZipfRankToRange(r, 100, 10, 1000);
+    EXPECT_LE(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(ZipfRankToRangeTest, ValuesStayInRange) {
+  for (int r = 1; r <= 37; ++r) {
+    int64_t v = ZipfRankToRange(r, 37, 5, 500);
+    EXPECT_GE(v, 5);
+    EXPECT_LE(v, 500);
+  }
+}
+
+// ------------------------------ Strings ---------------------------------
+
+TEST(StringsTest, AsciiToLower) {
+  EXPECT_EQ(AsciiToLower("Hello World"), "hello world");
+  EXPECT_EQ(AsciiToLower("ALL CAPS 123"), "all caps 123");
+  EXPECT_EQ(AsciiToLower(""), "");
+}
+
+TEST(StringsTest, SplitTokens) {
+  EXPECT_EQ(SplitTokens("a b  c"), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(SplitTokens("  leading and trailing  "),
+            (std::vector<std::string>{"leading", "and", "trailing"}));
+  EXPECT_TRUE(SplitTokens("").empty());
+  EXPECT_TRUE(SplitTokens("   ").empty());
+}
+
+TEST(StringsTest, SplitTokensCustomDelims) {
+  EXPECT_EQ(SplitTokens("a,b;c", ",;"),
+            (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(StringsTest, TrimWhitespace) {
+  EXPECT_EQ(TrimWhitespace("  x y  "), "x y");
+  EXPECT_EQ(TrimWhitespace("x"), "x");
+  EXPECT_EQ(TrimWhitespace("   "), "");
+  EXPECT_EQ(TrimWhitespace(""), "");
+}
+
+TEST(StringsTest, NormalizeAttributeName) {
+  EXPECT_EQ(NormalizeAttributeName("First_Name "), "first name");
+  EXPECT_EQ(NormalizeAttributeName("first  name"), "first name");
+  EXPECT_EQ(NormalizeAttributeName("ISBN-13"), "isbn 13");
+  EXPECT_EQ(NormalizeAttributeName("___"), "");
+  EXPECT_EQ(NormalizeAttributeName("price($)"), "price");
+}
+
+TEST(StringsTest, NormalizationIsIdempotent) {
+  for (const char* s : {"A  b_C", "keyword", " Author Name ", "isbn#10"}) {
+    std::string once = NormalizeAttributeName(s);
+    EXPECT_EQ(NormalizeAttributeName(once), once);
+  }
+}
+
+TEST(StringsTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+}
+
+TEST(TimerTest, MeasuresElapsedTime) {
+  WallTimer timer;
+  double t0 = timer.ElapsedSeconds();
+  EXPECT_GE(t0, 0.0);
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    sink = sink + std::sqrt(static_cast<double>(i));
+  }
+  EXPECT_GE(timer.ElapsedSeconds(), t0);
+  timer.Reset();
+  EXPECT_LT(timer.ElapsedSeconds(), 1.0);
+}
+
+}  // namespace
+}  // namespace ube

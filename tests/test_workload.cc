@@ -1,0 +1,287 @@
+#include <set>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "workload/books_repository.h"
+#include "workload/generator.h"
+
+namespace ube {
+namespace {
+
+WorkloadConfig FastConfig(int num_sources = 60, uint64_t seed = 17) {
+  WorkloadConfig config;
+  config.num_sources = num_sources;
+  config.seed = seed;
+  config.scale = 0.001;  // 10-1000 tuples per source, pools of 2000
+  return config;
+}
+
+// ---------------------------- BooksRepository ----------------------------
+
+TEST(BooksRepositoryTest, FourteenConceptsFiftySchemas) {
+  BooksRepository repo;
+  EXPECT_EQ(repo.num_concepts(), 14);
+  EXPECT_EQ(repo.num_base_schemas(), 50);
+}
+
+TEST(BooksRepositoryTest, SchemaSizesInRange) {
+  BooksRepository repo;
+  for (const SourceSchema& schema : repo.base_schemas()) {
+    EXPECT_GE(schema.num_attributes(), 3);
+    EXPECT_LE(schema.num_attributes(), 8);
+  }
+}
+
+TEST(BooksRepositoryTest, SchemasAreStableAcrossInstances) {
+  BooksRepository a, b;
+  for (int i = 0; i < a.num_base_schemas(); ++i) {
+    EXPECT_EQ(a.base_schemas()[i], b.base_schemas()[i]);
+  }
+}
+
+TEST(BooksRepositoryTest, NoDuplicateAttributesWithinSchema) {
+  BooksRepository repo;
+  for (const SourceSchema& schema : repo.base_schemas()) {
+    std::set<std::string> names(schema.names().begin(),
+                                schema.names().end());
+    EXPECT_EQ(names.size(), schema.names().size());
+  }
+}
+
+TEST(BooksRepositoryTest, EveryAttributeMapsToAConcept) {
+  BooksRepository repo;
+  for (const SourceSchema& schema : repo.base_schemas()) {
+    for (const std::string& name : schema.names()) {
+      EXPECT_GE(repo.ConceptOf(name), 0) << name;
+    }
+  }
+}
+
+TEST(BooksRepositoryTest, VariantsMapToTheirConcept) {
+  BooksRepository repo;
+  for (int c = 0; c < repo.num_concepts(); ++c) {
+    for (const std::string& variant : repo.concepts()[c].variants) {
+      EXPECT_EQ(repo.ConceptOf(variant), c) << variant;
+    }
+  }
+  EXPECT_EQ(repo.ConceptOf("horsepower"), -1);
+  EXPECT_EQ(repo.ConceptOf("Title"), -1);  // exact match
+}
+
+TEST(BooksRepositoryTest, VariantsUniqueAcrossConcepts) {
+  BooksRepository repo;
+  std::set<std::string> all;
+  for (const DomainConcept& concept_def : repo.concepts()) {
+    for (const std::string& variant : concept_def.variants) {
+      EXPECT_TRUE(all.insert(variant).second)
+          << "variant reused across concepts: " << variant;
+    }
+  }
+}
+
+TEST(BooksRepositoryTest, UnrelatedWordsDisjointFromVariants) {
+  BooksRepository repo;
+  for (const std::string& word : BooksRepository::UnrelatedWords()) {
+    EXPECT_EQ(repo.ConceptOf(word), -1) << word;
+  }
+  EXPECT_GE(BooksRepository::UnrelatedWords().size(), 50u);
+}
+
+TEST(BooksRepositoryTest, AllConceptsUsedSomewhere) {
+  BooksRepository repo;
+  std::set<int> used;
+  for (const SourceSchema& schema : repo.base_schemas()) {
+    for (const std::string& name : schema.names()) {
+      used.insert(repo.ConceptOf(name));
+    }
+  }
+  EXPECT_EQ(used.size(), 14u);  // every concept appears in the repository
+}
+
+// ------------------------------ generator --------------------------------
+
+TEST(GeneratorTest, ProducesRequestedSourceCount) {
+  GeneratedWorkload w = GenerateWorkload(FastConfig(37));
+  EXPECT_EQ(w.universe.num_sources(), 37);
+}
+
+TEST(GeneratorTest, DeterministicForSeed) {
+  GeneratedWorkload a = GenerateWorkload(FastConfig(40, 5));
+  GeneratedWorkload b = GenerateWorkload(FastConfig(40, 5));
+  for (SourceId s = 0; s < 40; ++s) {
+    EXPECT_EQ(a.universe.source(s).schema(), b.universe.source(s).schema());
+    EXPECT_EQ(a.universe.source(s).cardinality(),
+              b.universe.source(s).cardinality());
+    EXPECT_EQ(a.universe.source(s).GetCharacteristic(kMttfCharacteristic),
+              b.universe.source(s).GetCharacteristic(kMttfCharacteristic));
+  }
+  EXPECT_DOUBLE_EQ(a.universe.UnionCardinalityEstimate(),
+                   b.universe.UnionCardinalityEstimate());
+}
+
+TEST(GeneratorTest, DifferentSeedsDiffer) {
+  GeneratedWorkload a = GenerateWorkload(FastConfig(60, 1));
+  GeneratedWorkload b = GenerateWorkload(FastConfig(60, 2));
+  int differing = 0;
+  for (SourceId s = 50; s < 60; ++s) {  // perturbed region
+    if (!(a.universe.source(s).schema() == b.universe.source(s).schema())) {
+      ++differing;
+    }
+  }
+  EXPECT_GT(differing, 0);
+}
+
+TEST(GeneratorTest, FirstFiftyAreExactBaseCopies) {
+  BooksRepository repo;
+  GeneratedWorkload w = GenerateWorkload(FastConfig(60));
+  for (SourceId s = 0; s < 50; ++s) {
+    EXPECT_EQ(w.universe.source(s).schema(),
+              repo.base_schemas()[static_cast<size_t>(s)]);
+  }
+}
+
+TEST(GeneratorTest, CardinalitiesWithinScaledRange) {
+  WorkloadConfig config = FastConfig(80);
+  GeneratedWorkload w = GenerateWorkload(config);
+  for (SourceId s = 0; s < w.universe.num_sources(); ++s) {
+    int64_t card = w.universe.source(s).cardinality();
+    EXPECT_GE(card, 10);    // 10'000 * 0.001
+    EXPECT_LE(card, 1000);  // 1'000'000 * 0.001
+  }
+}
+
+TEST(GeneratorTest, SignaturesPresentAndPlausible) {
+  GeneratedWorkload w = GenerateWorkload(FastConfig(30));
+  for (SourceId s = 0; s < w.universe.num_sources(); ++s) {
+    const DataSource& source = w.universe.source(s);
+    ASSERT_TRUE(source.has_signature());
+    // PCSA estimate should be within a loose factor of the cardinality
+    // (tuples are distinct by construction of the stride walk, but capped
+    // by the pool size).
+    double est = source.signature().Estimate();
+    EXPECT_GT(est, 0.0);
+  }
+  EXPECT_GT(w.universe.UnionCardinalityEstimate(), 0.0);
+}
+
+TEST(GeneratorTest, ExactSignaturesMatchCardinalityWhenPoolLarge) {
+  WorkloadConfig config = FastConfig(20);
+  config.signature_kind = SignatureKind::kExact;
+  config.scale = 0.01;  // pools 20k, cards 100..10k
+  GeneratedWorkload w = GenerateWorkload(config);
+  for (SourceId s = 0; s < w.universe.num_sources(); ++s) {
+    const DataSource& source = w.universe.source(s);
+    // Stride walk gives distinct ids, so distinct count == cardinality
+    // (each pool portion is drawn without replacement).
+    EXPECT_DOUBLE_EQ(source.signature().Estimate(),
+                     static_cast<double>(source.cardinality()));
+  }
+}
+
+TEST(GeneratorTest, UncooperativeFractionRespected) {
+  WorkloadConfig config = FastConfig(200);
+  config.uncooperative_fraction = 0.3;
+  GeneratedWorkload w = GenerateWorkload(config);
+  int uncooperative = 0;
+  for (SourceId s = 0; s < w.universe.num_sources(); ++s) {
+    if (!w.universe.source(s).has_signature()) ++uncooperative;
+  }
+  EXPECT_NEAR(uncooperative / 200.0, 0.3, 0.12);
+}
+
+TEST(GeneratorTest, NoDataModeSkipsSignatures) {
+  WorkloadConfig config = FastConfig(10);
+  config.generate_data = false;
+  GeneratedWorkload w = GenerateWorkload(config);
+  for (SourceId s = 0; s < w.universe.num_sources(); ++s) {
+    EXPECT_FALSE(w.universe.source(s).has_signature());
+    EXPECT_GT(w.universe.source(s).cardinality(), 0);
+  }
+}
+
+TEST(GeneratorTest, MttfPositiveAndPlausible) {
+  GeneratedWorkload w = GenerateWorkload(FastConfig(300));
+  double sum = 0.0;
+  for (SourceId s = 0; s < w.universe.num_sources(); ++s) {
+    auto mttf = w.universe.source(s).GetCharacteristic(kMttfCharacteristic);
+    ASSERT_TRUE(mttf.has_value());
+    EXPECT_GT(*mttf, 0.0);
+    sum += *mttf;
+  }
+  EXPECT_NEAR(sum / 300.0, 100.0, 10.0);  // mean 100, stddev 40
+}
+
+TEST(GeneratorTest, GroundTruthConsistentWithRepository) {
+  BooksRepository repo;
+  GeneratedWorkload w = GenerateWorkload(FastConfig(80));
+  for (SourceId s = 0; s < w.universe.num_sources(); ++s) {
+    const SourceSchema& schema = w.universe.source(s).schema();
+    for (int a = 0; a < schema.num_attributes(); ++a) {
+      int expected = repo.ConceptOf(schema.attribute_name(a));
+      EXPECT_EQ(w.ground_truth.ConceptOf(AttributeId{s, a}), expected);
+    }
+  }
+  EXPECT_EQ(w.ground_truth.num_concepts(), 14);
+  EXPECT_EQ(w.ground_truth.concept_name(0), "title");
+}
+
+TEST(GeneratorTest, NoiseNamesUniqueAcrossUniverse) {
+  GeneratedWorkload w = GenerateWorkload(FastConfig(300));
+  std::unordered_set<std::string> noise_names;
+  for (SourceId s = 0; s < w.universe.num_sources(); ++s) {
+    const SourceSchema& schema = w.universe.source(s).schema();
+    for (int a = 0; a < schema.num_attributes(); ++a) {
+      if (w.ground_truth.ConceptOf(AttributeId{s, a}) == -1) {
+        EXPECT_TRUE(noise_names.insert(schema.attribute_name(a)).second)
+            << "duplicate noise name: " << schema.attribute_name(a);
+      }
+    }
+  }
+  EXPECT_GT(noise_names.size(), 0u);  // perturbation does add noise
+}
+
+TEST(GeneratorTest, ConceptsAvailable) {
+  GeneratedWorkload w = GenerateWorkload(FastConfig(60));
+  // Over all 60 sources, every concept should be available (in >= 2).
+  std::vector<SourceId> all = w.universe.AllIds();
+  EXPECT_EQ(w.ground_truth.ConceptsAvailable(all, 2).size(), 14u);
+  // Over a single source, nothing reaches the >= 2 source threshold.
+  EXPECT_TRUE(w.ground_truth.ConceptsAvailable({0}, 2).empty());
+  // min_sources = 1 over one source: exactly its own concepts.
+  std::vector<int> own = w.ground_truth.ConceptsAvailable({0}, 1);
+  EXPECT_FALSE(own.empty());
+  EXPECT_LE(own.size(), 8u);
+}
+
+TEST(GeneratorTest, PerturbationRatesRoughlyRespected) {
+  WorkloadConfig config = FastConfig(1000);
+  config.generate_data = false;
+  GeneratedWorkload w = GenerateWorkload(config);
+  BooksRepository repo;
+  int64_t base_attrs = 0, surviving_original = 0, noise = 0;
+  for (SourceId s = 50; s < w.universe.num_sources(); ++s) {
+    const SourceSchema& base =
+        repo.base_schemas()[static_cast<size_t>(s % 50)];
+    base_attrs += base.num_attributes();
+    const SourceSchema& schema = w.universe.source(s).schema();
+    for (int a = 0; a < schema.num_attributes(); ++a) {
+      if (w.ground_truth.ConceptOf(AttributeId{s, a}) >= 0) {
+        ++surviving_original;
+      } else {
+        ++noise;
+      }
+    }
+  }
+  // Survive rate ~ (1 - p_remove) * (1 - p_replace) = 0.81.
+  double survive_rate =
+      static_cast<double>(surviving_original) / static_cast<double>(base_attrs);
+  EXPECT_NEAR(survive_rate, 0.81, 0.04);
+  // Noise per source ~ replace (0.9*0.1*avg_attrs) + added geometric.
+  EXPECT_GT(noise, 0);
+}
+
+}  // namespace
+}  // namespace ube
