@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_solvers"
+  "../bench/ablation_solvers.pdb"
+  "CMakeFiles/ablation_solvers.dir/ablation_solvers.cc.o"
+  "CMakeFiles/ablation_solvers.dir/ablation_solvers.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_solvers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/domain_selection"
+  "../bench/domain_selection.pdb"
+  "CMakeFiles/domain_selection.dir/domain_selection.cc.o"
+  "CMakeFiles/domain_selection.dir/domain_selection.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/domain_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_universe_size"
+  "../bench/fig5_universe_size.pdb"
+  "CMakeFiles/fig5_universe_size.dir/fig5_universe_size.cc.o"
+  "CMakeFiles/fig5_universe_size.dir/fig5_universe_size.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_universe_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_sources_to_choose"
+  "../bench/fig6_sources_to_choose.pdb"
+  "CMakeFiles/fig6_sources_to_choose.dir/fig6_sources_to_choose.cc.o"
+  "CMakeFiles/fig6_sources_to_choose.dir/fig6_sources_to_choose.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_sources_to_choose.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig6_sources_to_choose.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig6_sources_to_choose.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig7_overall_quality.cc" "bench-build/CMakeFiles/fig7_overall_quality.dir/fig7_overall_quality.cc.o" "gcc" "bench-build/CMakeFiles/fig7_overall_quality.dir/fig7_overall_quality.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ube_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ube_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/optimize/CMakeFiles/ube_optimize.dir/DependInfo.cmake"
+  "/root/repo/build/src/qef/CMakeFiles/ube_qef.dir/DependInfo.cmake"
+  "/root/repo/build/src/matching/CMakeFiles/ube_matching.dir/DependInfo.cmake"
+  "/root/repo/build/src/source/CMakeFiles/ube_source.dir/DependInfo.cmake"
+  "/root/repo/build/src/schema/CMakeFiles/ube_schema.dir/DependInfo.cmake"
+  "/root/repo/build/src/sketch/CMakeFiles/ube_sketch.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/ube_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ube_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_overall_quality"
+  "../bench/fig7_overall_quality.pdb"
+  "CMakeFiles/fig7_overall_quality.dir/fig7_overall_quality.cc.o"
+  "CMakeFiles/fig7_overall_quality.dir/fig7_overall_quality.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_overall_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_weight_sensitivity"
+  "../bench/fig8_weight_sensitivity.pdb"
+  "CMakeFiles/fig8_weight_sensitivity.dir/fig8_weight_sensitivity.cc.o"
+  "CMakeFiles/fig8_weight_sensitivity.dir/fig8_weight_sensitivity.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_weight_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

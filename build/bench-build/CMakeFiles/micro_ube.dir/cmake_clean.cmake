@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_ube"
+  "../bench/micro_ube.pdb"
+  "CMakeFiles/micro_ube.dir/micro_ube.cc.o"
+  "CMakeFiles/micro_ube.dir/micro_ube.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_ube.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

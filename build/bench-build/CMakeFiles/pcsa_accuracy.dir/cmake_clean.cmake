@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/pcsa_accuracy"
+  "../bench/pcsa_accuracy.pdb"
+  "CMakeFiles/pcsa_accuracy.dir/pcsa_accuracy.cc.o"
+  "CMakeFiles/pcsa_accuracy.dir/pcsa_accuracy.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcsa_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

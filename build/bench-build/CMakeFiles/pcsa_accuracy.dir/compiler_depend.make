@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for pcsa_accuracy.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sens_weight_perturbation"
+  "../bench/sens_weight_perturbation.pdb"
+  "CMakeFiles/sens_weight_perturbation.dir/sens_weight_perturbation.cc.o"
+  "CMakeFiles/sens_weight_perturbation.dir/sens_weight_perturbation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sens_weight_perturbation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

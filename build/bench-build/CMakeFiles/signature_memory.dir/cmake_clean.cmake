@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/signature_memory"
+  "../bench/signature_memory.pdb"
+  "CMakeFiles/signature_memory.dir/signature_memory.cc.o"
+  "CMakeFiles/signature_memory.dir/signature_memory.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/signature_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_ga_quality"
+  "../bench/table1_ga_quality.pdb"
+  "CMakeFiles/table1_ga_quality.dir/table1_ga_quality.cc.o"
+  "CMakeFiles/table1_ga_quality.dir/table1_ga_quality.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_ga_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

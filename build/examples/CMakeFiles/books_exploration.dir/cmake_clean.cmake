@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/books_exploration.dir/books_exploration.cpp.o"
+  "CMakeFiles/books_exploration.dir/books_exploration.cpp.o.d"
+  "books_exploration"
+  "books_exploration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/books_exploration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

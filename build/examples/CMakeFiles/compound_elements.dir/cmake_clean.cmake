@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compound_elements.dir/compound_elements.cpp.o"
+  "CMakeFiles/compound_elements.dir/compound_elements.cpp.o.d"
+  "compound_elements"
+  "compound_elements.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compound_elements.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/theater_tickets.dir/theater_tickets.cpp.o"
+  "CMakeFiles/theater_tickets.dir/theater_tickets.cpp.o.d"
+  "theater_tickets"
+  "theater_tickets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/theater_tickets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

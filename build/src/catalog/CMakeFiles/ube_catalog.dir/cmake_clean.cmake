@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ube_catalog.dir/catalog.cc.o"
+  "CMakeFiles/ube_catalog.dir/catalog.cc.o.d"
+  "libube_catalog.a"
+  "libube_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ube_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

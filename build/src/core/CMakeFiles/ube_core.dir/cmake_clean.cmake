@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ube_core.dir/engine.cc.o"
+  "CMakeFiles/ube_core.dir/engine.cc.o.d"
+  "CMakeFiles/ube_core.dir/ga_evaluation.cc.o"
+  "CMakeFiles/ube_core.dir/ga_evaluation.cc.o.d"
+  "CMakeFiles/ube_core.dir/report.cc.o"
+  "CMakeFiles/ube_core.dir/report.cc.o.d"
+  "CMakeFiles/ube_core.dir/session.cc.o"
+  "CMakeFiles/ube_core.dir/session.cc.o.d"
+  "libube_core.a"
+  "libube_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ube_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

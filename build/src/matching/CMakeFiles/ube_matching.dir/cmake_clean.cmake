@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ube_matching.dir/cluster_matcher.cc.o"
+  "CMakeFiles/ube_matching.dir/cluster_matcher.cc.o.d"
+  "CMakeFiles/ube_matching.dir/similarity_graph.cc.o"
+  "CMakeFiles/ube_matching.dir/similarity_graph.cc.o.d"
+  "libube_matching.a"
+  "libube_matching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ube_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

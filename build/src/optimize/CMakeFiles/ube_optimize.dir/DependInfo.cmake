@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/optimize/annealing.cc" "src/optimize/CMakeFiles/ube_optimize.dir/annealing.cc.o" "gcc" "src/optimize/CMakeFiles/ube_optimize.dir/annealing.cc.o.d"
+  "/root/repo/src/optimize/evaluator.cc" "src/optimize/CMakeFiles/ube_optimize.dir/evaluator.cc.o" "gcc" "src/optimize/CMakeFiles/ube_optimize.dir/evaluator.cc.o.d"
+  "/root/repo/src/optimize/exhaustive.cc" "src/optimize/CMakeFiles/ube_optimize.dir/exhaustive.cc.o" "gcc" "src/optimize/CMakeFiles/ube_optimize.dir/exhaustive.cc.o.d"
+  "/root/repo/src/optimize/greedy.cc" "src/optimize/CMakeFiles/ube_optimize.dir/greedy.cc.o" "gcc" "src/optimize/CMakeFiles/ube_optimize.dir/greedy.cc.o.d"
+  "/root/repo/src/optimize/local_search.cc" "src/optimize/CMakeFiles/ube_optimize.dir/local_search.cc.o" "gcc" "src/optimize/CMakeFiles/ube_optimize.dir/local_search.cc.o.d"
+  "/root/repo/src/optimize/pso.cc" "src/optimize/CMakeFiles/ube_optimize.dir/pso.cc.o" "gcc" "src/optimize/CMakeFiles/ube_optimize.dir/pso.cc.o.d"
+  "/root/repo/src/optimize/search_state.cc" "src/optimize/CMakeFiles/ube_optimize.dir/search_state.cc.o" "gcc" "src/optimize/CMakeFiles/ube_optimize.dir/search_state.cc.o.d"
+  "/root/repo/src/optimize/solver.cc" "src/optimize/CMakeFiles/ube_optimize.dir/solver.cc.o" "gcc" "src/optimize/CMakeFiles/ube_optimize.dir/solver.cc.o.d"
+  "/root/repo/src/optimize/solver_internal.cc" "src/optimize/CMakeFiles/ube_optimize.dir/solver_internal.cc.o" "gcc" "src/optimize/CMakeFiles/ube_optimize.dir/solver_internal.cc.o.d"
+  "/root/repo/src/optimize/tabu_search.cc" "src/optimize/CMakeFiles/ube_optimize.dir/tabu_search.cc.o" "gcc" "src/optimize/CMakeFiles/ube_optimize.dir/tabu_search.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/qef/CMakeFiles/ube_qef.dir/DependInfo.cmake"
+  "/root/repo/build/src/matching/CMakeFiles/ube_matching.dir/DependInfo.cmake"
+  "/root/repo/build/src/source/CMakeFiles/ube_source.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ube_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/ube_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/schema/CMakeFiles/ube_schema.dir/DependInfo.cmake"
+  "/root/repo/build/src/sketch/CMakeFiles/ube_sketch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ube_optimize.dir/annealing.cc.o"
+  "CMakeFiles/ube_optimize.dir/annealing.cc.o.d"
+  "CMakeFiles/ube_optimize.dir/evaluator.cc.o"
+  "CMakeFiles/ube_optimize.dir/evaluator.cc.o.d"
+  "CMakeFiles/ube_optimize.dir/exhaustive.cc.o"
+  "CMakeFiles/ube_optimize.dir/exhaustive.cc.o.d"
+  "CMakeFiles/ube_optimize.dir/greedy.cc.o"
+  "CMakeFiles/ube_optimize.dir/greedy.cc.o.d"
+  "CMakeFiles/ube_optimize.dir/local_search.cc.o"
+  "CMakeFiles/ube_optimize.dir/local_search.cc.o.d"
+  "CMakeFiles/ube_optimize.dir/pso.cc.o"
+  "CMakeFiles/ube_optimize.dir/pso.cc.o.d"
+  "CMakeFiles/ube_optimize.dir/search_state.cc.o"
+  "CMakeFiles/ube_optimize.dir/search_state.cc.o.d"
+  "CMakeFiles/ube_optimize.dir/solver.cc.o"
+  "CMakeFiles/ube_optimize.dir/solver.cc.o.d"
+  "CMakeFiles/ube_optimize.dir/solver_internal.cc.o"
+  "CMakeFiles/ube_optimize.dir/solver_internal.cc.o.d"
+  "CMakeFiles/ube_optimize.dir/tabu_search.cc.o"
+  "CMakeFiles/ube_optimize.dir/tabu_search.cc.o.d"
+  "libube_optimize.a"
+  "libube_optimize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ube_optimize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

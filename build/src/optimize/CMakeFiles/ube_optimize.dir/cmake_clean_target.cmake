@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libube_optimize.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ube_qef.dir/qef.cc.o"
+  "CMakeFiles/ube_qef.dir/qef.cc.o.d"
+  "CMakeFiles/ube_qef.dir/quality_model.cc.o"
+  "CMakeFiles/ube_qef.dir/quality_model.cc.o.d"
+  "libube_qef.a"
+  "libube_qef.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ube_qef.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ube_schema.dir/mediated_schema.cc.o"
+  "CMakeFiles/ube_schema.dir/mediated_schema.cc.o.d"
+  "CMakeFiles/ube_schema.dir/schema.cc.o"
+  "CMakeFiles/ube_schema.dir/schema.cc.o.d"
+  "libube_schema.a"
+  "libube_schema.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ube_schema.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ube_sketch.dir/distinct_estimator.cc.o"
+  "CMakeFiles/ube_sketch.dir/distinct_estimator.cc.o.d"
+  "CMakeFiles/ube_sketch.dir/pcsa.cc.o"
+  "CMakeFiles/ube_sketch.dir/pcsa.cc.o.d"
+  "libube_sketch.a"
+  "libube_sketch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ube_sketch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/source/compound.cc" "src/source/CMakeFiles/ube_source.dir/compound.cc.o" "gcc" "src/source/CMakeFiles/ube_source.dir/compound.cc.o.d"
+  "/root/repo/src/source/universe.cc" "src/source/CMakeFiles/ube_source.dir/universe.cc.o" "gcc" "src/source/CMakeFiles/ube_source.dir/universe.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/schema/CMakeFiles/ube_schema.dir/DependInfo.cmake"
+  "/root/repo/build/src/sketch/CMakeFiles/ube_sketch.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ube_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

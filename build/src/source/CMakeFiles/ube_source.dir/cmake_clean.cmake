@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ube_source.dir/compound.cc.o"
+  "CMakeFiles/ube_source.dir/compound.cc.o.d"
+  "CMakeFiles/ube_source.dir/universe.cc.o"
+  "CMakeFiles/ube_source.dir/universe.cc.o.d"
+  "libube_source.a"
+  "libube_source.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ube_source.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

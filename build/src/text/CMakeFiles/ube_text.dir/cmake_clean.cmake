@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ube_text.dir/ngram.cc.o"
+  "CMakeFiles/ube_text.dir/ngram.cc.o.d"
+  "CMakeFiles/ube_text.dir/similarity.cc.o"
+  "CMakeFiles/ube_text.dir/similarity.cc.o.d"
+  "libube_text.a"
+  "libube_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ube_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

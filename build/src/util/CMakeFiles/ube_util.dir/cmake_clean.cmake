@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ube_util.dir/check.cc.o"
+  "CMakeFiles/ube_util.dir/check.cc.o.d"
+  "CMakeFiles/ube_util.dir/distributions.cc.o"
+  "CMakeFiles/ube_util.dir/distributions.cc.o.d"
+  "CMakeFiles/ube_util.dir/rng.cc.o"
+  "CMakeFiles/ube_util.dir/rng.cc.o.d"
+  "CMakeFiles/ube_util.dir/status.cc.o"
+  "CMakeFiles/ube_util.dir/status.cc.o.d"
+  "CMakeFiles/ube_util.dir/strings.cc.o"
+  "CMakeFiles/ube_util.dir/strings.cc.o.d"
+  "libube_util.a"
+  "libube_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ube_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

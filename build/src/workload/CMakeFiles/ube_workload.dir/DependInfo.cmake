@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/books_repository.cc" "src/workload/CMakeFiles/ube_workload.dir/books_repository.cc.o" "gcc" "src/workload/CMakeFiles/ube_workload.dir/books_repository.cc.o.d"
+  "/root/repo/src/workload/domains.cc" "src/workload/CMakeFiles/ube_workload.dir/domains.cc.o" "gcc" "src/workload/CMakeFiles/ube_workload.dir/domains.cc.o.d"
+  "/root/repo/src/workload/generator.cc" "src/workload/CMakeFiles/ube_workload.dir/generator.cc.o" "gcc" "src/workload/CMakeFiles/ube_workload.dir/generator.cc.o.d"
+  "/root/repo/src/workload/schema_repository.cc" "src/workload/CMakeFiles/ube_workload.dir/schema_repository.cc.o" "gcc" "src/workload/CMakeFiles/ube_workload.dir/schema_repository.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/source/CMakeFiles/ube_source.dir/DependInfo.cmake"
+  "/root/repo/build/src/schema/CMakeFiles/ube_schema.dir/DependInfo.cmake"
+  "/root/repo/build/src/sketch/CMakeFiles/ube_sketch.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ube_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

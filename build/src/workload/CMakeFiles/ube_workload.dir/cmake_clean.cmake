@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ube_workload.dir/books_repository.cc.o"
+  "CMakeFiles/ube_workload.dir/books_repository.cc.o.d"
+  "CMakeFiles/ube_workload.dir/domains.cc.o"
+  "CMakeFiles/ube_workload.dir/domains.cc.o.d"
+  "CMakeFiles/ube_workload.dir/generator.cc.o"
+  "CMakeFiles/ube_workload.dir/generator.cc.o.d"
+  "CMakeFiles/ube_workload.dir/schema_repository.cc.o"
+  "CMakeFiles/ube_workload.dir/schema_repository.cc.o.d"
+  "libube_workload.a"
+  "libube_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ube_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

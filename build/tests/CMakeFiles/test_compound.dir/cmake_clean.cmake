@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_compound.dir/test_compound.cc.o"
+  "CMakeFiles/test_compound.dir/test_compound.cc.o.d"
+  "test_compound"
+  "test_compound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_compound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

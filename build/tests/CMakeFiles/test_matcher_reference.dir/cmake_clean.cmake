@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_matcher_reference.dir/test_matcher_reference.cc.o"
+  "CMakeFiles/test_matcher_reference.dir/test_matcher_reference.cc.o.d"
+  "test_matcher_reference"
+  "test_matcher_reference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_matcher_reference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

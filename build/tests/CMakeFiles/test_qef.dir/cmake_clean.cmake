@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_qef.dir/test_qef.cc.o"
+  "CMakeFiles/test_qef.dir/test_qef.cc.o.d"
+  "test_qef"
+  "test_qef.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_qef.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
