@@ -29,11 +29,16 @@ inline GeneratedWorkload MakeWorkload(int num_sources, uint64_t seed = 17,
 
 /// Solver budget used by the figure benches. Smaller than the library
 /// defaults so a full sweep stays in the minutes range on one core.
-inline SolverOptions BenchSolverOptions(uint64_t seed = 42) {
+/// `num_threads` feeds SolverOptions::num_threads (1 = sequential, 0 =
+/// hardware concurrency); solutions are identical either way, only
+/// wall-clock changes.
+inline SolverOptions BenchSolverOptions(uint64_t seed = 42,
+                                        int num_threads = 1) {
   SolverOptions options;
   options.seed = seed;
   options.max_iterations = 200;
   options.stall_iterations = 50;
+  options.num_threads = num_threads;
   return options;
 }
 

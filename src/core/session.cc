@@ -11,6 +11,10 @@ Session::Session(Engine* engine) : engine_(engine) {
   UBE_CHECK(engine_ != nullptr, "Session requires an engine");
 }
 
+Result<Solution> Session::Iterate(SolverKind solver) {
+  return Iterate(solver, solver_options_);
+}
+
 Result<Solution> Session::Iterate(SolverKind solver,
                                   const SolverOptions& options) {
   Result<Solution> solution = engine_->Solve(spec_, solver, options);

@@ -23,9 +23,17 @@ class Session {
   const ProblemSpec& spec() const { return spec_; }
   ProblemSpec& mutable_spec() { return spec_; }
 
-  /// Solves the current problem and appends the solution to the history.
-  Result<Solution> Iterate(SolverKind solver = SolverKind::kTabu,
-                           const SolverOptions& options = SolverOptions());
+  /// Solver knobs used by Iterate() when no explicit options are passed —
+  /// set once per session (e.g. num_threads, budgets) and every iteration
+  /// of the feedback loop inherits them.
+  const SolverOptions& solver_options() const { return solver_options_; }
+  SolverOptions& mutable_solver_options() { return solver_options_; }
+
+  /// Solves the current problem with the session's solver options and
+  /// appends the solution to the history.
+  Result<Solution> Iterate(SolverKind solver = SolverKind::kTabu);
+  /// Same, with explicit one-off options.
+  Result<Solution> Iterate(SolverKind solver, const SolverOptions& options);
 
   int num_iterations() const { return static_cast<int>(history_.size()); }
   const std::vector<Solution>& history() const { return history_; }
@@ -75,6 +83,7 @@ class Session {
  private:
   Engine* engine_;
   ProblemSpec spec_;
+  SolverOptions solver_options_;
   std::vector<Solution> history_;
 };
 

@@ -1,21 +1,38 @@
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <vector>
 
 #include "optimize/search_state.h"
 #include "optimize/solver_internal.h"
 #include "optimize/solvers.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace ube {
+
+namespace {
+
+// Annealing proposes one move at a time, which starves a parallel
+// evaluator; instead each round drafts a block of moves from the current
+// state, scores them in one batch, and then walks the block sequentially
+// under the Metropolis rule. The first accepted move invalidates the rest
+// of the block (they were proposed from the pre-move state), so the walk
+// commits it and discards the remainder. Block size is a constant — it must
+// not depend on num_threads, or different thread counts would take
+// different walks.
+constexpr int kProposalBlock = 8;
+
+}  // namespace
 
 Result<Solution> AnnealingSolver::Solve(const CandidateEvaluator& evaluator,
                                         const SolverOptions& options) const {
   UBE_RETURN_IF_ERROR(internal::CheckSolvable(evaluator));
   WallTimer timer;
-  evaluator.ResetCounters();
+  evaluator.BeginRun();
   Rng rng(options.seed);
+  std::unique_ptr<ThreadPool> pool = internal::MakeEvalPool(options);
 
   SearchState state(evaluator, rng);
   double current = evaluator.Quality(state.sources());
@@ -28,30 +45,58 @@ Result<Solution> AnnealingSolver::Solve(const CandidateEvaluator& evaluator,
   const double cooling = std::clamp(options.cooling_rate, 0.5, 0.999999);
 
   int64_t iterations = 0;
-  int stall = 0;
-  // Annealing needs more, cheaper steps than tabu: each iteration evaluates
-  // one neighbour instead of a whole candidate list, so scale the budget by
-  // a nominal sample size to keep the evaluation effort comparable.
+  int64_t stall = 0;
+  // Annealing needs more, cheaper steps than tabu: each considered move
+  // evaluates one neighbour instead of a whole candidate list, so scale the
+  // budget by a nominal sample size to keep the evaluation effort
+  // comparable.
   const int64_t budget = static_cast<int64_t>(options.max_iterations) * 32;
-  for (int64_t iter = 0; iter < budget; ++iter) {
+  const int64_t stall_budget =
+      options.stall_iterations > 0
+          ? static_cast<int64_t>(options.stall_iterations) * 32
+          : 0;
+  std::vector<SearchState::Move> moves;
+  std::vector<std::vector<SourceId>> candidates;
+  bool exhausted = false;
+  while (iterations < budget && !exhausted) {
     if (options.time_limit_seconds > 0.0 &&
         timer.ElapsedSeconds() > options.time_limit_seconds) {
       break;
     }
-    if (options.stall_iterations > 0 &&
-        stall >= static_cast<int64_t>(options.stall_iterations) * 32) {
-      break;
-    }
-    ++iterations;
+    if (stall_budget > 0 && stall >= stall_budget) break;
 
-    SearchState::Move move;
-    if (!state.RandomMove(rng, &move)) break;
-    double quality = evaluator.Quality(state.Apply(move));
-    double delta = quality - current;
-    // Constrained annealing: only feasibility-preserving moves are ever
-    // generated, so the Metropolis rule acts on quality alone.
-    if (delta >= 0.0 || rng.UniformDouble() < std::exp(delta / temperature)) {
-      state.Commit(move);
+    moves.clear();
+    candidates.clear();
+    const int64_t block =
+        std::min<int64_t>(kProposalBlock, budget - iterations);
+    for (int64_t k = 0; k < block; ++k) {
+      SearchState::Move move;
+      if (!state.RandomMove(rng, &move)) {
+        exhausted = moves.empty();
+        break;
+      }
+      moves.push_back(move);
+      candidates.push_back(state.Apply(move));
+    }
+    if (moves.empty()) break;
+    std::vector<double> qualities =
+        evaluator.QualityBatch(candidates, pool.get());
+
+    for (size_t k = 0; k < moves.size(); ++k) {
+      ++iterations;
+      double quality = qualities[k];
+      double delta = quality - current;
+      // Constrained annealing: only feasibility-preserving moves are ever
+      // generated, so the Metropolis rule acts on quality alone.
+      bool accept =
+          delta >= 0.0 || rng.UniformDouble() < std::exp(delta / temperature);
+      temperature *= cooling;
+      if (!accept) {
+        ++stall;
+        if (stall_budget > 0 && stall >= stall_budget) break;
+        continue;
+      }
+      state.Commit(moves[k]);
       current = quality;
       if (current > best_quality) {
         best_quality = current;
@@ -62,10 +107,10 @@ Result<Solution> AnnealingSolver::Solve(const CandidateEvaluator& evaluator,
       } else {
         ++stall;
       }
-    } else {
-      ++stall;
+      // The remaining proposals were drafted from the pre-move state;
+      // drop them and draft a fresh block from the new state.
+      break;
     }
-    temperature *= cooling;
   }
 
   return internal::FinalizeSolution(evaluator, std::move(best),

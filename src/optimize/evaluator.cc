@@ -1,6 +1,7 @@
 #include "optimize/evaluator.h"
 
 #include <algorithm>
+#include <cstddef>
 
 #include "util/check.h"
 #include "util/rng.h"
@@ -40,6 +41,10 @@ CandidateEvaluator::CandidateEvaluator(const Universe& universe,
       banned_(SortedUnique(spec.banned_sources)) {
   Status status = ValidateSpec(universe, spec);
   UBE_CHECK(status.ok(), "invalid ProblemSpec: " + status.ToString());
+  // Force the universe's lazily built union signature now, while we are
+  // still single-threaded: CoverageQef reads it on every evaluation and the
+  // lazy build mutates Universe state.
+  universe_.UnionSignature();
 }
 
 Status CandidateEvaluator::ValidateSpec(const Universe& universe,
@@ -126,7 +131,7 @@ CandidateEvaluator::Evaluation CandidateEvaluator::Evaluate(
   }
 #endif
 
-  ++evaluations_;
+  evaluations_.fetch_add(1, std::memory_order_relaxed);
   Evaluation out;
   if (model_.NeedsMatching()) {
     MatchOptions options;
@@ -146,23 +151,119 @@ CandidateEvaluator::Evaluation CandidateEvaluator::Evaluate(
   return out;
 }
 
+bool CandidateEvaluator::CacheLookup(uint64_t key,
+                                     const std::vector<SourceId>& candidate,
+                                     double* quality) const {
+  CacheShard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it == shard.map.end()) return false;
+  // Verify the stored candidate: a 64-bit collision must recompute, never
+  // hand back another candidate's quality.
+  if (it->second.candidate != candidate) return false;
+  *quality = it->second.quality;
+  return true;
+}
+
+void CandidateEvaluator::CacheInsert(uint64_t key,
+                                     const std::vector<SourceId>& candidate,
+                                     double quality) const {
+  CacheShard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (shard.map.size() >= kMaxEntriesPerShard) shard.map.clear();
+  shard.map[key] = CacheEntry{candidate, quality};
+}
+
 double CandidateEvaluator::Quality(
     const std::vector<SourceId>& candidate) const {
-  uint64_t key = HashCandidate(candidate);
-  auto it = quality_cache_.find(key);
-  if (it != quality_cache_.end()) {
-    ++cache_hits_;
-    return it->second;
+  uint64_t key = hash_fn_(candidate);
+  double quality = 0.0;
+  if (CacheLookup(key, candidate, &quality)) {
+    cache_hits_.fetch_add(1, std::memory_order_relaxed);
+    return quality;
   }
-  double quality = Evaluate(candidate).quality;
-  if (quality_cache_.size() >= kMaxCacheEntries) quality_cache_.clear();
-  quality_cache_.emplace(key, quality);
+  quality = Evaluate(candidate).quality;
+  CacheInsert(key, candidate, quality);
   return quality;
 }
 
+std::vector<double> CandidateEvaluator::QualityBatch(
+    std::span<const std::vector<SourceId>> candidates,
+    ThreadPool* pool) const {
+  const size_t n = candidates.size();
+  std::vector<double> out(n, 0.0);
+  if (n == 0) return out;
+
+  // Phase 1 (sequential): probe the cache and deduplicate the misses, so a
+  // candidate appearing twice in one batch is computed once and the second
+  // occurrence counts as a cache hit — exactly what a sequence of Quality()
+  // calls would do. kResolved marks entries already answered from cache.
+  constexpr ptrdiff_t kResolved = -1;
+  std::vector<ptrdiff_t> miss_of(n, kResolved);  // index into `misses`
+  std::vector<size_t> misses;                    // first occurrence indices
+  std::vector<uint64_t> miss_keys;
+  std::unordered_map<uint64_t, std::vector<size_t>> pending;  // key → misses
+  int64_t hits = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const std::vector<SourceId>& candidate = candidates[i];
+    uint64_t key = hash_fn_(candidate);
+    if (CacheLookup(key, candidate, &out[i])) {
+      ++hits;
+      continue;
+    }
+    std::vector<size_t>& bucket = pending[key];
+    bool duplicate = false;
+    for (size_t pos : bucket) {
+      if (candidates[misses[pos]] == candidate) {
+        miss_of[i] = static_cast<ptrdiff_t>(pos);
+        ++hits;
+        duplicate = true;
+        break;
+      }
+    }
+    if (duplicate) continue;
+    miss_of[i] = static_cast<ptrdiff_t>(misses.size());
+    bucket.push_back(misses.size());
+    misses.push_back(i);
+    miss_keys.push_back(key);
+  }
+
+  // Phase 2: compute the unique misses — each a pure function of its
+  // candidate, so index order (and thread count) cannot change any value.
+  std::vector<double> computed(misses.size(), 0.0);
+  if (pool != nullptr && misses.size() > 1) {
+    pool->ParallelFor(misses.size(), [&](size_t j) {
+      computed[j] = Evaluate(candidates[misses[j]]).quality;
+    });
+  } else {
+    for (size_t j = 0; j < misses.size(); ++j) {
+      computed[j] = Evaluate(candidates[misses[j]]).quality;
+    }
+  }
+
+  // Phase 3 (sequential): publish to the cache and scatter the results.
+  for (size_t j = 0; j < misses.size(); ++j) {
+    CacheInsert(miss_keys[j], candidates[misses[j]], computed[j]);
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (miss_of[i] != kResolved) {
+      out[i] = computed[static_cast<size_t>(miss_of[i])];
+    }
+  }
+  cache_hits_.fetch_add(hits, std::memory_order_relaxed);
+  return out;
+}
+
 void CandidateEvaluator::ResetCounters() const {
-  evaluations_ = 0;
-  cache_hits_ = 0;
+  evaluations_.store(0, std::memory_order_relaxed);
+  cache_hits_.store(0, std::memory_order_relaxed);
+}
+
+void CandidateEvaluator::ClearCache() const {
+  for (CacheShard& shard : cache_shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.map.clear();
+  }
 }
 
 uint64_t CandidateEvaluator::HashCandidate(

@@ -2,7 +2,10 @@
 #define UBE_OPTIMIZE_EVALUATOR_H_
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
+#include <mutex>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -11,6 +14,7 @@
 #include "qef/quality_model.h"
 #include "source/universe.h"
 #include "util/result.h"
+#include "util/thread_pool.h"
 
 namespace ube {
 
@@ -18,11 +22,29 @@ namespace ube {
 /// Match(S, C, G) when the model needs it, builds the QEF context and
 /// returns Q(S). Infeasible candidates (Match invalid on C) score 0.
 ///
-/// Because tabu search revisits neighbourhoods, Quality() memoizes by a
-/// 64-bit hash of the sorted candidate (bounded cache). Full Evaluate()
-/// (with schema and breakdown) always computes.
+/// Because tabu search revisits neighbourhoods, Quality() memoizes Q(S) in
+/// a sharded, mutex-striped cache: candidates hash to one of
+/// kNumCacheShards shards (by hash prefix), each shard holding its own
+/// mutex and bounded map, so concurrent lookups/inserts only contend when
+/// they land on the same shard. Entries store the full candidate next to
+/// the value and verify it on every hit — a 64-bit hash collision therefore
+/// recomputes instead of silently returning the wrong quality. A shard that
+/// reaches its bound evicts only itself (per-shard clear), never the whole
+/// cache. Full Evaluate() (with schema and breakdown) always computes.
 ///
-/// Not thread-safe (single mutable cache); create one per search thread.
+/// Thread safety: Quality(), QualityBatch(), Evaluate() and the counters
+/// are safe to call concurrently (the referenced Universe/ClusterMatcher/
+/// QualityModel must not be mutated during a search — the constructor
+/// primes the universe's lazily built union signature for that reason).
+/// ResetCounters()/ClearCache()/BeginRun() are not synchronized against
+/// concurrent evaluation; call them between searches.
+///
+/// QualityBatch() scores a whole sampled neighborhood at once, optionally
+/// on a ThreadPool. Results AND counter totals are bit-identical whether
+/// the batch runs inline, on one worker, or on many: cache probing and
+/// intra-batch deduplication happen sequentially up front, only the cache
+/// misses (each a pure function of its candidate) are computed in
+/// parallel, and insertion happens sequentially afterwards.
 class CandidateEvaluator {
  public:
   /// All referees must outlive the evaluator. Call ValidateSpec first; the
@@ -49,6 +71,15 @@ class CandidateEvaluator {
   /// Q(S) only, memoized.
   double Quality(const std::vector<SourceId>& candidate) const;
 
+  /// Q(S) for every candidate in `candidates` (same preconditions as
+  /// Quality), returned in input order. Cache misses are evaluated on
+  /// `pool` when given, inline otherwise; duplicates within the batch are
+  /// computed once and counted as cache hits, exactly as the equivalent
+  /// sequence of Quality() calls would count them.
+  std::vector<double> QualityBatch(
+      std::span<const std::vector<SourceId>> candidates,
+      ThreadPool* pool = nullptr) const;
+
   /// C ∪ {sources referenced by G}, sorted unique — the sources every
   /// feasible candidate must contain (the "permanently tabu" region).
   const std::vector<SourceId>& required_sources() const { return required_; }
@@ -65,12 +96,55 @@ class CandidateEvaluator {
   const Universe& universe() const { return universe_; }
   const QualityModel& model() const { return model_; }
 
-  int64_t num_evaluations() const { return evaluations_; }
-  int64_t num_cache_hits() const { return cache_hits_; }
+  int64_t num_evaluations() const {
+    return evaluations_.load(std::memory_order_relaxed);
+  }
+  int64_t num_cache_hits() const {
+    return cache_hits_.load(std::memory_order_relaxed);
+  }
   void ResetCounters() const;
+
+  /// Drops every memoized quality. Solvers call this (via BeginRun) so each
+  /// run starts cache-cold and reported evaluation counts/times are
+  /// comparable across solvers instead of crediting later runs with the
+  /// earlier runs' warm cache.
+  void ClearCache() const;
+
+  /// ClearCache() + ResetCounters(): what every Solve() invokes first.
+  void BeginRun() const {
+    ClearCache();
+    ResetCounters();
+  }
+
+  /// Test hook: replaces the cache hash function (e.g. with a constant) to
+  /// force collisions and exercise the verify-on-hit path.
+  using HashFn = uint64_t (*)(const std::vector<SourceId>&);
+  void SetHashFunctionForTesting(HashFn fn) { hash_fn_ = fn; }
 
  private:
   static uint64_t HashCandidate(const std::vector<SourceId>& candidate);
+
+  struct CacheEntry {
+    std::vector<SourceId> candidate;  // verified on hit (collision safety)
+    double quality = 0.0;
+  };
+  struct CacheShard {
+    mutable std::mutex mu;
+    std::unordered_map<uint64_t, CacheEntry> map;
+  };
+
+  CacheShard& ShardFor(uint64_t key) const {
+    // Key by hash prefix: the low bits index the shard's map buckets.
+    return cache_shards_[key >> (64 - kShardBits)];
+  }
+  /// Returns true and fills *quality when `candidate` is cached under
+  /// `key`; does not touch counters.
+  bool CacheLookup(uint64_t key, const std::vector<SourceId>& candidate,
+                   double* quality) const;
+  /// Inserts (bounded: a full shard is cleared first). A colliding entry
+  /// for a different candidate is overwritten (last writer wins).
+  void CacheInsert(uint64_t key, const std::vector<SourceId>& candidate,
+                   double quality) const;
 
   const Universe& universe_;
   const ClusterMatcher& matcher_;
@@ -79,10 +153,15 @@ class CandidateEvaluator {
   std::vector<SourceId> required_;
   std::vector<SourceId> banned_;
 
+  static constexpr int kShardBits = 4;
+  static constexpr size_t kNumCacheShards = 1u << kShardBits;
   static constexpr size_t kMaxCacheEntries = 1 << 18;
-  mutable std::unordered_map<uint64_t, double> quality_cache_;
-  mutable int64_t evaluations_ = 0;
-  mutable int64_t cache_hits_ = 0;
+  static constexpr size_t kMaxEntriesPerShard =
+      kMaxCacheEntries / kNumCacheShards;
+  mutable CacheShard cache_shards_[kNumCacheShards];
+  HashFn hash_fn_ = &CandidateEvaluator::HashCandidate;
+  mutable std::atomic<int64_t> evaluations_{0};
+  mutable std::atomic<int64_t> cache_hits_{0};
 };
 
 }  // namespace ube

@@ -33,7 +33,7 @@ Result<Solution> ExhaustiveSolver::Solve(const CandidateEvaluator& evaluator,
   (void)options;  // exhaustive search has no tunables besides the limit
   UBE_RETURN_IF_ERROR(internal::CheckSolvable(evaluator));
   WallTimer timer;
-  evaluator.ResetCounters();
+  evaluator.BeginRun();
 
   const int n = evaluator.universe().num_sources();
   const int m = evaluator.spec().max_sources;

@@ -1,4 +1,5 @@
 #include <algorithm>
+#include <memory>
 #include <vector>
 
 #include "optimize/search_state.h"
@@ -6,6 +7,7 @@
 #include "optimize/solvers.h"
 #include "util/check.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace ube {
@@ -20,7 +22,8 @@ Result<Solution> GreedySolver::Solve(const CandidateEvaluator& evaluator,
                                      const SolverOptions& options) const {
   UBE_RETURN_IF_ERROR(internal::CheckSolvable(evaluator));
   WallTimer timer;
-  evaluator.ResetCounters();
+  evaluator.BeginRun();
+  std::unique_ptr<ThreadPool> pool = internal::MakeEvalPool(options);
 
   const int n = evaluator.universe().num_sources();
   const int m = evaluator.spec().max_sources;
@@ -38,16 +41,25 @@ Result<Solution> GreedySolver::Solve(const CandidateEvaluator& evaluator,
   int64_t iterations = 0;
   std::vector<TracePoint> trace;
 
-  // Seed: if no constraints, start from the best single source.
+  // Seed: if no constraints, start from the best single source. All the
+  // singletons are scored as one batch; ties keep the lowest id, as the
+  // sequential scan did.
   if (current.empty()) {
-    SourceId best_seed = -1;
-    double best_quality = -1.0;
+    std::vector<SourceId> seeds;
+    std::vector<std::vector<SourceId>> candidates;
     for (SourceId s = 0; s < n; ++s) {
       if (excluded[static_cast<size_t>(s)]) continue;
-      double quality = evaluator.Quality({s});
-      if (quality > best_quality) {
-        best_quality = quality;
-        best_seed = s;
+      seeds.push_back(s);
+      candidates.push_back({s});
+    }
+    std::vector<double> qualities =
+        evaluator.QualityBatch(candidates, pool.get());
+    SourceId best_seed = -1;
+    double best_quality = -1.0;
+    for (size_t i = 0; i < seeds.size(); ++i) {
+      if (qualities[i] > best_quality) {
+        best_quality = qualities[i];
+        best_seed = seeds[i];
       }
     }
     UBE_CHECK(best_seed >= 0, "no unbanned source available");
@@ -67,9 +79,10 @@ Result<Solution> GreedySolver::Solve(const CandidateEvaluator& evaluator,
         timer.ElapsedSeconds() > options.time_limit_seconds) {
       break;
     }
-    bool found = false;
-    SourceId best_add = -1;
-    double best_quality = current_quality;
+    // Score every feasible one-source extension as a single batch, then
+    // replay the sequential lowest-id-first selection over the results.
+    std::vector<SourceId> adds;
+    std::vector<std::vector<SourceId>> candidates;
     for (SourceId s = 0; s < n; ++s) {
       if (member[static_cast<size_t>(s)] || excluded[static_cast<size_t>(s)]) {
         continue;
@@ -77,10 +90,18 @@ Result<Solution> GreedySolver::Solve(const CandidateEvaluator& evaluator,
       std::vector<SourceId> candidate = current;
       candidate.insert(
           std::lower_bound(candidate.begin(), candidate.end(), s), s);
-      double quality = evaluator.Quality(candidate);
-      if (quality > best_quality + kEps) {
-        best_quality = quality;
-        best_add = s;
+      adds.push_back(s);
+      candidates.push_back(std::move(candidate));
+    }
+    std::vector<double> qualities =
+        evaluator.QualityBatch(candidates, pool.get());
+    bool found = false;
+    SourceId best_add = -1;
+    double best_quality = current_quality;
+    for (size_t i = 0; i < adds.size(); ++i) {
+      if (qualities[i] > best_quality + kEps) {
+        best_quality = qualities[i];
+        best_add = adds[i];
         found = true;
       }
     }

@@ -1,10 +1,12 @@
 #include <algorithm>
+#include <memory>
 #include <vector>
 
 #include "optimize/search_state.h"
 #include "optimize/solver_internal.h"
 #include "optimize/solvers.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace ube {
@@ -19,8 +21,9 @@ Result<Solution> LocalSearchSolver::Solve(const CandidateEvaluator& evaluator,
                                           const SolverOptions& options) const {
   UBE_RETURN_IF_ERROR(internal::CheckSolvable(evaluator));
   WallTimer timer;
-  evaluator.ResetCounters();
+  evaluator.BeginRun();
   Rng rng(options.seed);
+  std::unique_ptr<ThreadPool> pool = internal::MakeEvalPool(options);
 
   const int n = evaluator.universe().num_sources();
   const int sample = options.candidate_moves > 0
@@ -55,17 +58,27 @@ Result<Solution> LocalSearchSolver::Solve(const CandidateEvaluator& evaluator,
         break;
       }
       ++iterations;
-      bool improved = false;
-      SearchState::Move chosen;
-      double chosen_quality = current;
+      // Sample the neighborhood up front and score it as one batch; the
+      // selection below replays the sequential first-improvement rule over
+      // the precomputed qualities, so any thread count gives the same walk.
+      std::vector<SearchState::Move> moves;
+      std::vector<std::vector<SourceId>> candidates;
       for (int k = 0; k < sample; ++k) {
         SearchState::Move move;
         if (!state.RandomMove(rng, &move)) break;
-        double quality = evaluator.Quality(state.Apply(move));
-        if (quality > chosen_quality + kEps) {
+        moves.push_back(move);
+        candidates.push_back(state.Apply(move));
+      }
+      std::vector<double> qualities =
+          evaluator.QualityBatch(candidates, pool.get());
+      bool improved = false;
+      SearchState::Move chosen;
+      double chosen_quality = current;
+      for (size_t k = 0; k < moves.size(); ++k) {
+        if (qualities[k] > chosen_quality + kEps) {
           improved = true;
-          chosen = move;
-          chosen_quality = quality;
+          chosen = moves[k];
+          chosen_quality = qualities[k];
         }
       }
       if (!improved) break;  // local optimum w.r.t. the sampled neighborhood
@@ -89,7 +102,7 @@ Result<Solution> RandomSolver::Solve(const CandidateEvaluator& evaluator,
                                      const SolverOptions& options) const {
   UBE_RETURN_IF_ERROR(internal::CheckSolvable(evaluator));
   WallTimer timer;
-  evaluator.ResetCounters();
+  evaluator.BeginRun();
   Rng rng(options.seed);
 
   std::vector<SourceId> best;

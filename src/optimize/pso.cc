@@ -1,11 +1,13 @@
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <vector>
 
 #include "optimize/search_state.h"
 #include "optimize/solver_internal.h"
 #include "optimize/solvers.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace ube {
@@ -75,8 +77,9 @@ Result<Solution> PsoSolver::Solve(const CandidateEvaluator& evaluator,
                                   const SolverOptions& options) const {
   UBE_RETURN_IF_ERROR(internal::CheckSolvable(evaluator));
   WallTimer timer;
-  evaluator.ResetCounters();
+  evaluator.BeginRun();
   Rng rng(options.seed);
+  std::unique_ptr<ThreadPool> pool = internal::MakeEvalPool(options);
 
   const int n = evaluator.universe().num_sources();
   const int m = evaluator.spec().max_sources;
@@ -96,6 +99,11 @@ Result<Solution> PsoSolver::Solve(const CandidateEvaluator& evaluator,
   double global_best_quality = -1.0;
   std::vector<TracePoint> trace;
 
+  // Draft the whole swarm first (all rng draws happen here, in particle
+  // order), score every position in one batch, then fold the personal and
+  // global bests in particle order — deterministic for any thread count.
+  std::vector<std::vector<SourceId>> positions;
+  positions.reserve(swarm.size());
   for (Particle& p : swarm) {
     p.velocity.resize(static_cast<size_t>(n));
     for (double& v : p.velocity) v = rng.UniformDouble(-1.0, 1.0);
@@ -104,7 +112,12 @@ Result<Solution> PsoSolver::Solve(const CandidateEvaluator& evaluator,
       p.bits[static_cast<size_t>(s)] = 1;
     }
     p.position = Repair(p.bits, p.velocity, required, banned, m);
-    double quality = evaluator.Quality(p.position);
+    positions.push_back(p.position);
+  }
+  std::vector<double> qualities = evaluator.QualityBatch(positions, pool.get());
+  for (size_t i = 0; i < swarm.size(); ++i) {
+    Particle& p = swarm[i];
+    double quality = qualities[i];
     p.best_bits = p.bits;
     p.best_position = p.position;
     p.best_quality = quality;
@@ -137,7 +150,11 @@ Result<Solution> PsoSolver::Solve(const CandidateEvaluator& evaluator,
     if (pso_stall > 0 && stall >= pso_stall) break;
     ++iterations;
 
+    // Synchronous PSO step: every particle moves against the global best of
+    // the previous iteration, the whole swarm is scored as one batch, and
+    // bests update in particle order afterwards.
     bool improved = false;
+    positions.clear();
     for (Particle& p : swarm) {
       for (int d = 0; d < n; ++d) {
         auto i = static_cast<size_t>(d);
@@ -154,7 +171,12 @@ Result<Solution> PsoSolver::Solve(const CandidateEvaluator& evaluator,
         p.bits[i] = rng.UniformDouble() < Sigmoid(p.velocity[i]) ? 1 : 0;
       }
       p.position = Repair(p.bits, p.velocity, required, banned, m);
-      double quality = evaluator.Quality(p.position);
+      positions.push_back(p.position);
+    }
+    qualities = evaluator.QualityBatch(positions, pool.get());
+    for (size_t i = 0; i < swarm.size(); ++i) {
+      Particle& p = swarm[i];
+      double quality = qualities[i];
       if (quality > p.best_quality) {
         p.best_quality = quality;
         p.best_position = p.position;

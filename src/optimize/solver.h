@@ -26,6 +26,11 @@ struct SolverOptions {
   /// Record a TracePoint in SolverStats::trace every time the incumbent
   /// improves (for convergence analysis; small overhead).
   bool record_trace = false;
+  /// Worker threads for neighborhood evaluation (QualityBatch). 1 = the
+  /// sequential path (default), 0 = hardware_concurrency, N = exactly N.
+  /// For a fixed seed the returned Solution (sources, quality, trace,
+  /// counters) is identical for every value — only wall-clock changes.
+  int num_threads = 1;
 
   // --- tabu search -----------------------------------------------------
   /// Moves sampled per iteration (0 = auto: scales with |U| and m).

@@ -32,4 +32,11 @@ Status CheckSolvable(const CandidateEvaluator& evaluator) {
   return Status::Ok();
 }
 
+std::unique_ptr<ThreadPool> MakeEvalPool(const SolverOptions& options) {
+  int threads = options.num_threads == 0 ? ThreadPool::HardwareConcurrency()
+                                         : options.num_threads;
+  if (threads <= 1) return nullptr;
+  return std::make_unique<ThreadPool>(threads);
+}
+
 }  // namespace ube::internal

@@ -1,12 +1,15 @@
 #ifndef UBE_OPTIMIZE_SOLVER_INTERNAL_H_
 #define UBE_OPTIMIZE_SOLVER_INTERNAL_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "optimize/evaluator.h"
 #include "optimize/problem.h"
+#include "optimize/solver.h"
 #include "util/result.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace ube::internal {
@@ -28,6 +31,10 @@ inline void MaybeTrace(bool enabled, const CandidateEvaluator& evaluator,
 
 /// Common entry checks: non-empty universe. Returns OK or kInfeasible.
 Status CheckSolvable(const CandidateEvaluator& evaluator);
+
+/// Thread pool for QualityBatch per SolverOptions::num_threads, or null
+/// when the resolved count is 1 (QualityBatch then evaluates inline).
+std::unique_ptr<ThreadPool> MakeEvalPool(const SolverOptions& options);
 
 }  // namespace ube::internal
 

@@ -1,10 +1,12 @@
 #include <algorithm>
+#include <memory>
 #include <vector>
 
 #include "optimize/search_state.h"
 #include "optimize/solver_internal.h"
 #include "optimize/solvers.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace ube {
@@ -13,14 +15,24 @@ namespace {
 
 constexpr double kEps = 1e-12;
 
+// Consecutive intensification restarts that fail to improve the incumbent
+// before the search gives up. Each restart gets a full `restart_after`
+// window, so with stall_iterations = s this terminates after roughly
+// kMaxUnproductiveRestarts * s/3 ≈ s non-improving iterations — the
+// patience the option asks for, now spent on restarts that actually
+// explore instead of being cut short by a stall counter that survived the
+// restart (the pre-fix behavior).
+constexpr int kMaxUnproductiveRestarts = 3;
+
 }  // namespace
 
 Result<Solution> TabuSearchSolver::Solve(const CandidateEvaluator& evaluator,
                                          const SolverOptions& options) const {
   UBE_RETURN_IF_ERROR(internal::CheckSolvable(evaluator));
   WallTimer timer;
-  evaluator.ResetCounters();
+  evaluator.BeginRun();
   Rng rng(options.seed);
+  std::unique_ptr<ThreadPool> pool = internal::MakeEvalPool(options);
 
   const int n = evaluator.universe().num_sources();
   const int tenure =
@@ -46,12 +58,18 @@ Result<Solution> TabuSearchSolver::Solve(const CandidateEvaluator& evaluator,
   int stall = 0;
   // Intensification: after `restart_after` non-improving iterations the
   // search jumps back to the incumbent with fresh tabu memory and explores
-  // its neighborhood again from scratch.
+  // its neighborhood again from scratch. Both `stall` and `since_restart`
+  // reset on restart so every restart gets its own exploration budget;
+  // overall patience is bounded by kMaxUnproductiveRestarts instead.
   const int restart_after =
       options.stall_iterations > 0
           ? std::max(8, options.stall_iterations / 3)
           : options.max_iterations;
   int since_restart = 0;
+  int unproductive_restarts = 0;
+  bool improved_since_restart = false;
+  std::vector<SearchState::Move> moves;
+  std::vector<std::vector<SourceId>> candidates;
   for (int iter = 0; iter < options.max_iterations; ++iter) {
     if (options.time_limit_seconds > 0.0 &&
         timer.ElapsedSeconds() > options.time_limit_seconds) {
@@ -61,20 +79,41 @@ Result<Solution> TabuSearchSolver::Solve(const CandidateEvaluator& evaluator,
       break;
     }
     if (since_restart >= restart_after) {
+      if (improved_since_restart) {
+        unproductive_restarts = 0;
+      } else if (++unproductive_restarts >= kMaxUnproductiveRestarts) {
+        break;
+      }
       state.Reset(best);
       current_quality = best_quality;
       std::fill(tabu_add_until.begin(), tabu_add_until.end(), -1);
       std::fill(tabu_drop_until.begin(), tabu_drop_until.end(), -1);
       since_restart = 0;
+      stall = 0;
+      improved_since_restart = false;
     }
     ++iterations;
+
+    // Sample the whole candidate list up front, score it in one batch
+    // (concurrently when a pool is configured), then pick the winner with
+    // the same first-best-in-index-order rule the sequential loop used —
+    // the result is bit-identical for any thread count.
+    moves.clear();
+    candidates.clear();
+    for (int k = 0; k < sample; ++k) {
+      SearchState::Move move;
+      if (!state.RandomMove(rng, &move)) break;
+      moves.push_back(move);
+      candidates.push_back(state.Apply(move));
+    }
+    std::vector<double> qualities =
+        evaluator.QualityBatch(candidates, pool.get());
 
     bool have_move = false;
     SearchState::Move chosen;
     double chosen_quality = 0.0;
-    for (int k = 0; k < sample; ++k) {
-      SearchState::Move move;
-      if (!state.RandomMove(rng, &move)) break;
+    for (size_t k = 0; k < moves.size(); ++k) {
+      const SearchState::Move& move = moves[k];
       bool tabu = false;
       if (move.kind != SearchState::Move::Kind::kDrop &&
           iter < tabu_add_until[static_cast<size_t>(move.in)]) {
@@ -84,7 +123,7 @@ Result<Solution> TabuSearchSolver::Solve(const CandidateEvaluator& evaluator,
           iter < tabu_drop_until[static_cast<size_t>(move.out)]) {
         tabu = true;
       }
-      double quality = evaluator.Quality(state.Apply(move));
+      double quality = qualities[k];
       // Aspiration: a tabu move that beats the incumbent is admissible.
       if (tabu && quality <= best_quality + kEps) continue;
       if (!have_move || quality > chosen_quality) {
@@ -118,6 +157,8 @@ Result<Solution> TabuSearchSolver::Solve(const CandidateEvaluator& evaluator,
                            &trace);
       stall = 0;
       since_restart = 0;
+      improved_since_restart = true;
+      unproductive_restarts = 0;
     } else {
       ++stall;
       ++since_restart;

@@ -1,0 +1,69 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+namespace ube {
+
+int ThreadPool::HardwareConcurrency() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+ThreadPool::ThreadPool(int num_threads) {
+  int count = num_threads == 0 ? HardwareConcurrency()
+                               : std::max(1, num_threads);
+  workers_.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen_epoch = 0;
+  for (;;) {
+    const std::function<void(size_t)>* fn = nullptr;
+    size_t n = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock,
+                    [&] { return shutdown_ || epoch_ != seen_epoch; });
+      if (shutdown_) return;
+      seen_epoch = epoch_;
+      fn = fn_;
+      n = batch_size_;
+    }
+    size_t i;
+    while ((i = next_.fetch_add(1, std::memory_order_relaxed)) < n) {
+      (*fn)(i);
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--active_workers_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n,
+                             const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  std::unique_lock<std::mutex> lock(mu_);
+  fn_ = &fn;
+  batch_size_ = n;
+  next_.store(0, std::memory_order_relaxed);
+  active_workers_ = static_cast<int>(workers_.size());
+  ++epoch_;
+  work_cv_.notify_all();
+  done_cv_.wait(lock, [&] { return active_workers_ == 0; });
+  fn_ = nullptr;
+  batch_size_ = 0;
+}
+
+}  // namespace ube

@@ -1,0 +1,68 @@
+#ifndef UBE_UTIL_THREAD_POOL_H_
+#define UBE_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ube {
+
+/// A fixed-size pool of worker threads for data-parallel loops.
+///
+/// Deliberately work-stealing-free: ParallelFor hands out loop indices from
+/// a single shared atomic counter, so every worker pulls the next undone
+/// index and no task migrates between queues. That keeps the pool tiny,
+/// predictable and fair for the one workload it serves — scoring a batch of
+/// candidate source sets whose per-item cost is similar.
+///
+/// ParallelFor blocks the calling thread until every index has been
+/// processed. The pool itself imposes no ordering between indices; callers
+/// that need determinism must make fn(i) depend only on i (as
+/// CandidateEvaluator::QualityBatch does) and sequence any reduction
+/// afterwards.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers. 0 means HardwareConcurrency(); values
+  /// below that floor are clamped to 1.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Runs fn(i) for every i in [0, n) across the workers and blocks until
+  /// all calls returned. fn must be safe to invoke concurrently for
+  /// distinct indices. Not reentrant: do not call ParallelFor from inside
+  /// fn or from two threads at once.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  /// std::thread::hardware_concurrency with a floor of 1 (the standard
+  /// allows 0 for "unknown").
+  static int HardwareConcurrency();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  // State of the current ParallelFor batch, guarded by mu_ (except next_,
+  // which workers race on by design).
+  const std::function<void(size_t)>* fn_ = nullptr;
+  size_t batch_size_ = 0;
+  std::atomic<size_t> next_{0};
+  int active_workers_ = 0;
+  uint64_t epoch_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace ube
+
+#endif  // UBE_UTIL_THREAD_POOL_H_

@@ -14,6 +14,7 @@
 #include "sketch/distinct_estimator.h"
 #include "source/universe.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace ube {
 namespace {
@@ -54,6 +55,15 @@ ProblemSpec SpecWithM(int m) {
   ProblemSpec spec;
   spec.max_sources = m;
   return spec;
+}
+
+SolverOptions FastOptions(uint64_t seed = 42) {
+  SolverOptions options;
+  options.seed = seed;
+  options.max_iterations = 150;
+  options.stall_iterations = 40;
+  options.random_samples = 300;
+  return options;
 }
 
 // ----------------------------- evaluator --------------------------------
@@ -114,6 +124,100 @@ TEST(EvaluatorTest, QualityIsCardFraction) {
   EXPECT_NEAR(eval.Quality({8, 9}), (900.0 + 1000.0) / 5500.0, 1e-12);
 }
 
+TEST(EvaluatorTest, ClearCacheDropsMemoizedEntries) {
+  KnownOptimumFixture fx;
+  ProblemSpec spec = SpecWithM(3);
+  CandidateEvaluator eval = fx.MakeEvaluator(spec);
+  std::vector<SourceId> candidate = {7, 8, 9};
+  eval.Quality(candidate);
+  EXPECT_EQ(eval.num_evaluations(), 1);
+  // ResetCounters alone must not keep the next lookup warm-cached... it
+  // zeroes counters but leaves the cache; ClearCache drops the entries.
+  eval.ResetCounters();
+  eval.Quality(candidate);
+  EXPECT_EQ(eval.num_evaluations(), 0);
+  EXPECT_EQ(eval.num_cache_hits(), 1);
+  eval.ClearCache();
+  eval.ResetCounters();
+  eval.Quality(candidate);
+  EXPECT_EQ(eval.num_evaluations(), 1);
+  EXPECT_EQ(eval.num_cache_hits(), 0);
+  // BeginRun = ClearCache + ResetCounters.
+  eval.BeginRun();
+  EXPECT_EQ(eval.num_evaluations(), 0);
+  eval.Quality(candidate);
+  EXPECT_EQ(eval.num_evaluations(), 1);
+  EXPECT_EQ(eval.num_cache_hits(), 0);
+}
+
+TEST(EvaluatorTest, SolverRunsStartCacheCold) {
+  // Two identical runs on one evaluator must report identical (non-zero)
+  // evaluation counts: the second run gets no free hits from the first
+  // run's cache, so cross-solver benchmark comparisons stay fair.
+  KnownOptimumFixture fx;
+  ProblemSpec spec = SpecWithM(3);
+  CandidateEvaluator eval = fx.MakeEvaluator(spec);
+  TabuSearchSolver solver;
+  Result<Solution> first = solver.Solve(eval, FastOptions(3));
+  Result<Solution> second = solver.Solve(eval, FastOptions(3));
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_GT(first->stats.evaluations, 0);
+  EXPECT_EQ(first->stats.evaluations, second->stats.evaluations);
+  EXPECT_EQ(first->stats.cache_hits, second->stats.cache_hits);
+}
+
+TEST(EvaluatorTest, HashCollisionsReturnCorrectQualities) {
+  KnownOptimumFixture fx;
+  ProblemSpec spec = SpecWithM(2);
+  CandidateEvaluator eval = fx.MakeEvaluator(spec);
+  // Force every candidate onto one cache key: lookups now collide
+  // constantly and must verify the stored candidate instead of returning
+  // another candidate's quality.
+  eval.SetHashFunctionForTesting(
+      [](const std::vector<SourceId>&) -> uint64_t { return 0; });
+  const double q9 = 1000.0 / 5500.0;
+  const double q1 = 200.0 / 5500.0;
+  EXPECT_NEAR(eval.Quality({9}), q9, 1e-12);
+  EXPECT_NEAR(eval.Quality({1}), q1, 1e-12);   // collides with {9}
+  EXPECT_NEAR(eval.Quality({9}), q9, 1e-12);   // and back
+  EXPECT_NEAR(eval.Quality({1}), q1, 1e-12);
+  // Batch path under the same degenerate hash.
+  std::vector<std::vector<SourceId>> batch = {{9}, {1}, {8, 9}, {9}};
+  std::vector<double> qualities = eval.QualityBatch(batch);
+  EXPECT_NEAR(qualities[0], q9, 1e-12);
+  EXPECT_NEAR(qualities[1], q1, 1e-12);
+  EXPECT_NEAR(qualities[2], 1900.0 / 5500.0, 1e-12);
+  EXPECT_NEAR(qualities[3], q9, 1e-12);
+}
+
+TEST(EvaluatorTest, QualityBatchMatchesSequentialQuality) {
+  KnownOptimumFixture fx;
+  ProblemSpec spec = SpecWithM(3);
+  CandidateEvaluator eval = fx.MakeEvaluator(spec);
+  std::vector<std::vector<SourceId>> batch = {
+      {7, 8, 9}, {0, 1}, {7, 8, 9}, {2}, {0, 1}, {5}};
+  CandidateEvaluator reference = fx.MakeEvaluator(spec);
+  std::vector<double> expected;
+  for (const auto& candidate : batch) {
+    expected.push_back(reference.Quality(candidate));
+  }
+  // Inline (no pool) batch.
+  std::vector<double> inline_results = eval.QualityBatch(batch);
+  EXPECT_EQ(inline_results, expected);
+  // Duplicate candidates are computed once and counted as hits, exactly
+  // like the sequential Quality() loop.
+  EXPECT_EQ(eval.num_evaluations(), reference.num_evaluations());
+  EXPECT_EQ(eval.num_cache_hits(), reference.num_cache_hits());
+  // Pooled batch: identical values and counter totals.
+  eval.BeginRun();
+  ThreadPool pool(4);
+  std::vector<double> pooled_results = eval.QualityBatch(batch, &pool);
+  EXPECT_EQ(pooled_results, expected);
+  EXPECT_EQ(eval.num_evaluations(), reference.num_evaluations());
+  EXPECT_EQ(eval.num_cache_hits(), reference.num_cache_hits());
+}
+
 // ----------------------------- SearchState ------------------------------
 
 TEST(SearchStateTest, RandomInitialIsFeasible) {
@@ -172,15 +276,6 @@ TEST(SearchStateTest, NonMembers) {
 }
 
 // ------------------------------ solvers ---------------------------------
-
-SolverOptions FastOptions(uint64_t seed = 42) {
-  SolverOptions options;
-  options.seed = seed;
-  options.max_iterations = 150;
-  options.stall_iterations = 40;
-  options.random_samples = 300;
-  return options;
-}
 
 class AllSolversTest : public ::testing::TestWithParam<SolverKind> {};
 
@@ -248,6 +343,78 @@ TEST(TabuSearchTest, DeterministicForSeed) {
   EXPECT_EQ(a->sources, b->sources);
   EXPECT_DOUBLE_EQ(a->quality, b->quality);
   EXPECT_EQ(a->stats.iterations, b->stats.iterations);
+}
+
+// Parallel evaluation must not change any observable output: for a fixed
+// seed, num_threads = 1 and num_threads = 4 return the same sources,
+// quality, iteration/evaluation counters and trace.
+class ParallelDeterminismTest : public ::testing::TestWithParam<SolverKind> {};
+
+TEST_P(ParallelDeterminismTest, ThreadCountDoesNotChangeResult) {
+  KnownOptimumFixture fx;
+  ProblemSpec spec = SpecWithM(4);
+  spec.source_constraints = {2};
+  std::unique_ptr<Solver> solver = MakeSolver(GetParam());
+
+  SolverOptions sequential = FastOptions(13);
+  sequential.record_trace = true;
+  sequential.num_threads = 1;
+  CandidateEvaluator eval_seq = fx.MakeEvaluator(spec);
+  Result<Solution> seq = solver->Solve(eval_seq, sequential);
+  ASSERT_TRUE(seq.ok()) << seq.status();
+
+  SolverOptions parallel = sequential;
+  parallel.num_threads = 4;
+  CandidateEvaluator eval_par = fx.MakeEvaluator(spec);
+  Result<Solution> par = solver->Solve(eval_par, parallel);
+  ASSERT_TRUE(par.ok()) << par.status();
+
+  EXPECT_EQ(seq->sources, par->sources);
+  EXPECT_DOUBLE_EQ(seq->quality, par->quality);
+  EXPECT_EQ(seq->stats.iterations, par->stats.iterations);
+  EXPECT_EQ(seq->stats.evaluations, par->stats.evaluations);
+  EXPECT_EQ(seq->stats.cache_hits, par->stats.cache_hits);
+  ASSERT_EQ(seq->stats.trace.size(), par->stats.trace.size());
+  for (size_t i = 0; i < seq->stats.trace.size(); ++i) {
+    EXPECT_EQ(seq->stats.trace[i].evaluations,
+              par->stats.trace[i].evaluations);
+    EXPECT_DOUBLE_EQ(seq->stats.trace[i].best_quality,
+                     par->stats.trace[i].best_quality);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kinds, ParallelDeterminismTest,
+    ::testing::Values(SolverKind::kTabu, SolverKind::kLocalSearch,
+                      SolverKind::kAnnealing, SolverKind::kPso,
+                      SolverKind::kGreedy),
+    [](const ::testing::TestParamInfo<SolverKind>& info) {
+      return std::string(SolverKindName(info.param));
+    });
+
+TEST(TabuSearchTest, RestartsGetFreshStallBudget) {
+  // On this tiny fixture the optimum is found almost immediately, so the
+  // whole run is one long stall. Pre-fix, the stall counter survived
+  // intensification restarts and killed the search after at most
+  // stall_iterations total non-improving iterations (~3 restarts). Now each
+  // restart gets its own restart_after window and the search ends after
+  // kMaxUnproductiveRestarts consecutive unproductive restarts — strictly
+  // more exploration than before, still far short of max_iterations.
+  KnownOptimumFixture fx;
+  ProblemSpec spec = SpecWithM(3);
+  CandidateEvaluator eval = fx.MakeEvaluator(spec);
+  SolverOptions options = FastOptions(5);
+  options.max_iterations = 100000;
+  options.stall_iterations = 60;  // restart_after = 20
+  Result<Solution> solution = TabuSearchSolver().Solve(eval, options);
+  ASSERT_TRUE(solution.ok());
+  EXPECT_EQ(solution->sources, (std::vector<SourceId>{7, 8, 9}));
+  // Terminates by unproductive restarts, not by exhausting the budget.
+  EXPECT_LT(solution->stats.iterations, 1000);
+  // And explores more than the pre-fix cap of stall_iterations iterations
+  // after the last improvement (4 windows of 20 = 80 > 60, plus the moves
+  // spent before the incumbent was found).
+  EXPECT_GT(solution->stats.iterations, 60);
 }
 
 TEST(TabuSearchTest, MatchesExhaustiveOnSmallInstances) {

@@ -1,4 +1,5 @@
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <set>
 #include <vector>
@@ -10,6 +11,7 @@
 #include "util/rng.h"
 #include "util/status.h"
 #include "util/strings.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace ube {
@@ -344,6 +346,43 @@ TEST(TimerTest, MeasuresElapsedTime) {
   EXPECT_GE(timer.ElapsedSeconds(), t0);
   timer.Reset();
   EXPECT_LT(timer.ElapsedSeconds(), 1.0);
+}
+
+// ------------------------------ ThreadPool ------------------------------
+
+TEST(ThreadPoolTest, ParallelForVisitsEveryIndexExactlyOnce) {
+  for (int threads : {1, 2, 4}) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(pool.num_threads(), threads);
+    const size_t n = 10007;
+    std::vector<std::atomic<int>> visits(n);
+    for (auto& v : visits) v.store(0);
+    pool.ParallelFor(n, [&](size_t i) {
+      visits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(visits[i].load(), 1) << "index " << i;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForHandlesEmptyAndReuse) {
+  ThreadPool pool(2);
+  pool.ParallelFor(0, [](size_t) { FAIL() << "must not be called"; });
+  // The pool is reusable across many batches.
+  std::atomic<int64_t> sum{0};
+  for (int round = 0; round < 50; ++round) {
+    pool.ParallelFor(16, [&](size_t i) {
+      sum.fetch_add(static_cast<int64_t>(i), std::memory_order_relaxed);
+    });
+  }
+  EXPECT_EQ(sum.load(), 50 * (15 * 16 / 2));
+}
+
+TEST(ThreadPoolTest, ZeroMeansHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), ThreadPool::HardwareConcurrency());
+  EXPECT_GE(ThreadPool::HardwareConcurrency(), 1);
 }
 
 }  // namespace
