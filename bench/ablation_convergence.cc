@@ -29,10 +29,11 @@ double QualityAt(const std::vector<TracePoint>& trace, int64_t evaluations) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchArgs args = ParseBenchArgs(argc, argv);
   std::printf("Convergence — incumbent Q(S) vs evaluations spent "
               "(choose 20 of 200, seed 3)\n\n");
-  GeneratedWorkload workload = MakeWorkload(200);
+  GeneratedWorkload workload = MakeWorkload(200, args.workload_seed);
   Engine engine(std::move(workload.universe), QualityModel::MakeDefault());
   ProblemSpec spec;
   spec.max_sources = 20;
@@ -46,7 +47,7 @@ int main() {
   for (SolverKind kind : {SolverKind::kTabu, SolverKind::kLocalSearch,
                           SolverKind::kAnnealing, SolverKind::kPso,
                           SolverKind::kRandom}) {
-    SolverOptions options = BenchSolverOptions(3);
+    SolverOptions options = BenchSolverOptions(args.SolverSeed(3));
     options.record_trace = true;
     options.max_iterations = 400;
     options.stall_iterations = 0;  // run the full budget

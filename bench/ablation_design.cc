@@ -30,7 +30,8 @@ QualityModel ModelWithRedundancy(RedundancyQef::Mode mode) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchArgs args = ParseBenchArgs(argc, argv);
   std::printf("Design ablations (choose 20 of 200 unless noted)\n");
 
   // --- 1. redundancy formula -------------------------------------------
@@ -38,12 +39,12 @@ int main() {
   PrintRow({"mode", "Q(S)", "redundancy", "coverage"});
   for (auto mode : {RedundancyQef::Mode::kOverlapFactor,
                     RedundancyQef::Mode::kUnionRatio}) {
-    GeneratedWorkload workload = MakeWorkload(200);
+    GeneratedWorkload workload = MakeWorkload(200, args.workload_seed);
     Engine engine(std::move(workload.universe), ModelWithRedundancy(mode));
     ProblemSpec spec;
     spec.max_sources = 20;
     Result<Solution> solution =
-        engine.Solve(spec, SolverKind::kTabu, BenchSolverOptions());
+        engine.Solve(spec, SolverKind::kTabu, BenchSolverOptions(args.SolverSeed()));
     if (!solution.ok()) continue;
     PrintRow({mode == RedundancyQef::Mode::kOverlapFactor ? "overlap-factor"
                                                           : "union-ratio",
@@ -56,7 +57,7 @@ int main() {
   std::printf("\n-- similarity-graph floor (|U|=400) --\n");
   PrintRow({"floor", "edges", "build(s)"});
   for (double floor : {0.0, 0.25, 0.5, 0.75}) {
-    GeneratedWorkload workload = MakeWorkload(400);
+    GeneratedWorkload workload = MakeWorkload(400, args.workload_seed);
     WallTimer timer;
     SimilarityGraph graph =
         SimilarityGraph::WithDefaults(workload.universe, floor);
@@ -68,12 +69,12 @@ int main() {
   // --- 3. tabu candidate-list size --------------------------------------
   std::printf("\n-- tabu candidate-list size --\n");
   PrintRow({"moves/iter", "Q(S)", "time(s)", "evaluations"});
-  GeneratedWorkload workload = MakeWorkload(200);
+  GeneratedWorkload workload = MakeWorkload(200, args.workload_seed);
   Engine engine(std::move(workload.universe), QualityModel::MakeDefault());
   for (int moves : {8, 16, 32, 64, 128}) {
     ProblemSpec spec;
     spec.max_sources = 20;
-    SolverOptions options = BenchSolverOptions();
+    SolverOptions options = BenchSolverOptions(args.SolverSeed());
     options.candidate_moves = moves;
     WallTimer timer;
     Result<Solution> solution =

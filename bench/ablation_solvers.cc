@@ -18,7 +18,8 @@ using namespace ube::bench;
 
 namespace {
 
-void RunInstance(Engine& engine, const ProblemSpec& spec) {
+void RunInstance(const BenchArgs& args, Engine& engine,
+                 const ProblemSpec& spec) {
   PrintRow({"solver", "mean Q", "min Q", "max Q", "mean time(s)",
             "mean evals"});
   const std::vector<SolverKind> kinds = {
@@ -30,7 +31,7 @@ void RunInstance(Engine& engine, const ProblemSpec& spec) {
     int64_t sum_evals = 0;
     int runs = 0;
     for (uint64_t seed = 1; seed <= 5; ++seed) {
-      SolverOptions options = BenchSolverOptions(seed);
+      SolverOptions options = BenchSolverOptions(args.SolverSeed(seed));
       // Equalized effort: every solver gets the same nominal budget of
       // ~400x32 candidate evaluations and the same patience.
       options.max_iterations = 400;
@@ -59,23 +60,24 @@ void RunInstance(Engine& engine, const ProblemSpec& spec) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchArgs args = ParseBenchArgs(argc, argv);
   std::printf("Solver ablation — choose 20 of 200, 5 seeds per solver, "
               "matched budgets\n");
-  GeneratedWorkload workload = MakeWorkload(200);
+  GeneratedWorkload workload = MakeWorkload(200, args.workload_seed);
   std::vector<ConstraintSet> sets = PaperConstraintSets(workload);
   Engine engine(std::move(workload.universe), QualityModel::MakeDefault());
 
   std::printf("\n-- unconstrained --\n");
   ProblemSpec spec;
   spec.max_sources = 20;
-  RunInstance(engine, spec);
+  RunInstance(args, engine, spec);
 
   std::printf("\n-- 5 source + 2 GA constraints --\n");
   ProblemSpec constrained = spec;
   constrained.source_constraints = sets.back().sources;
   constrained.ga_constraints = sets.back().gas;
-  RunInstance(engine, constrained);
+  RunInstance(args, engine, constrained);
 
   std::printf("\n(paper: tabu search is the most robust and highest "
               "quality; random is the floor)\n");

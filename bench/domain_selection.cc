@@ -43,7 +43,8 @@ QualityModel ModelWithCoherenceWeight(double coherence_weight) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchArgs args = ParseBenchArgs(argc, argv);
   std::printf("Domain coherence — mixed universe (50%% books, 20%% "
               "airfares, 15%% movies, 15%% musicrecords; |U|=300, m=20)\n\n");
   PrintRow({"w(coher)", "books", "airfares", "movies", "music", "GAs",
@@ -52,7 +53,7 @@ int main() {
   for (double weight : {0.0, 0.15, 0.3, 0.5, 0.7, 0.9}) {
     MixedWorkloadConfig config;
     config.base.num_sources = 300;
-    config.base.seed = 17;
+    config.base.seed = args.workload_seed;
     config.base.scale = 0.01;
     config.mix = {{FindDomain("books"), 0.50},
                   {FindDomain("airfares"), 0.20},
@@ -70,7 +71,7 @@ int main() {
     ProblemSpec spec;
     spec.max_sources = 20;
     Result<Solution> solution =
-        engine.Solve(spec, SolverKind::kTabu, BenchSolverOptions());
+        engine.Solve(spec, SolverKind::kTabu, BenchSolverOptions(args.SolverSeed()));
     if (!solution.ok()) continue;
 
     int counts[4] = {0, 0, 0, 0};

@@ -12,7 +12,8 @@
 using namespace ube;
 using namespace ube::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchArgs args = ParseBenchArgs(argc, argv);
   std::printf("Figure 5 — execution time (s) vs universe size "
               "(choose m=20, tabu search)\n");
   std::printf("columns: universe size | one column per constraint set\n\n");
@@ -20,7 +21,7 @@ int main() {
             "graph-build"});
 
   for (int n = 100; n <= 700; n += 100) {
-    GeneratedWorkload workload = MakeWorkload(n);
+    GeneratedWorkload workload = MakeWorkload(n, args.workload_seed);
     std::vector<ConstraintSet> sets = PaperConstraintSets(workload);
 
     WallTimer build_timer;
@@ -35,7 +36,7 @@ int main() {
       spec.ga_constraints = cs.gas;
       WallTimer timer;
       Result<Solution> solution =
-          engine.Solve(spec, SolverKind::kTabu, BenchSolverOptions());
+          engine.Solve(spec, SolverKind::kTabu, BenchSolverOptions(args.SolverSeed()));
       double seconds = timer.ElapsedSeconds();
       if (!solution.ok()) {
         row.push_back("ERR");

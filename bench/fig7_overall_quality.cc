@@ -11,10 +11,11 @@
 using namespace ube;
 using namespace ube::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchArgs args = ParseBenchArgs(argc, argv);
   std::printf("Figure 7 — overall quality Q(S) vs sources to choose "
               "(|U|=200, tabu search)\n\n");
-  GeneratedWorkload workload = MakeWorkload(200);
+  GeneratedWorkload workload = MakeWorkload(200, args.workload_seed);
   std::vector<ConstraintSet> sets = PaperConstraintSets(workload);
   Engine engine(std::move(workload.universe), QualityModel::MakeDefault());
 
@@ -27,7 +28,7 @@ int main() {
       spec.source_constraints = cs.sources;
       spec.ga_constraints = cs.gas;
       Result<Solution> solution =
-          engine.Solve(spec, SolverKind::kTabu, BenchSolverOptions());
+          engine.Solve(spec, SolverKind::kTabu, BenchSolverOptions(args.SolverSeed()));
       row.push_back(solution.ok() ? Fmt("%.4f", solution->quality) : "ERR");
     }
     PrintRow(row);

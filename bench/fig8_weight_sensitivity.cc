@@ -32,19 +32,20 @@ QualityModel ModelWithCardWeight(double card_weight) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchArgs args = ParseBenchArgs(argc, argv);
   std::printf("Figure 8 — solution cardinality vs Card QEF weight "
               "(choose 20 of 200; other weights equal)\n\n");
   PrintRow({"w(Card)", "solution card", "Card(S)", "Q(S)"});
 
   for (int step = 1; step <= 10; ++step) {
     double weight = step / 10.0;
-    GeneratedWorkload workload = MakeWorkload(200);
+    GeneratedWorkload workload = MakeWorkload(200, args.workload_seed);
     Engine engine(std::move(workload.universe), ModelWithCardWeight(weight));
     ProblemSpec spec;
     spec.max_sources = 20;
     Result<Solution> solution =
-        engine.Solve(spec, SolverKind::kTabu, BenchSolverOptions());
+        engine.Solve(spec, SolverKind::kTabu, BenchSolverOptions(args.SolverSeed()));
     if (!solution.ok()) {
       std::printf("w=%.1f: %s\n", weight,
                   solution.status().ToString().c_str());

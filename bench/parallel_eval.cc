@@ -63,13 +63,14 @@ double MeasureThroughput(const CandidateEvaluator& evaluator, int threads,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchArgs args = ParseBenchArgs(argc, argv);
   std::printf("QualityBatch throughput — 200 sources, choose 20, "
               "64-move neighborhoods, cache-cold per configuration\n");
   std::printf("(hardware threads available: %d)\n\n",
               ThreadPool::HardwareConcurrency());
 
-  GeneratedWorkload workload = MakeWorkload(200);
+  GeneratedWorkload workload = MakeWorkload(200, args.workload_seed);
   Engine engine(std::move(workload.universe), QualityModel::MakeDefault());
   ProblemSpec spec;
   spec.max_sources = 20;
@@ -97,7 +98,7 @@ int main() {
   PrintRow({"threads", "time(s)", "quality", "evals"});
   std::vector<SourceId> reference_sources;
   for (int threads : {1, 8}) {
-    SolverOptions options = BenchSolverOptions(1, threads);
+    SolverOptions options = BenchSolverOptions(args.SolverSeed(1), threads);
     options.max_iterations = 120;
     options.stall_iterations = 60;
     WallTimer timer;

@@ -86,17 +86,17 @@ std::vector<int> ConceptsCovered(const MediatedSchema& schema,
   return out;
 }
 
-void RunRegime(SolverKind kind, const char* label) {
+void RunRegime(const BenchArgs& args, SolverKind kind, const char* label) {
   const std::vector<double> base = {0.25, 0.25, 0.20, 0.15, 0.15};
   ProblemSpec spec;
   spec.max_sources = 20;
 
-  GeneratedWorkload baseline_workload = MakeWorkload(200);
+  GeneratedWorkload baseline_workload = MakeWorkload(200, args.workload_seed);
   GroundTruth truth = baseline_workload.ground_truth;
   Engine baseline_engine(std::move(baseline_workload.universe),
                          ModelWithWeights(base));
   Result<Solution> baseline =
-      baseline_engine.Solve(spec, kind, BenchSolverOptions());
+      baseline_engine.Solve(spec, kind, BenchSolverOptions(args.SolverSeed()));
   if (!baseline.ok()) {
     std::printf("baseline failed: %s\n",
                 baseline.status().ToString().c_str());
@@ -119,10 +119,10 @@ void RunRegime(SolverKind kind, const char* label) {
     }
     for (double& w : weights) w /= total;  // renormalize to sum 1
 
-    GeneratedWorkload workload = MakeWorkload(200);
+    GeneratedWorkload workload = MakeWorkload(200, args.workload_seed);
     Engine engine(std::move(workload.universe), ModelWithWeights(weights));
     Result<Solution> solution = engine.Solve(spec, kind,
-                                             BenchSolverOptions());
+                                             BenchSolverOptions(args.SolverSeed()));
     if (!solution.ok()) {
       std::printf("trial %d failed\n", trial);
       continue;
@@ -153,11 +153,12 @@ void RunRegime(SolverKind kind, const char* label) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchArgs args = ParseBenchArgs(argc, argv);
   std::printf("§7.4 — robustness to ±15%% weight perturbation "
               "(choose 20 of 200; 10 trials)\n");
-  RunRegime(SolverKind::kGreedy, "greedy (deterministic argmax)");
-  RunRegime(SolverKind::kTabu, "tabu (includes search noise)");
+  RunRegime(args, SolverKind::kGreedy, "greedy (deterministic argmax)");
+  RunRegime(args, SolverKind::kTabu, "tabu (includes search noise)");
   std::printf("\n(paper: at most 1 GA changed, sources rarely changed — "
               "the deterministic regime is the comparable one)\n");
   return 0;

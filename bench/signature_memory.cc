@@ -14,7 +14,8 @@
 using namespace ube;
 using namespace ube::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchArgs args = ParseBenchArgs(argc, argv);
   std::printf("§7.1 — signature memory accounting (700 sources)\n\n");
   PrintRow({"signature", "bytes/source", "total MB", "note"}, 16);
 
@@ -30,6 +31,7 @@ int main() {
   // over [10k, 1M]; estimate the expectation from the generator's rank map.
   WorkloadConfig config;
   config.num_sources = 700;
+  config.seed = args.workload_seed;
   config.generate_data = false;  // cardinalities only
   GeneratedWorkload workload = GenerateWorkload(config);
   int64_t total_tuples = workload.universe.TotalCardinality();

@@ -13,10 +13,11 @@
 using namespace ube;
 using namespace ube::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchArgs args = ParseBenchArgs(argc, argv);
   std::printf("Table 1 — quality of GAs (|U|=200, no constraints, "
               "14 ground-truth concepts)\n\n");
-  GeneratedWorkload workload = MakeWorkload(200);
+  GeneratedWorkload workload = MakeWorkload(200, args.workload_seed);
   GroundTruth truth = workload.ground_truth;
   Engine engine(std::move(workload.universe), QualityModel::MakeDefault());
 
@@ -28,7 +29,7 @@ int main() {
     ProblemSpec spec;
     spec.max_sources = m;
     Result<Solution> solution =
-        engine.Solve(spec, SolverKind::kTabu, BenchSolverOptions());
+        engine.Solve(spec, SolverKind::kTabu, BenchSolverOptions(args.SolverSeed()));
     if (!solution.ok()) {
       std::printf("m=%d: %s\n", m, solution.status().ToString().c_str());
       continue;

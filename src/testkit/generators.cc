@@ -1,0 +1,304 @@
+#include "testkit/generators.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "qef/qef.h"
+#include "sketch/distinct_estimator.h"
+#include "util/check.h"
+
+namespace ube::testkit {
+
+namespace {
+
+// Shared concept vocabulary: attribute names across sources are variants of
+// these, so the similarity graph has real cluster structure to find.
+constexpr const char* kConceptNames[] = {
+    "title",  "author", "publisher", "price", "isbn",    "year",
+    "format", "language", "rating",  "pages", "edition", "binding"};
+constexpr int kNumConcepts =
+    static_cast<int>(sizeof(kConceptNames) / sizeof(kConceptNames[0]));
+
+constexpr const char* kPrefixes[] = {"", "book_", "item_"};
+constexpr const char* kSuffixes[] = {"", "s", "_name", "_id", "_info"};
+
+std::string RandomNoiseName(Rng& rng) {
+  int length = static_cast<int>(rng.UniformInt(4, 8));
+  std::string name;
+  name.reserve(static_cast<size_t>(length) + 1);
+  name.push_back('z');  // keep noise disjoint-ish from the vocabulary
+  for (int i = 0; i < length; ++i) {
+    name.push_back(static_cast<char>('a' + rng.UniformInt(26)));
+  }
+  return name;
+}
+
+std::string ConceptVariant(Rng& rng, int concept_id, double variant_p) {
+  std::string base = kConceptNames[concept_id];
+  if (!rng.Bernoulli(variant_p)) return base;
+  const char* prefix = kPrefixes[rng.UniformInt(
+      sizeof(kPrefixes) / sizeof(kPrefixes[0]))];
+  const char* suffix = kSuffixes[rng.UniformInt(
+      sizeof(kSuffixes) / sizeof(kSuffixes[0]))];
+  return std::string(prefix) + base + suffix;
+}
+
+}  // namespace
+
+Universe GenerateUniverse(Rng& rng, const UniverseGenOptions& options) {
+  UBE_CHECK(options.min_sources >= 1 &&
+                options.min_sources <= options.max_sources,
+            "GenerateUniverse: bad source-count range");
+  UBE_CHECK(options.min_attributes >= 1 &&
+                options.min_attributes <= options.max_attributes,
+            "GenerateUniverse: bad attribute-count range");
+  const int vocabulary =
+      std::clamp(options.vocabulary_concepts, 1, kNumConcepts);
+  const int num_sources = static_cast<int>(
+      rng.UniformInt(options.min_sources, options.max_sources));
+
+  Universe universe;
+  for (int s = 0; s < num_sources; ++s) {
+    // Schema: a random distinct concept subset, each attribute either a
+    // variant of its concept's name or pure noise.
+    const int max_attrs =
+        std::max(options.min_attributes,
+                 std::min(options.max_attributes, vocabulary));
+    const int num_attrs = static_cast<int>(
+        rng.UniformInt(options.min_attributes, max_attrs));
+    std::vector<int> concepts(static_cast<size_t>(vocabulary));
+    for (int c = 0; c < vocabulary; ++c) concepts[static_cast<size_t>(c)] = c;
+    // Partial Fisher-Yates: the first sampled entries are distinct; any
+    // surplus attributes (num_attrs > vocabulary) reuse random concepts.
+    const int distinct = std::min(num_attrs, vocabulary);
+    for (int i = 0; i < distinct; ++i) {
+      int j = i + static_cast<int>(rng.UniformInt(
+                      static_cast<uint64_t>(vocabulary - i)));
+      std::swap(concepts[static_cast<size_t>(i)],
+                concepts[static_cast<size_t>(j)]);
+    }
+    std::vector<std::string> names;
+    names.reserve(static_cast<size_t>(num_attrs));
+    for (int a = 0; a < num_attrs; ++a) {
+      const int concept_id =
+          a < distinct
+              ? concepts[static_cast<size_t>(a)]
+              : static_cast<int>(rng.UniformInt(
+                    static_cast<uint64_t>(vocabulary)));
+      if (rng.Bernoulli(options.noise_attribute_probability)) {
+        names.push_back(RandomNoiseName(rng));
+      } else {
+        names.push_back(ConceptVariant(rng, concept_id,
+                                       options.variant_probability));
+      }
+    }
+
+    DataSource source("rnd" + std::to_string(s),
+                      SourceSchema(std::move(names)));
+
+    // Data: ids from the shared pool (overlap) or a private range.
+    const int64_t cardinality = rng.UniformInt(options.min_cardinality,
+                                               options.max_cardinality);
+    source.set_cardinality(cardinality);
+    if (!rng.Bernoulli(options.uncooperative_probability)) {
+      std::unique_ptr<DistinctSignature> signature =
+          MakeSignature(options.exact_signatures ? SignatureKind::kExact
+                                                 : SignatureKind::kPcsa,
+                        options.pcsa_bitmaps);
+      for (int64_t i = 0; i < cardinality; ++i) {
+        uint64_t id;
+        if (rng.Bernoulli(options.shared_fraction)) {
+          id = rng.UniformInt(static_cast<uint64_t>(options.shared_pool));
+        } else {
+          id = static_cast<uint64_t>(s + 1) * 10'000'000ull +
+               static_cast<uint64_t>(i);
+        }
+        signature->Add(id);
+      }
+      source.set_signature(std::move(signature));
+    }
+
+    if (rng.Bernoulli(options.characteristic_probability)) {
+      source.SetCharacteristic("mttf", rng.UniformDouble(1.0, 200.0));
+    }
+    universe.AddSource(std::move(source));
+  }
+  return universe;
+}
+
+ProblemSpec GenerateSpec(Rng& rng, const Universe& universe,
+                         const SpecGenOptions& options) {
+  const int n = universe.num_sources();
+  UBE_CHECK(n >= 1, "GenerateSpec needs a non-empty universe");
+  ProblemSpec spec;
+  spec.max_sources = static_cast<int>(rng.UniformInt(
+      std::min(options.min_m, n), std::min(options.max_m, n)));
+  if (options.randomize_thresholds) {
+    spec.theta = rng.UniformDouble(0.3, 0.9);
+    spec.beta = rng.Bernoulli(0.25) ? 3 : 2;
+  }
+
+  auto contains = [](const std::vector<SourceId>& v, SourceId s) {
+    return std::find(v.begin(), v.end(), s) != v.end();
+  };
+
+  // Source constraints: up to m - 1 of them so the solver keeps a choice.
+  if (spec.max_sources >= 2 &&
+      rng.Bernoulli(options.source_constraint_probability)) {
+    int count = 1 + static_cast<int>(rng.UniformInt(
+                        static_cast<uint64_t>(
+                            std::min(2, spec.max_sources - 1))));
+    for (int i = 0; i < count; ++i) {
+      SourceId s = static_cast<SourceId>(rng.UniformInt(
+          static_cast<uint64_t>(n)));
+      if (!contains(spec.source_constraints, s)) {
+        spec.source_constraints.push_back(s);
+      }
+    }
+  }
+
+  // GA constraint: two sources sharing an attribute name verbatim, if any
+  // pair exists and forcing both sources still fits under m.
+  if (rng.Bernoulli(options.ga_constraint_probability)) {
+    for (SourceId s1 = 0; s1 < n; ++s1) {
+      const SourceSchema& schema1 = universe.source(s1).schema();
+      GlobalAttribute found;
+      for (SourceId s2 = s1 + 1; s2 < n && found.empty(); ++s2) {
+        const SourceSchema& schema2 = universe.source(s2).schema();
+        for (int a1 = 0; a1 < schema1.num_attributes() && found.empty();
+             ++a1) {
+          int a2 = schema2.FindAttribute(schema1.attribute_name(a1));
+          if (a2 >= 0) {
+            found = GlobalAttribute({AttributeId{s1, a1},
+                                     AttributeId{s2, a2}});
+          }
+        }
+      }
+      if (found.empty()) continue;
+      std::vector<SourceId> required = spec.source_constraints;
+      for (SourceId s : found.Sources()) {
+        if (!contains(required, s)) required.push_back(s);
+      }
+      if (static_cast<int>(required.size()) <= spec.max_sources) {
+        spec.ga_constraints.push_back(std::move(found));
+      }
+      break;
+    }
+  }
+
+  // Bans: never a required source, and always leave at least one
+  // selectable source beyond the requirements.
+  std::vector<SourceId> required = spec.source_constraints;
+  for (const GlobalAttribute& g : spec.ga_constraints) {
+    for (SourceId s : g.Sources()) {
+      if (!contains(required, s)) required.push_back(s);
+    }
+  }
+  if (rng.Bernoulli(options.ban_probability)) {
+    int budget = n - static_cast<int>(required.size()) - 1;
+    int count = std::min(2, budget);
+    for (int i = 0; i < count; ++i) {
+      SourceId s = static_cast<SourceId>(rng.UniformInt(
+          static_cast<uint64_t>(n)));
+      if (!contains(required, s) && !contains(spec.banned_sources, s)) {
+        spec.banned_sources.push_back(s);
+      }
+    }
+  }
+  return spec;
+}
+
+std::vector<double> GenerateWeights(Rng& rng, int count) {
+  UBE_CHECK(count >= 1, "GenerateWeights needs count >= 1");
+  std::vector<double> weights(static_cast<size_t>(count));
+  double sum = 0.0;
+  for (double& w : weights) {
+    w = rng.UniformDouble(0.05, 1.0);  // bounded away from 0: every QEF
+    sum += w;                          // keeps a say in the optimum
+  }
+  for (double& w : weights) w /= sum;
+  return weights;
+}
+
+QualityModel GenerateModel(Rng& rng, bool include_matching) {
+  const int count = include_matching ? 5 : 4;
+  std::vector<double> weights = GenerateWeights(rng, count);
+  QualityModel model;
+  size_t i = 0;
+  if (include_matching) {
+    model.AddQef(std::make_unique<MatchingQualityQef>(), weights[i++]);
+  }
+  model.AddQef(std::make_unique<CardinalityQef>(), weights[i++]);
+  model.AddQef(std::make_unique<CoverageQef>(), weights[i++]);
+  model.AddQef(std::make_unique<RedundancyQef>(), weights[i++]);
+  model.AddQef(std::make_unique<CharacteristicQef>(
+                   "mttf", Aggregation::kWeightedSum),
+               weights[i++]);
+  return model;
+}
+
+std::vector<SourceId> GenerateCandidate(Rng& rng, const Universe& universe,
+                                        const ProblemSpec& spec) {
+  std::vector<SourceId> candidate = spec.source_constraints;
+  for (const GlobalAttribute& g : spec.ga_constraints) {
+    for (SourceId s : g.Sources()) candidate.push_back(s);
+  }
+  std::sort(candidate.begin(), candidate.end());
+  candidate.erase(std::unique(candidate.begin(), candidate.end()),
+                  candidate.end());
+
+  std::vector<SourceId> banned = spec.banned_sources;
+  std::sort(banned.begin(), banned.end());
+  std::vector<SourceId> eligible;
+  for (SourceId s = 0; s < universe.num_sources(); ++s) {
+    if (!std::binary_search(banned.begin(), banned.end(), s) &&
+        !std::binary_search(candidate.begin(), candidate.end(), s)) {
+      eligible.push_back(s);
+    }
+  }
+  const int lo = std::max<int>(1, static_cast<int>(candidate.size()));
+  const int hi = std::min<int>(
+      spec.max_sources,
+      static_cast<int>(candidate.size() + eligible.size()));
+  const int target = static_cast<int>(rng.UniformInt(lo, hi));
+  while (static_cast<int>(candidate.size()) < target && !eligible.empty()) {
+    size_t pick = rng.UniformInt(eligible.size());
+    candidate.push_back(eligible[pick]);
+    eligible.erase(eligible.begin() + static_cast<ptrdiff_t>(pick));
+  }
+  std::sort(candidate.begin(), candidate.end());
+  return candidate;
+}
+
+SourceId AddDominatedCopy(Rng& rng, Universe& universe, SourceId original) {
+  const DataSource& base = universe.source(original);
+  const auto* exact = dynamic_cast<const ExactSignature*>(&base.signature());
+  UBE_CHECK(exact != nullptr,
+            "AddDominatedCopy requires an ExactSignature original");
+
+  auto subset = std::make_unique<ExactSignature>();
+  int64_t kept = 0;
+  const double keep_p = rng.UniformDouble(0.2, 0.9);
+  for (uint64_t id : exact->ids()) {
+    if (rng.Bernoulli(keep_p)) {
+      subset->Add(id);
+      ++kept;
+    }
+  }
+  // Dominated cardinality: proportional to the kept ids, never above the
+  // original's (which may exceed its distinct count via duplicates).
+  int64_t cardinality = std::min(base.cardinality(), std::max<int64_t>(
+      kept, 1));
+
+  DataSource copy(base.name() + "_dominated",
+                  SourceSchema(base.schema().names()));
+  copy.set_cardinality(cardinality);
+  copy.set_signature(std::move(subset));
+  for (const auto& [name, value] : base.characteristics()) {
+    copy.SetCharacteristic(name, value);
+  }
+  return universe.AddSource(std::move(copy));
+}
+
+}  // namespace ube::testkit

@@ -1,0 +1,92 @@
+#ifndef UBE_TESTKIT_GENERATORS_H_
+#define UBE_TESTKIT_GENERATORS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "optimize/problem.h"
+#include "qef/quality_model.h"
+#include "source/universe.h"
+#include "util/rng.h"
+
+namespace ube::testkit {
+
+/// Knobs for GenerateUniverse. Defaults produce the "small instance"
+/// regime the metamorphic oracles need: few enough sources that exhaustive
+/// enumeration is instant, enough schema/data structure that every QEF has
+/// something to measure.
+struct UniverseGenOptions {
+  int min_sources = 6;
+  int max_sources = 9;
+  int min_attributes = 2;
+  int max_attributes = 5;
+  /// Size of the shared concept vocabulary attribute names draw from
+  /// (capped at the built-in vocabulary size).
+  int vocabulary_concepts = 8;
+  /// Probability that an attribute is unmatchable noise instead of a
+  /// concept-name variant.
+  double noise_attribute_probability = 0.15;
+  /// Probability that a concept attribute uses a perturbed variant of the
+  /// concept name instead of the name verbatim.
+  double variant_probability = 0.5;
+  int64_t min_cardinality = 50;
+  int64_t max_cardinality = 2000;
+  /// Probability that a source refuses to provide a signature (Section 4's
+  /// uncooperative sources).
+  double uncooperative_probability = 0.0;
+  /// Tuple ids are drawn from a shared pool (overlap between sources) with
+  /// this probability, from a per-source private range otherwise.
+  double shared_fraction = 0.6;
+  int64_t shared_pool = 3000;
+  /// ExactSignature (default; required by the dominance oracles) or PCSA.
+  bool exact_signatures = true;
+  int pcsa_bitmaps = 64;
+  /// Probability that a source defines the "mttf" characteristic.
+  double characteristic_probability = 1.0;
+};
+
+/// Generates a random universe from `rng`. Deterministic: the same rng
+/// state and options always produce the same universe.
+Universe GenerateUniverse(Rng& rng, const UniverseGenOptions& options = {});
+
+/// Knobs for GenerateSpec.
+struct SpecGenOptions {
+  int min_m = 2;
+  int max_m = 4;
+  double source_constraint_probability = 0.3;
+  double ban_probability = 0.3;
+  double ga_constraint_probability = 0.25;
+  /// Draw θ from [0.3, 0.9] and β from {2, 3}; otherwise keep defaults.
+  bool randomize_thresholds = true;
+};
+
+/// Generates a random ProblemSpec that is guaranteed to pass
+/// CandidateEvaluator::ValidateSpec against `universe` (constraints fit in
+/// m, bans never contradict constraints, at least one source selectable).
+ProblemSpec GenerateSpec(Rng& rng, const Universe& universe,
+                         const SpecGenOptions& options = {});
+
+/// A random point on the `count`-simplex: weights in [0, 1] summing to 1.
+std::vector<double> GenerateWeights(Rng& rng, int count);
+
+/// A random quality model: the paper's five QEF families (matching is
+/// optional) under GenerateWeights weights. Sources must define the "mttf"
+/// characteristic for the CharacteristicQef member to be meaningful, which
+/// GenerateUniverse does by default.
+QualityModel GenerateModel(Rng& rng, bool include_matching = true);
+
+/// A random feasible candidate for `spec`: sorted unique, contains every
+/// required source, avoids bans, size in [max(1, |required|), m].
+std::vector<SourceId> GenerateCandidate(Rng& rng, const Universe& universe,
+                                        const ProblemSpec& spec);
+
+/// Adds a copy of `original` that it dominates: identical schema and
+/// characteristics, tuple ids a strict-or-equal subset of the original's
+/// (so |∪U| is unchanged), cardinality scaled down accordingly. Requires
+/// the original to carry an ExactSignature. Returns the new source's id.
+SourceId AddDominatedCopy(Rng& rng, Universe& universe, SourceId original);
+
+}  // namespace ube::testkit
+
+#endif  // UBE_TESTKIT_GENERATORS_H_

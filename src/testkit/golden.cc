@@ -1,0 +1,357 @@
+#include "testkit/golden.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <utility>
+#include <variant>
+
+namespace ube::testkit {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal JSON reader — just the subset the golden files use. No external
+// dependency is available in the container, and the golden schema is tiny,
+// so a ~100-line recursive-descent parser beats gating the suite on one.
+// ---------------------------------------------------------------------------
+
+struct JsonValue;
+using JsonObject = std::map<std::string, JsonValue>;
+using JsonArray = std::vector<JsonValue>;
+
+struct JsonValue {
+  std::variant<std::nullptr_t, bool, double, std::string, JsonArray,
+               JsonObject>
+      data = nullptr;
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  Result<JsonValue> Parse() {
+    Result<JsonValue> value = ParseValue();
+    if (!value.ok()) return value;
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON document");
+    }
+    return value;
+  }
+
+ private:
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument("JSON parse error at offset " +
+                                   std::to_string(pos_) + ": " + message);
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipWhitespace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<JsonValue> ParseValue() {
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    char c = text_[pos_];
+    if (c == '{') return ParseObject();
+    if (c == '[') return ParseArray();
+    if (c == '"') return ParseString();
+    if (c == 't' || c == 'f') return ParseBool();
+    if (c == 'n') return ParseNull();
+    return ParseNumber();
+  }
+
+  Result<JsonValue> ParseObject() {
+    ++pos_;  // '{'
+    JsonObject object;
+    if (Consume('}')) return JsonValue{std::move(object)};
+    while (true) {
+      SkipWhitespace();
+      Result<JsonValue> key = ParseString();
+      if (!key.ok()) return key;
+      if (!Consume(':')) return Error("expected ':' after object key");
+      Result<JsonValue> value = ParseValue();
+      if (!value.ok()) return value;
+      object[std::get<std::string>(key->data)] = std::move(*value);
+      if (Consume(',')) continue;
+      if (Consume('}')) return JsonValue{std::move(object)};
+      return Error("expected ',' or '}' in object");
+    }
+  }
+
+  Result<JsonValue> ParseArray() {
+    ++pos_;  // '['
+    JsonArray array;
+    if (Consume(']')) return JsonValue{std::move(array)};
+    while (true) {
+      Result<JsonValue> value = ParseValue();
+      if (!value.ok()) return value;
+      array.push_back(std::move(*value));
+      if (Consume(',')) continue;
+      if (Consume(']')) return JsonValue{std::move(array)};
+      return Error("expected ',' or ']' in array");
+    }
+  }
+
+  Result<JsonValue> ParseString() {
+    SkipWhitespace();
+    if (pos_ >= text_.size() || text_[pos_] != '"') {
+      return Error("expected string");
+    }
+    ++pos_;
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return Error("bad escape");
+        char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'n': out.push_back('\n'); break;
+          case 't': out.push_back('\t'); break;
+          default: return Error("unsupported escape sequence");
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    if (pos_ >= text_.size()) return Error("unterminated string");
+    ++pos_;  // closing quote
+    return JsonValue{std::move(out)};
+  }
+
+  Result<JsonValue> ParseBool() {
+    if (text_.substr(pos_, 4) == "true") {
+      pos_ += 4;
+      return JsonValue{true};
+    }
+    if (text_.substr(pos_, 5) == "false") {
+      pos_ += 5;
+      return JsonValue{false};
+    }
+    return Error("expected boolean");
+  }
+
+  Result<JsonValue> ParseNull() {
+    if (text_.substr(pos_, 4) == "null") {
+      pos_ += 4;
+      return JsonValue{nullptr};
+    }
+    return Error("expected null");
+  }
+
+  Result<JsonValue> ParseNumber() {
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Error("expected number");
+    std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    double value = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') return Error("malformed number");
+    return JsonValue{value};
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Mapping JSON onto GoldenSmallUniverse. Every key must be known; numeric
+// fields are fetched through one typed accessor.
+// ---------------------------------------------------------------------------
+
+Status UnknownKeys(const JsonObject& object,
+                   std::initializer_list<const char*> known,
+                   const std::string& where) {
+  for (const auto& [key, value] : object) {
+    bool found = false;
+    for (const char* k : known) found = found || key == k;
+    if (!found) {
+      return Status::InvalidArgument("unknown key '" + key + "' in " + where);
+    }
+  }
+  return Status::Ok();
+}
+
+Result<double> Number(const JsonObject& object, const std::string& key) {
+  auto it = object.find(key);
+  if (it == object.end()) {
+    return Status::InvalidArgument("missing key '" + key + "'");
+  }
+  const double* value = std::get_if<double>(&it->second.data);
+  if (value == nullptr) {
+    return Status::InvalidArgument("key '" + key + "' is not a number");
+  }
+  return *value;
+}
+
+}  // namespace
+
+Result<GoldenSmallUniverse> LoadGoldenSmallUniverse(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) {
+    return Status::NotFound("cannot open golden file: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  const std::string text = buffer.str();
+
+  Result<JsonValue> root = JsonParser(text).Parse();
+  if (!root.ok()) return root.status();
+  const JsonObject* top = std::get_if<JsonObject>(&root->data);
+  if (top == nullptr) {
+    return Status::InvalidArgument("golden file root must be an object");
+  }
+  Status keys = UnknownKeys(
+      *top, {"description", "universe_seed", "generator", "spec", "optimum"},
+      "top level");
+  if (!keys.ok()) return keys;
+
+  GoldenSmallUniverse golden;
+  if (auto it = top->find("description"); it != top->end()) {
+    if (const std::string* s = std::get_if<std::string>(&it->second.data)) {
+      golden.description = *s;
+    }
+  }
+  Result<double> seed = Number(*top, "universe_seed");
+  if (!seed.ok()) return seed.status();
+  golden.universe_seed = static_cast<uint64_t>(*seed);
+
+  auto generator_it = top->find("generator");
+  if (generator_it == top->end()) {
+    return Status::InvalidArgument("missing 'generator' object");
+  }
+  const JsonObject* gen = std::get_if<JsonObject>(&generator_it->second.data);
+  if (gen == nullptr) {
+    return Status::InvalidArgument("'generator' must be an object");
+  }
+  keys = UnknownKeys(*gen,
+                     {"min_sources", "max_sources", "min_attributes",
+                      "max_attributes", "vocabulary_concepts",
+                      "noise_attribute_probability", "variant_probability",
+                      "min_cardinality", "max_cardinality",
+                      "uncooperative_probability", "shared_fraction",
+                      "shared_pool", "exact_signatures",
+                      "characteristic_probability"},
+                     "'generator'");
+  if (!keys.ok()) return keys;
+  struct IntField { const char* key; int* out; };
+  struct DoubleField { const char* key; double* out; };
+  struct Int64Field { const char* key; int64_t* out; };
+  UniverseGenOptions& u = golden.universe;
+  for (IntField f : {IntField{"min_sources", &u.min_sources},
+                     IntField{"max_sources", &u.max_sources},
+                     IntField{"min_attributes", &u.min_attributes},
+                     IntField{"max_attributes", &u.max_attributes},
+                     IntField{"vocabulary_concepts",
+                              &u.vocabulary_concepts}}) {
+    Result<double> value = Number(*gen, f.key);
+    if (!value.ok()) return value.status();
+    *f.out = static_cast<int>(*value);
+  }
+  for (DoubleField f :
+       {DoubleField{"noise_attribute_probability",
+                    &u.noise_attribute_probability},
+        DoubleField{"variant_probability", &u.variant_probability},
+        DoubleField{"uncooperative_probability",
+                    &u.uncooperative_probability},
+        DoubleField{"shared_fraction", &u.shared_fraction},
+        DoubleField{"characteristic_probability",
+                    &u.characteristic_probability}}) {
+    Result<double> value = Number(*gen, f.key);
+    if (!value.ok()) return value.status();
+    *f.out = *value;
+  }
+  for (Int64Field f : {Int64Field{"min_cardinality", &u.min_cardinality},
+                       Int64Field{"max_cardinality", &u.max_cardinality},
+                       Int64Field{"shared_pool", &u.shared_pool}}) {
+    Result<double> value = Number(*gen, f.key);
+    if (!value.ok()) return value.status();
+    *f.out = static_cast<int64_t>(*value);
+  }
+  if (auto it = gen->find("exact_signatures"); it != gen->end()) {
+    const bool* flag = std::get_if<bool>(&it->second.data);
+    if (flag == nullptr) {
+      return Status::InvalidArgument("'exact_signatures' must be a bool");
+    }
+    u.exact_signatures = *flag;
+  }
+
+  auto spec_it = top->find("spec");
+  if (spec_it == top->end()) {
+    return Status::InvalidArgument("missing 'spec' object");
+  }
+  const JsonObject* spec = std::get_if<JsonObject>(&spec_it->second.data);
+  if (spec == nullptr) {
+    return Status::InvalidArgument("'spec' must be an object");
+  }
+  keys = UnknownKeys(*spec, {"max_sources", "theta", "beta"}, "'spec'");
+  if (!keys.ok()) return keys;
+  Result<double> m = Number(*spec, "max_sources");
+  if (!m.ok()) return m.status();
+  golden.spec.max_sources = static_cast<int>(*m);
+  Result<double> theta = Number(*spec, "theta");
+  if (!theta.ok()) return theta.status();
+  golden.spec.theta = *theta;
+  Result<double> beta = Number(*spec, "beta");
+  if (!beta.ok()) return beta.status();
+  golden.spec.beta = static_cast<int>(*beta);
+
+  auto optimum_it = top->find("optimum");
+  if (optimum_it == top->end()) {
+    return Status::InvalidArgument("missing 'optimum' object");
+  }
+  const JsonObject* optimum =
+      std::get_if<JsonObject>(&optimum_it->second.data);
+  if (optimum == nullptr) {
+    return Status::InvalidArgument("'optimum' must be an object");
+  }
+  keys = UnknownKeys(*optimum, {"sources", "quality"}, "'optimum'");
+  if (!keys.ok()) return keys;
+  auto sources_it = optimum->find("sources");
+  if (sources_it == optimum->end()) {
+    return Status::InvalidArgument("missing 'optimum.sources'");
+  }
+  const JsonArray* sources =
+      std::get_if<JsonArray>(&sources_it->second.data);
+  if (sources == nullptr) {
+    return Status::InvalidArgument("'optimum.sources' must be an array");
+  }
+  for (const JsonValue& entry : *sources) {
+    const double* id = std::get_if<double>(&entry.data);
+    if (id == nullptr) {
+      return Status::InvalidArgument("'optimum.sources' entries must be ids");
+    }
+    golden.optimal_sources.push_back(static_cast<SourceId>(*id));
+  }
+  Result<double> quality = Number(*optimum, "quality");
+  if (!quality.ok()) return quality.status();
+  golden.optimal_quality = *quality;
+
+  return golden;
+}
+
+}  // namespace ube::testkit

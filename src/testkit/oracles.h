@@ -1,0 +1,41 @@
+#ifndef UBE_TESTKIT_ORACLES_H_
+#define UBE_TESTKIT_ORACLES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "optimize/problem.h"
+#include "optimize/solver.h"
+#include "source/universe.h"
+
+namespace ube::testkit {
+
+/// Solver budget for the property suites: small enough that 50 universes x
+/// 6 solvers x 2 thread counts stay in the seconds range, large enough
+/// that the heuristics actually converge on 6-9-source instances.
+SolverOptions PropertySolverOptions(uint64_t seed);
+
+/// Structural feasibility oracle: the solution's sources are sorted,
+/// unique, in range, within [1, m], contain every source required by the
+/// spec's C / GA constraints and avoid every banned source. Violations name
+/// the offending source in the failure message.
+::testing::AssertionResult SolutionIsFeasible(const Solution& solution,
+                                              const Universe& universe,
+                                              const ProblemSpec& spec);
+
+/// Replay oracle: the two solutions are bit-identical in every observable
+/// the solver contract promises to be thread-count independent — sources,
+/// quality (exact, not approximate), iteration/evaluation/cache counters,
+/// and the full incumbent trace.
+::testing::AssertionResult SolutionsBitIdentical(const Solution& a,
+                                                 const Solution& b);
+
+/// C ∪ {sources referenced by the GA constraints}, sorted unique — the
+/// sources every feasible solution must contain.
+std::vector<SourceId> RequiredSources(const ProblemSpec& spec);
+
+}  // namespace ube::testkit
+
+#endif  // UBE_TESTKIT_ORACLES_H_

@@ -1,0 +1,54 @@
+#include "testkit/property.h"
+
+#include <cstdlib>
+#include <string>
+
+namespace ube::testkit {
+
+namespace {
+
+/// Parses a decimal or 0x-prefixed unsigned integer; returns `fallback` on
+/// absent/empty/garbage input rather than failing — a typo in an env var
+/// should not turn the suite into a crash loop.
+uint64_t EnvUint64(const char* name, uint64_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  unsigned long long value = std::strtoull(raw, &end, 0);
+  if (end == raw || (end != nullptr && *end != '\0')) return fallback;
+  return static_cast<uint64_t>(value);
+}
+
+}  // namespace
+
+uint64_t PropertySeed() {
+  return EnvUint64(kSeedEnvVar, kDefaultPropertySeed);
+}
+
+int PropertyCases(int default_cases) {
+  uint64_t value =
+      EnvUint64(kItersEnvVar, static_cast<uint64_t>(default_cases));
+  if (value < 1) return 1;
+  if (value > 1'000'000) return 1'000'000;
+  return static_cast<int>(value);
+}
+
+PropertyRunner::PropertyRunner(std::string_view name, int default_cases)
+    : name_(name),
+      master_seed_(PropertySeed()),
+      num_cases_(PropertyCases(default_cases)) {}
+
+Rng PropertyRunner::CaseRng(int case_index) const {
+  // Fork per case so case k is identical no matter how many cases run
+  // before it (UBE_PROPERTY_ITERS does not shift the streams).
+  Rng master(master_seed_);
+  return master.Fork(static_cast<uint64_t>(case_index) + 1);
+}
+
+std::string PropertyRunner::Replay(int case_index) const {
+  return "property '" + name_ + "' case " + std::to_string(case_index) +
+         " of " + std::to_string(num_cases_) + "; rerun with " + kSeedEnvVar +
+         "=" + std::to_string(master_seed_);
+}
+
+}  // namespace ube::testkit

@@ -1,0 +1,72 @@
+#ifndef UBE_TESTKIT_PROPERTY_H_
+#define UBE_TESTKIT_PROPERTY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/rng.h"
+
+namespace ube::testkit {
+
+/// Environment variable holding the master seed for every property suite.
+/// Unset, the suites run from kDefaultPropertySeed; set, they rerun the
+/// exact same cases a failure banner named.
+inline constexpr const char* kSeedEnvVar = "UBE_PROPERTY_SEED";
+
+/// Environment variable overriding the per-property case count (CI sets a
+/// small value to bound sanitizer-build time; unset keeps each property's
+/// own default, which is what the acceptance bar of >= 50 universes uses).
+inline constexpr const char* kItersEnvVar = "UBE_PROPERTY_ITERS";
+
+/// Master seed used when UBE_PROPERTY_SEED is unset.
+inline constexpr uint64_t kDefaultPropertySeed = 20260806;
+
+/// Master seed for this process: UBE_PROPERTY_SEED if set (decimal or 0x
+/// hex), kDefaultPropertySeed otherwise.
+uint64_t PropertySeed();
+
+/// Case count for one property: UBE_PROPERTY_ITERS if set (clamped to
+/// >= 1), `default_cases` otherwise.
+int PropertyCases(int default_cases);
+
+/// Drives one property: hands out a deterministic, independent Rng per case
+/// and a replay banner that names the seed to rerun from.
+///
+///   PropertyRunner runner("solver-vs-exhaustive", 50);
+///   for (int c = 0; c < runner.num_cases(); ++c) {
+///     SCOPED_TRACE(runner.Replay(c));
+///     Rng rng = runner.CaseRng(c);
+///     ... generate instance from rng, assert the property ...
+///   }
+///
+/// Every gtest failure inside the loop then prints a line like
+///   property 'solver-vs-exhaustive' case 17 of 50; rerun with
+///   UBE_PROPERTY_SEED=20260806
+/// and rerunning with that environment variable reproduces the case
+/// bit-for-bit (case streams are forked from the master seed, so a given
+/// seed always yields the same case sequence).
+class PropertyRunner {
+ public:
+  /// `name` labels replay banners; `default_cases` is used unless
+  /// UBE_PROPERTY_ITERS overrides it.
+  PropertyRunner(std::string_view name, int default_cases);
+
+  int num_cases() const { return num_cases_; }
+  uint64_t master_seed() const { return master_seed_; }
+
+  /// Independent deterministic stream for case `case_index`.
+  Rng CaseRng(int case_index) const;
+
+  /// Human-readable replay instructions for SCOPED_TRACE.
+  std::string Replay(int case_index) const;
+
+ private:
+  std::string name_;
+  uint64_t master_seed_;
+  int num_cases_;
+};
+
+}  // namespace ube::testkit
+
+#endif  // UBE_TESTKIT_PROPERTY_H_

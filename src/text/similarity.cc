@@ -99,7 +99,9 @@ double TokenCosineSimilarity::Score(std::string_view a,
                                     std::string_view b) const {
   std::vector<std::string> ta = SplitTokens(NormalizeAttributeName(a));
   std::vector<std::string> tb = SplitTokens(NormalizeAttributeName(b));
-  if (ta.empty() && tb.empty()) return 1.0;
+  // Equal token vectors must score exactly 1 (the interface contract);
+  // sqrt(n)*sqrt(n) below can round to just under n.
+  if (ta == tb) return 1.0;
   if (ta.empty() || tb.empty()) return 0.0;
 
   std::map<std::string, std::pair<int, int>> counts;

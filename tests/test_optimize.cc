@@ -218,6 +218,39 @@ TEST(EvaluatorTest, QualityBatchMatchesSequentialQuality) {
   EXPECT_EQ(eval.num_cache_hits(), reference.num_cache_hits());
 }
 
+TEST(EvaluatorTest, QualityBatchEmptyBatchIsANoOp) {
+  KnownOptimumFixture fx;
+  CandidateEvaluator eval = fx.MakeEvaluator(SpecWithM(3));
+  std::vector<std::vector<SourceId>> empty;
+  EXPECT_TRUE(eval.QualityBatch(empty).empty());
+  EXPECT_EQ(eval.num_evaluations(), 0);
+  EXPECT_EQ(eval.num_cache_hits(), 0);
+  // Same with a pool attached: no work must be dispatched.
+  ThreadPool pool(2);
+  EXPECT_TRUE(eval.QualityBatch(empty, &pool).empty());
+  EXPECT_EQ(eval.num_evaluations(), 0);
+  EXPECT_EQ(eval.num_cache_hits(), 0);
+}
+
+TEST(EvaluatorTest, QualityBatchSingleCandidateMatchesQuality) {
+  KnownOptimumFixture fx;
+  CandidateEvaluator eval = fx.MakeEvaluator(SpecWithM(3));
+  CandidateEvaluator reference = fx.MakeEvaluator(SpecWithM(3));
+  std::vector<std::vector<SourceId>> batch = {{7, 8, 9}};
+  ThreadPool pool(4);
+  // A single-miss batch takes the inline path even with a pool; value and
+  // counters must match the plain Quality() call exactly.
+  std::vector<double> pooled = eval.QualityBatch(batch, &pool);
+  ASSERT_EQ(pooled.size(), 1u);
+  EXPECT_EQ(pooled[0], reference.Quality({7, 8, 9}));
+  EXPECT_EQ(eval.num_evaluations(), 1);
+  EXPECT_EQ(eval.num_cache_hits(), 0);
+  // Second time around it is answered from cache.
+  EXPECT_EQ(eval.QualityBatch(batch, &pool)[0], pooled[0]);
+  EXPECT_EQ(eval.num_evaluations(), 1);
+  EXPECT_EQ(eval.num_cache_hits(), 1);
+}
+
 // ----------------------------- SearchState ------------------------------
 
 TEST(SearchStateTest, RandomInitialIsFeasible) {

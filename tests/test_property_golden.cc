@@ -1,0 +1,99 @@
+// Golden small-universe regression (ISSUE 3 satellite): one canonical
+// generated universe whose exhaustive optimum is pinned in
+// tests/data/golden_small_universe.json. A mismatch means either the
+// optimizer/QEF stack changed behavior or the generator's draw sequence
+// moved — both must be deliberate, documented events (see TESTING.md).
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "optimize/solver.h"
+#include "testkit/generators.h"
+#include "testkit/golden.h"
+#include "testkit/oracles.h"
+#include "util/rng.h"
+
+namespace ube {
+namespace {
+
+using testkit::GoldenSmallUniverse;
+using testkit::LoadGoldenSmallUniverse;
+
+std::string GoldenPath() {
+  return std::string(UBE_TEST_DATA_DIR) + "/golden_small_universe.json";
+}
+
+class GoldenTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Result<GoldenSmallUniverse> loaded = LoadGoldenSmallUniverse(GoldenPath());
+    ASSERT_TRUE(loaded.ok()) << loaded.status();
+    golden_ = std::move(*loaded);
+  }
+
+  Engine MakeEngine() const {
+    Rng rng(golden_.universe_seed);
+    Universe universe = testkit::GenerateUniverse(rng, golden_.universe);
+    return Engine(std::move(universe), QualityModel::MakeDefault());
+  }
+
+  GoldenSmallUniverse golden_;
+};
+
+TEST_F(GoldenTest, ExhaustiveOptimumMatchesPinnedValues) {
+  Engine engine = MakeEngine();
+  Result<Solution> solution =
+      engine.Solve(golden_.spec, SolverKind::kExhaustive);
+  ASSERT_TRUE(solution.ok()) << solution.status();
+  EXPECT_EQ(solution->sources, golden_.optimal_sources);
+  EXPECT_NEAR(solution->quality, golden_.optimal_quality, 1e-9);
+}
+
+TEST_F(GoldenTest, TabuFindsThePinnedOptimum) {
+  Engine engine = MakeEngine();
+  Result<Solution> solution = engine.Solve(
+      golden_.spec, SolverKind::kTabu, testkit::PropertySolverOptions(42));
+  ASSERT_TRUE(solution.ok()) << solution.status();
+  EXPECT_TRUE(
+      testkit::SolutionIsFeasible(*solution, engine.universe(), golden_.spec));
+  EXPECT_EQ(solution->sources, golden_.optimal_sources);
+  EXPECT_NEAR(solution->quality, golden_.optimal_quality, 1e-9);
+}
+
+// Loader robustness: failures must be loud Status errors, not defaults.
+TEST(GoldenLoaderTest, MissingFileIsNotFound) {
+  Result<GoldenSmallUniverse> loaded =
+      LoadGoldenSmallUniverse("/nonexistent/golden.json");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+TEST(GoldenLoaderTest, MalformedAndUnknownKeyFilesAreRejected) {
+  const std::string dir = ::testing::TempDir();
+  struct Case {
+    const char* file;
+    const char* text;
+  };
+  const Case cases[] = {
+      {"truncated.json", "{\"universe_seed\": 1, "},
+      {"not_object.json", "[1, 2, 3]"},
+      {"unknown_key.json",
+       "{\"universe_seed\": 1, \"surprise\": true, \"generator\": {}, "
+       "\"spec\": {\"max_sources\": 2, \"theta\": 0.5, \"beta\": 2}, "
+       "\"optimum\": {\"sources\": [0], \"quality\": 0.5}}"},
+  };
+  for (const Case& c : cases) {
+    SCOPED_TRACE(c.file);
+    const std::string path = dir + "/" + c.file;
+    std::ofstream(path) << c.text;
+    Result<GoldenSmallUniverse> loaded = LoadGoldenSmallUniverse(path);
+    EXPECT_FALSE(loaded.ok());
+  }
+}
+
+}  // namespace
+}  // namespace ube

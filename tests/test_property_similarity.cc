@@ -1,0 +1,180 @@
+// Similarity-measure axioms over randomized attribute names.
+//
+// Every AttributeSimilarity must be symmetric, return 1 on identical
+// inputs, and stay in [0, 1] (the interface contract the matcher relies
+// on). Beyond the shared axioms, measure-specific theorems: n-gram Jaccard
+// satisfies the Jaccard triangle bound (1 − J is a metric on n-gram sets),
+// Jaro-Winkler never scores below plain Jaro (the prefix boost is
+// non-negative), and HybridSimilarity's kMax is the pointwise max of its
+// members and dominates kWeightedMean.
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "testkit/property.h"
+#include "text/similarity.h"
+#include "util/rng.h"
+
+namespace ube {
+namespace {
+
+using testkit::PropertyRunner;
+
+// Attribute-name-shaped strings: realistic vocabulary variants, raw noise,
+// mixed case/punctuation (normalization fodder), and edge cases.
+std::string RandomName(Rng& rng) {
+  static const char* kBases[] = {"title", "author", "price",  "isbn",
+                                 "year",  "format", "rating", "pages"};
+  static const char* kEdges[] = {"", " ", "_", "a", "Price ", "PRICE",
+                                 "book title", "book_title", "price_usd"};
+  switch (rng.UniformInt(4)) {
+    case 0:
+      return kBases[rng.UniformInt(8)];
+    case 1: {  // decorated vocabulary variant
+      std::string s = kBases[rng.UniformInt(8)];
+      if (rng.Bernoulli(0.5)) s = "book_" + s;
+      if (rng.Bernoulli(0.5)) s += "_id";
+      if (rng.Bernoulli(0.3)) {
+        for (char& ch : s) {
+          if (rng.Bernoulli(0.5)) ch = static_cast<char>(std::toupper(ch));
+        }
+      }
+      return s;
+    }
+    case 2: {  // pure noise
+      std::string s;
+      const int length = static_cast<int>(rng.UniformInt(1, 10));
+      for (int i = 0; i < length; ++i) {
+        s.push_back(static_cast<char>('a' + rng.UniformInt(26)));
+      }
+      return s;
+    }
+    default:
+      return kEdges[rng.UniformInt(9)];
+  }
+}
+
+std::vector<std::unique_ptr<AttributeSimilarity>> AllMeasures() {
+  std::vector<std::unique_ptr<AttributeSimilarity>> measures;
+  measures.push_back(std::make_unique<NgramJaccardSimilarity>(2));
+  measures.push_back(std::make_unique<NgramJaccardSimilarity>(3));
+  measures.push_back(std::make_unique<LevenshteinSimilarity>());
+  measures.push_back(std::make_unique<JaroWinklerSimilarity>(0.1));
+  measures.push_back(std::make_unique<JaroWinklerSimilarity>(0.0));
+  measures.push_back(std::make_unique<TokenCosineSimilarity>());
+  measures.push_back(MakeDefaultSimilarity());
+  auto hybrid_max =
+      std::make_unique<HybridSimilarity>(HybridSimilarity::Combine::kMax);
+  hybrid_max->Add(std::make_unique<NgramJaccardSimilarity>(3));
+  hybrid_max->Add(std::make_unique<JaroWinklerSimilarity>());
+  measures.push_back(std::move(hybrid_max));
+  auto hybrid_mean = std::make_unique<HybridSimilarity>(
+      HybridSimilarity::Combine::kWeightedMean);
+  hybrid_mean->Add(std::make_unique<NgramJaccardSimilarity>(3), 2.0);
+  hybrid_mean->Add(std::make_unique<LevenshteinSimilarity>(), 1.0);
+  measures.push_back(std::move(hybrid_mean));
+  return measures;
+}
+
+TEST(SimilarityPropertyTest, SharedAxioms) {
+  PropertyRunner runner("similarity-shared-axioms", 200);
+  std::vector<std::unique_ptr<AttributeSimilarity>> measures = AllMeasures();
+  for (int c = 0; c < runner.num_cases(); ++c) {
+    SCOPED_TRACE(runner.Replay(c));
+    Rng rng = runner.CaseRng(c);
+    const std::string a = RandomName(rng);
+    const std::string b = RandomName(rng);
+    for (const auto& measure : measures) {
+      SCOPED_TRACE(std::string(measure->name()) + "(\"" + a + "\", \"" + b +
+                   "\")");
+      const double ab = measure->Score(a, b);
+      // Range.
+      EXPECT_GE(ab, 0.0);
+      EXPECT_LE(ab, 1.0);
+      // Symmetry (exact: both directions walk the same code path).
+      EXPECT_EQ(ab, measure->Score(b, a));
+      // Identity.
+      EXPECT_EQ(measure->Score(a, a), 1.0);
+    }
+  }
+}
+
+// 1 − Jaccard is a metric on sets, so on n-gram sets
+// J(a, c) >= J(a, b) + J(b, c) − 1.
+TEST(SimilarityPropertyTest, NgramJaccardTriangleBound) {
+  PropertyRunner runner("ngram-jaccard-triangle", 300);
+  NgramJaccardSimilarity bigram(2);
+  NgramJaccardSimilarity trigram(3);
+  for (int c = 0; c < runner.num_cases(); ++c) {
+    SCOPED_TRACE(runner.Replay(c));
+    Rng rng = runner.CaseRng(c);
+    const std::string a = RandomName(rng);
+    const std::string b = RandomName(rng);
+    const std::string d = RandomName(rng);
+    for (const NgramJaccardSimilarity* measure : {&bigram, &trigram}) {
+      SCOPED_TRACE("n=" + std::to_string(measure->n()) + " a=\"" + a +
+                   "\" b=\"" + b + "\" c=\"" + d + "\"");
+      EXPECT_GE(measure->Score(a, d),
+                measure->Score(a, b) + measure->Score(b, d) - 1.0 - 1e-12);
+    }
+  }
+}
+
+// The Winkler prefix boost adds prefix · scale · (1 − jaro) >= 0.
+TEST(SimilarityPropertyTest, WinklerBoostNeverBelowPlainJaro) {
+  PropertyRunner runner("winkler-dominates-jaro", 300);
+  JaroWinklerSimilarity winkler(0.1);
+  JaroWinklerSimilarity plain(0.0);
+  for (int c = 0; c < runner.num_cases(); ++c) {
+    SCOPED_TRACE(runner.Replay(c));
+    Rng rng = runner.CaseRng(c);
+    const std::string a = RandomName(rng);
+    const std::string b = RandomName(rng);
+    SCOPED_TRACE("a=\"" + a + "\" b=\"" + b + "\"");
+    EXPECT_GE(winkler.Score(a, b), plain.Score(a, b) - 1e-12);
+  }
+}
+
+// HybridSimilarity laws: kMax is exactly the member max; kWeightedMean lies
+// within the member range (hence kMax dominates it for the same members).
+TEST(SimilarityPropertyTest, HybridCombinatorLaws) {
+  PropertyRunner runner("hybrid-combinators", 200);
+  NgramJaccardSimilarity trigram(3);
+  JaroWinklerSimilarity winkler(0.1);
+  TokenCosineSimilarity cosine;
+
+  HybridSimilarity as_max(HybridSimilarity::Combine::kMax);
+  as_max.Add(std::make_unique<NgramJaccardSimilarity>(3));
+  as_max.Add(std::make_unique<JaroWinklerSimilarity>(0.1));
+  as_max.Add(std::make_unique<TokenCosineSimilarity>());
+
+  HybridSimilarity as_mean(HybridSimilarity::Combine::kWeightedMean);
+  as_mean.Add(std::make_unique<NgramJaccardSimilarity>(3), 0.5);
+  as_mean.Add(std::make_unique<JaroWinklerSimilarity>(0.1), 1.5);
+  as_mean.Add(std::make_unique<TokenCosineSimilarity>(), 1.0);
+
+  for (int c = 0; c < runner.num_cases(); ++c) {
+    SCOPED_TRACE(runner.Replay(c));
+    Rng rng = runner.CaseRng(c);
+    const std::string a = RandomName(rng);
+    const std::string b = RandomName(rng);
+    SCOPED_TRACE("a=\"" + a + "\" b=\"" + b + "\"");
+    const double s1 = trigram.Score(a, b);
+    const double s2 = winkler.Score(a, b);
+    const double s3 = cosine.Score(a, b);
+    const double lo = std::min({s1, s2, s3});
+    const double hi = std::max({s1, s2, s3});
+
+    EXPECT_DOUBLE_EQ(as_max.Score(a, b), hi);
+    const double mean = as_mean.Score(a, b);
+    EXPECT_GE(mean, lo - 1e-12);
+    EXPECT_LE(mean, hi + 1e-12);
+    EXPECT_GE(as_max.Score(a, b), mean - 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace ube

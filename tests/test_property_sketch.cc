@@ -1,0 +1,133 @@
+// PCSA sketch properties (ISSUE 3 tentpole, sketch axis).
+//
+// Exact laws (bitmap-level theorems — each id always sets the same bit, and
+// union is bitwise OR): sketching a unioned stream equals OR-merging the
+// per-stream sketches; Merge is commutative, associative and idempotent; the
+// estimate is monotone under merge (countr_one of each bitmap is monotone
+// under OR, and the estimator is increasing in the mean rank).
+//
+// Statistical law: for 256 bitmaps the standard error is ≈ 4.9%, so a 35%
+// relative-error ceiling vs the exact distinct count has enormous margin
+// while still catching real estimator regressions (a broken correction term
+// or rank scan overshoots far past that).
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sketch/pcsa.h"
+#include "testkit/property.h"
+#include "util/rng.h"
+
+namespace ube {
+namespace {
+
+using testkit::PropertyRunner;
+
+// A random id stream with tunable collision structure: ids are drawn from a
+// bounded pool so streams genuinely overlap.
+std::vector<uint64_t> RandomStream(Rng& rng, int64_t min_len, int64_t max_len,
+                                   uint64_t pool) {
+  const int64_t length = rng.UniformInt(min_len, max_len);
+  std::vector<uint64_t> stream(static_cast<size_t>(length));
+  for (uint64_t& id : stream) id = rng.UniformInt(pool);
+  return stream;
+}
+
+PcsaSketch SketchOf(const std::vector<uint64_t>& stream, int bitmaps) {
+  PcsaSketch sketch(bitmaps);
+  for (uint64_t id : stream) sketch.AddHash(id);
+  return sketch;
+}
+
+TEST(PcsaPropertyTest, UnionSketchEqualsSketchOfUnionedStream) {
+  PropertyRunner runner("pcsa-union-equals-stream-union", 50);
+  for (int c = 0; c < runner.num_cases(); ++c) {
+    SCOPED_TRACE(runner.Replay(c));
+    Rng rng = runner.CaseRng(c);
+    const int bitmaps = 1 << rng.UniformInt(1, 8);  // 2..256, power of two
+    std::vector<uint64_t> a = RandomStream(rng, 0, 3000, 5000);
+    std::vector<uint64_t> b = RandomStream(rng, 0, 3000, 5000);
+
+    std::vector<uint64_t> ab = a;
+    ab.insert(ab.end(), b.begin(), b.end());
+
+    PcsaSketch merged = PcsaSketch::Union(SketchOf(a, bitmaps),
+                                          SketchOf(b, bitmaps));
+    EXPECT_EQ(merged, SketchOf(ab, bitmaps));
+  }
+}
+
+TEST(PcsaPropertyTest, MergeIsCommutativeAssociativeIdempotent) {
+  PropertyRunner runner("pcsa-merge-algebra", 50);
+  for (int c = 0; c < runner.num_cases(); ++c) {
+    SCOPED_TRACE(runner.Replay(c));
+    Rng rng = runner.CaseRng(c);
+    const int bitmaps = 1 << rng.UniformInt(1, 8);
+    PcsaSketch a = SketchOf(RandomStream(rng, 0, 2000, 4000), bitmaps);
+    PcsaSketch b = SketchOf(RandomStream(rng, 0, 2000, 4000), bitmaps);
+    PcsaSketch d = SketchOf(RandomStream(rng, 0, 2000, 4000), bitmaps);
+
+    EXPECT_EQ(PcsaSketch::Union(a, b), PcsaSketch::Union(b, a));
+    EXPECT_EQ(PcsaSketch::Union(PcsaSketch::Union(a, b), d),
+              PcsaSketch::Union(a, PcsaSketch::Union(b, d)));
+    EXPECT_EQ(PcsaSketch::Union(a, a), a);
+  }
+}
+
+TEST(PcsaPropertyTest, EstimateMonotoneUnderMerge) {
+  PropertyRunner runner("pcsa-estimate-monotone", 50);
+  for (int c = 0; c < runner.num_cases(); ++c) {
+    SCOPED_TRACE(runner.Replay(c));
+    Rng rng = runner.CaseRng(c);
+    const int bitmaps = 1 << rng.UniformInt(1, 8);
+    PcsaSketch a = SketchOf(RandomStream(rng, 0, 2000, 4000), bitmaps);
+    PcsaSketch b = SketchOf(RandomStream(rng, 0, 2000, 4000), bitmaps);
+    PcsaSketch merged = PcsaSketch::Union(a, b);
+    EXPECT_GE(merged.Estimate(), a.Estimate());
+    EXPECT_GE(merged.Estimate(), b.Estimate());
+  }
+}
+
+TEST(PcsaPropertyTest, EstimateTracksExactDistinctCountOfUnions) {
+  PropertyRunner runner("pcsa-vs-exact-union-error", 50);
+  constexpr int kBitmaps = 256;       // ≈ 4.9% standard error
+  constexpr double kMaxRelError = 0.35;
+  for (int c = 0; c < runner.num_cases(); ++c) {
+    SCOPED_TRACE(runner.Replay(c));
+    Rng rng = runner.CaseRng(c);
+    // 3–8 "sources", all drawing from one shared pool like real universes.
+    const int num_sources = static_cast<int>(rng.UniformInt(3, 8));
+    PcsaSketch merged(kBitmaps);
+    std::unordered_set<uint64_t> exact;
+    for (int s = 0; s < num_sources; ++s) {
+      std::vector<uint64_t> stream = RandomStream(rng, 500, 4000, 20'000);
+      merged.Merge(SketchOf(stream, kBitmaps));
+      exact.insert(stream.begin(), stream.end());
+    }
+    ASSERT_GE(exact.size(), 400u);  // keep out of the tiny-count regime
+    const double truth = static_cast<double>(exact.size());
+    const double estimate = merged.Estimate();
+    EXPECT_NEAR(estimate, truth, kMaxRelError * truth)
+        << "relative error " << (estimate - truth) / truth;
+  }
+}
+
+TEST(PcsaPropertyTest, FromBitmapsRoundTripsAndEmptySketchIsEmpty) {
+  PropertyRunner runner("pcsa-wire-roundtrip", 20);
+  for (int c = 0; c < runner.num_cases(); ++c) {
+    SCOPED_TRACE(runner.Replay(c));
+    Rng rng = runner.CaseRng(c);
+    const int bitmaps = 1 << rng.UniformInt(1, 8);
+    EXPECT_TRUE(PcsaSketch(bitmaps).IsEmpty());
+    PcsaSketch sketch = SketchOf(RandomStream(rng, 1, 2000, 4000), bitmaps);
+    EXPECT_FALSE(sketch.IsEmpty());
+    PcsaSketch restored = PcsaSketch::FromBitmaps(sketch.bitmaps());
+    EXPECT_EQ(restored, sketch);
+    EXPECT_EQ(restored.Estimate(), sketch.Estimate());
+  }
+}
+
+}  // namespace
+}  // namespace ube

@@ -1,0 +1,139 @@
+// Differential solver oracles (ISSUE 3 tentpole): on randomly generated
+// small universes, every heuristic solver must (a) return a structurally
+// feasible solution, (b) never beat the exhaustive optimum, and (c) return
+// bit-identical observables at num_threads = 1 and num_threads = 0 (the
+// PR-1 parallel-evaluation contract). Each case's failure message names the
+// master seed; rerun with UBE_PROPERTY_SEED=<seed> to replay exactly.
+#include <memory>
+#include <string>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "optimize/solver.h"
+#include "testkit/generators.h"
+#include "testkit/oracles.h"
+#include "testkit/property.h"
+#include "util/rng.h"
+
+namespace ube {
+namespace {
+
+using testkit::GenerateModel;
+using testkit::GenerateSpec;
+using testkit::GenerateUniverse;
+using testkit::PropertyRunner;
+using testkit::PropertySolverOptions;
+using testkit::SolutionIsFeasible;
+using testkit::SolutionsBitIdentical;
+
+class SolverOracleTest : public ::testing::TestWithParam<SolverKind> {};
+
+// The acceptance bar of this harness: >= 50 random universes per solver
+// with zero quality or constraint violations at both thread counts.
+TEST_P(SolverOracleTest, FeasibleBoundedAndThreadCountInvariant) {
+  const SolverKind kind = GetParam();
+  PropertyRunner runner(
+      std::string("solver-vs-exhaustive-") + std::string(SolverKindName(kind)),
+      50);
+  for (int c = 0; c < runner.num_cases(); ++c) {
+    SCOPED_TRACE(runner.Replay(c));
+    Rng rng = runner.CaseRng(c);
+    Universe universe = GenerateUniverse(rng);
+    QualityModel model = GenerateModel(rng);
+    ProblemSpec spec = GenerateSpec(rng, universe);
+    const uint64_t solver_seed = rng.Next64();
+
+    Engine engine(std::move(universe), std::move(model));
+    Result<Solution> exact = engine.Solve(spec, SolverKind::kExhaustive,
+                                          PropertySolverOptions(solver_seed));
+    ASSERT_TRUE(exact.ok()) << exact.status();
+    ASSERT_TRUE(SolutionIsFeasible(*exact, engine.universe(), spec));
+
+    SolverOptions sequential = PropertySolverOptions(solver_seed);
+    sequential.record_trace = true;
+    sequential.num_threads = 1;
+    Result<Solution> solution = engine.Solve(spec, kind, sequential);
+    ASSERT_TRUE(solution.ok()) << solution.status();
+
+    // (a) Zero constraint violations.
+    EXPECT_TRUE(SolutionIsFeasible(*solution, engine.universe(), spec));
+    // (b) Heuristic quality never exceeds the exhaustive optimum, and the
+    // reported quality matches an independent re-evaluation of the chosen
+    // sources (no stale-incumbent bookkeeping).
+    EXPECT_LE(solution->quality, exact->quality + 1e-9);
+    Result<CandidateEvaluator::Evaluation> rescored =
+        engine.EvaluateCandidate(spec, solution->sources);
+    ASSERT_TRUE(rescored.ok()) << rescored.status();
+    EXPECT_NEAR(solution->quality, rescored->quality, 1e-9);
+
+    // (c) Cross-thread replay: num_threads = 0 (hardware concurrency) must
+    // reproduce every observable bit-for-bit.
+    SolverOptions parallel = sequential;
+    parallel.num_threads = 0;
+    Result<Solution> replay = engine.Solve(spec, kind, parallel);
+    ASSERT_TRUE(replay.ok()) << replay.status();
+    EXPECT_TRUE(SolutionsBitIdentical(*solution, *replay));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kinds, SolverOracleTest,
+    ::testing::Values(SolverKind::kTabu, SolverKind::kLocalSearch,
+                      SolverKind::kAnnealing, SolverKind::kPso,
+                      SolverKind::kGreedy, SolverKind::kRandom),
+    [](const ::testing::TestParamInfo<SolverKind>& info) {
+      return std::string(SolverKindName(info.param));
+    });
+
+// The exhaustive baseline itself must be deterministic and feasible — it
+// anchors every differential oracle above.
+TEST(ExhaustiveOracleTest, DeterministicAcrossRuns) {
+  PropertyRunner runner("exhaustive-deterministic", 20);
+  for (int c = 0; c < runner.num_cases(); ++c) {
+    SCOPED_TRACE(runner.Replay(c));
+    Rng rng = runner.CaseRng(c);
+    Universe universe = GenerateUniverse(rng);
+    QualityModel model = GenerateModel(rng);
+    ProblemSpec spec = GenerateSpec(rng, universe);
+    Engine engine(std::move(universe), std::move(model));
+    Result<Solution> first = engine.Solve(spec, SolverKind::kExhaustive);
+    Result<Solution> second = engine.Solve(spec, SolverKind::kExhaustive);
+    ASSERT_TRUE(first.ok()) << first.status();
+    ASSERT_TRUE(second.ok()) << second.status();
+    EXPECT_EQ(first->sources, second->sources);
+    EXPECT_EQ(first->quality, second->quality);
+    EXPECT_EQ(first->stats.evaluations, second->stats.evaluations);
+  }
+}
+
+// Same seed => same everything, for every solver: the property harness's
+// replay story rests on this.
+TEST(SolverReplayTest, SameSeedReproducesBitIdentically) {
+  PropertyRunner runner("same-seed-replay", 10);
+  for (int c = 0; c < runner.num_cases(); ++c) {
+    SCOPED_TRACE(runner.Replay(c));
+    for (SolverKind kind :
+         {SolverKind::kTabu, SolverKind::kLocalSearch, SolverKind::kAnnealing,
+          SolverKind::kPso, SolverKind::kGreedy, SolverKind::kRandom}) {
+      SCOPED_TRACE(SolverKindName(kind));
+      Rng rng = runner.CaseRng(c);
+      Universe universe = GenerateUniverse(rng);
+      QualityModel model = GenerateModel(rng);
+      ProblemSpec spec = GenerateSpec(rng, universe);
+      const uint64_t solver_seed = rng.Next64();
+      Engine engine(std::move(universe), std::move(model));
+      SolverOptions options = PropertySolverOptions(solver_seed);
+      options.record_trace = true;
+      Result<Solution> first = engine.Solve(spec, kind, options);
+      Result<Solution> second = engine.Solve(spec, kind, options);
+      ASSERT_TRUE(first.ok()) << first.status();
+      ASSERT_TRUE(second.ok()) << second.status();
+      EXPECT_TRUE(SolutionsBitIdentical(*first, *second));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ube

@@ -265,6 +265,41 @@ TEST(HybridSimilarityTest, IdenticalStringsScoreOne) {
   }
 }
 
+TEST(HybridSimilarityTest, SingleMemberIsTransparentUnderBothCombinators) {
+  for (auto combine : {HybridSimilarity::Combine::kMax,
+                       HybridSimilarity::Combine::kWeightedMean}) {
+    HybridSimilarity hybrid(combine);
+    hybrid.Add(std::make_unique<JaroWinklerSimilarity>(), 7.0);
+    EXPECT_DOUBLE_EQ(hybrid.Score("publisher", "publishers"),
+                     JaroWinklerSimilarity().Score("publisher", "publishers"));
+  }
+}
+
+TEST(HybridSimilarityTest, WeightedMeanNormalizesWeights) {
+  // {1, 3} and {0.25, 0.75} are the same mixture; scores must agree.
+  HybridSimilarity raw(HybridSimilarity::Combine::kWeightedMean);
+  raw.Add(std::make_unique<NgramJaccardSimilarity>(3), 1.0);
+  raw.Add(std::make_unique<LevenshteinSimilarity>(), 3.0);
+  HybridSimilarity normalized(HybridSimilarity::Combine::kWeightedMean);
+  normalized.Add(std::make_unique<NgramJaccardSimilarity>(3), 0.25);
+  normalized.Add(std::make_unique<LevenshteinSimilarity>(), 0.75);
+  EXPECT_NEAR(raw.Score("price", "prices"),
+              normalized.Score("price", "prices"), 1e-12);
+}
+
+TEST(HybridSimilarityTest, MaxDominatesWeightedMeanOfSameMembers) {
+  HybridSimilarity as_max(HybridSimilarity::Combine::kMax);
+  HybridSimilarity as_mean(HybridSimilarity::Combine::kWeightedMean);
+  for (HybridSimilarity* h : {&as_max, &as_mean}) {
+    h->Add(std::make_unique<NgramJaccardSimilarity>(3), 1.0);
+    h->Add(std::make_unique<JaroWinklerSimilarity>(), 2.0);
+    h->Add(std::make_unique<TokenCosineSimilarity>(), 0.5);
+  }
+  for (const char* pair : {"book title", "isbn", "zqxvw"}) {
+    EXPECT_GE(as_max.Score("title", pair), as_mean.Score("title", pair));
+  }
+}
+
 TEST(HybridSimilarityDeathTest, EmptyHybridAborts) {
   HybridSimilarity hybrid;
   EXPECT_DEATH(hybrid.Score("a", "b"), "no member measures");
