@@ -103,8 +103,13 @@ int main() {
   std::cout << "\nn:m correspondences over the original schemas:\n";
   for (int g = 0; g < fused->mediated_schema.num_gas(); ++g) {
     std::cout << "  GA " << g << " covers original attributes:";
-    for (const ube::AttributeId& id :
-         mapping.ExpandGa(fused->mediated_schema.ga(g))) {
+    ube::Result<std::vector<ube::AttributeId>> originals =
+        mapping.ExpandGa(fused->mediated_schema.ga(g));
+    if (!originals.ok()) {
+      std::cerr << originals.status() << "\n";
+      return 1;
+    }
+    for (const ube::AttributeId& id : originals.value()) {
       std::cout << " " << rebuilt.source(id.source).name() << "."
                 << rebuilt.source(id.source).schema().attribute_name(
                        id.attr_index);

@@ -18,24 +18,80 @@ Engine::Engine(Universe universe, QualityModel model, Options options)
   graph_ = std::make_unique<SimilarityGraph>(universe_, std::move(measure),
                                              options.similarity_floor);
   matcher_ = std::make_unique<ClusterMatcher>(universe_, *graph_);
+  unavailable_ = universe_.UnavailableIds();
+}
+
+Engine::Engine(Acquisition acquisition, QualityModel model)
+    : Engine(std::move(acquisition), std::move(model), Options{}) {}
+
+Engine::Engine(Acquisition acquisition, QualityModel model, Options options)
+    : Engine(std::move(acquisition.universe), std::move(model),
+             std::move(options)) {
+  acquisition_report_ = std::move(acquisition.report);
+}
+
+Result<ProblemSpec> Engine::EffectiveSpec(const ProblemSpec& spec) const {
+  if (unavailable_.empty()) return spec;
+  // A constraint pinning a dropped source can never be satisfied; report it
+  // cleanly instead of letting it surface as a generic validation failure
+  // (the dropped shell has an empty schema, so GA constraints on it would
+  // otherwise read as "nonexistent attribute").
+  for (SourceId s : spec.source_constraints) {
+    if (s >= 0 && s < universe_.num_sources() &&
+        std::binary_search(unavailable_.begin(), unavailable_.end(), s)) {
+      return Status::Unavailable(
+          "source constraint pins '" + universe_.source(s).name() +
+          "', which was dropped during acquisition");
+    }
+  }
+  for (const GlobalAttribute& g : spec.ga_constraints) {
+    for (const AttributeId& id : g.attributes()) {
+      if (id.source >= 0 && id.source < universe_.num_sources() &&
+          std::binary_search(unavailable_.begin(), unavailable_.end(),
+                             id.source)) {
+        return Status::Unavailable(
+            "GA constraint references '" + universe_.source(id.source).name() +
+            "', which was dropped during acquisition");
+      }
+    }
+  }
+  ProblemSpec effective = spec;
+  effective.banned_sources.insert(effective.banned_sources.end(),
+                                  unavailable_.begin(), unavailable_.end());
+  std::sort(effective.banned_sources.begin(), effective.banned_sources.end());
+  effective.banned_sources.erase(
+      std::unique(effective.banned_sources.begin(),
+                  effective.banned_sources.end()),
+      effective.banned_sources.end());
+  return effective;
 }
 
 Result<Solution> Engine::Solve(const ProblemSpec& spec, SolverKind solver,
                                const SolverOptions& options) const {
-  UBE_RETURN_IF_ERROR(CandidateEvaluator::ValidateSpec(universe_, spec));
+  Result<ProblemSpec> effective = EffectiveSpec(spec);
+  UBE_RETURN_IF_ERROR(effective.status());
+  UBE_RETURN_IF_ERROR(
+      CandidateEvaluator::ValidateSpec(universe_, effective.value()));
   if (spec.theta < graph_->floor()) {
     return Status::InvalidArgument(
         "θ is below the engine's similarity floor; rebuild the engine with a "
         "lower Options::similarity_floor");
   }
-  CandidateEvaluator evaluator(universe_, *matcher_, model_, spec);
+  CandidateEvaluator evaluator(universe_, *matcher_, model_,
+                               effective.value());
   std::unique_ptr<Solver> impl = MakeSolver(solver);
   return impl->Solve(evaluator, options);
 }
 
 Result<CandidateEvaluator::Evaluation> Engine::EvaluateCandidate(
     const ProblemSpec& spec, std::vector<SourceId> sources) const {
-  UBE_RETURN_IF_ERROR(CandidateEvaluator::ValidateSpec(universe_, spec));
+  Result<ProblemSpec> resolved = EffectiveSpec(spec);
+  UBE_RETURN_IF_ERROR(resolved.status());
+  const ProblemSpec& effective = resolved.value();
+  UBE_RETURN_IF_ERROR(CandidateEvaluator::ValidateSpec(universe_, effective));
+  for (SourceId s : sources) {
+    UBE_RETURN_IF_ERROR(universe_.ValidateId(s));
+  }
   std::sort(sources.begin(), sources.end());
   sources.erase(std::unique(sources.begin(), sources.end()), sources.end());
   if (sources.empty()) {
@@ -55,18 +111,26 @@ Result<CandidateEvaluator::Evaluation> Engine::EvaluateCandidate(
           "candidate omits a source the constraints require");
     }
   }
-  for (SourceId s : spec.banned_sources) {
+  for (SourceId s : effective.banned_sources) {
     if (std::binary_search(sources.begin(), sources.end(), s)) {
+      if (std::binary_search(unavailable_.begin(), unavailable_.end(), s)) {
+        return Status::Unavailable(
+            "candidate contains '" + universe_.source(s).name() +
+            "', which was dropped during acquisition");
+      }
       return Status::InvalidArgument("candidate contains a banned source");
     }
   }
-  CandidateEvaluator evaluator(universe_, *matcher_, model_, spec);
+  CandidateEvaluator evaluator(universe_, *matcher_, model_, effective);
   return evaluator.Evaluate(sources);
 }
 
 Result<MatchResult> Engine::MatchSources(const ProblemSpec& spec,
                                          std::vector<SourceId> sources) const {
   UBE_RETURN_IF_ERROR(CandidateEvaluator::ValidateSpec(universe_, spec));
+  for (SourceId s : sources) {
+    UBE_RETURN_IF_ERROR(universe_.ValidateId(s));
+  }
   std::sort(sources.begin(), sources.end());
   sources.erase(std::unique(sources.begin(), sources.end()), sources.end());
   MatchOptions options;

@@ -2,6 +2,7 @@
 #define UBE_CORE_ENGINE_H_
 
 #include <memory>
+#include <optional>
 
 #include "matching/cluster_matcher.h"
 #include "matching/similarity_graph.h"
@@ -9,6 +10,7 @@
 #include "optimize/problem.h"
 #include "optimize/solver.h"
 #include "qef/quality_model.h"
+#include "source/prober.h"
 #include "source/universe.h"
 #include "text/similarity.h"
 #include "util/result.h"
@@ -45,6 +47,14 @@ class Engine {
   /// Same, with default Options.
   Engine(Universe universe, QualityModel model);
 
+  /// From a prober acquisition (source/prober.h): the universe may contain
+  /// dropped (unavailable) and degraded sources. Dropped sources are
+  /// auto-banned in every Solve; degraded statistics are handled by the
+  /// model's degradation policy; the acquisition report is kept for
+  /// Report's DegradedSources section.
+  Engine(Acquisition acquisition, QualityModel model, Options options);
+  Engine(Acquisition acquisition, QualityModel model);
+
   Engine(Engine&&) = default;
   Engine& operator=(Engine&&) = default;
   Engine(const Engine&) = delete;
@@ -52,6 +62,12 @@ class Engine {
 
   const Universe& universe() const { return universe_; }
   const QualityModel& quality_model() const { return model_; }
+
+  /// The per-source acquisition report, or null when the engine was built
+  /// from a plain universe (no prober involved).
+  const AcquisitionReport* acquisition_report() const {
+    return acquisition_report_.has_value() ? &*acquisition_report_ : nullptr;
+  }
   /// Mutable so the user can re-weight QEFs between iterations.
   QualityModel& mutable_quality_model() { return model_; }
   const SimilarityGraph& similarity_graph() const { return *graph_; }
@@ -73,10 +89,17 @@ class Engine {
       const ProblemSpec& spec, std::vector<SourceId> sources) const;
 
  private:
+  /// Spec with every unavailable (dropped) source appended to the ban list;
+  /// Unavailable when a constraint requires a dropped source. Returns
+  /// `spec` untouched when nothing was dropped.
+  Result<ProblemSpec> EffectiveSpec(const ProblemSpec& spec) const;
+
   Universe universe_;
   QualityModel model_;
   std::unique_ptr<SimilarityGraph> graph_;
   std::unique_ptr<ClusterMatcher> matcher_;
+  std::optional<AcquisitionReport> acquisition_report_;
+  std::vector<SourceId> unavailable_;  // sorted ids of dropped sources
 };
 
 }  // namespace ube

@@ -39,6 +39,41 @@ std::string FormatMediatedSchema(const MediatedSchema& schema,
   return out;
 }
 
+std::string FormatAcquisitionReport(const AcquisitionReport& report) {
+  std::string out = report.Summary() + "\n";
+  for (const SourceAcquisition& acq : report.sources) {
+    if (acq.outcome == AcquisitionOutcome::kAcquired) continue;
+    out += "  " + acq.name + ": " +
+           std::string(AcquisitionOutcomeName(acq.outcome)) +
+           "  (attempts=" + std::to_string(acq.attempts);
+    if (acq.breaker_trips > 0) {
+      out += ", breaker_trips=" + std::to_string(acq.breaker_trips);
+    }
+    if (acq.outcome == AcquisitionOutcome::kAcquiredStale) {
+      out += ", staleness=" + Format("%.2f", acq.staleness);
+    }
+    out += ", elapsed=" + Format("%.0f", acq.elapsed_ms) + "ms";
+    if (!acq.status.ok()) out += ", " + acq.status.ToString();
+    out += ")\n";
+  }
+  return out;
+}
+
+std::string FormatSolution(const Solution& solution, const Universe& universe,
+                           const QualityModel& model,
+                           const AcquisitionReport* acquisition) {
+  std::string out = FormatSolution(solution, universe, model);
+  if (acquisition == nullptr ||
+      acquisition->num_degraded() + acquisition->num_dropped() == 0) {
+    return out;
+  }
+  out += "degraded sources (policy: " +
+         std::string(DegradationPolicyName(model.degradation().policy)) +
+         "):\n";
+  out += FormatAcquisitionReport(*acquisition);
+  return out;
+}
+
 std::string FormatSolution(const Solution& solution, const Universe& universe,
                            const QualityModel& model) {
   std::string out;

@@ -5,6 +5,7 @@
 
 #include "optimize/problem.h"
 #include "qef/quality_model.h"
+#include "source/prober.h"
 #include "source/universe.h"
 
 namespace ube {
@@ -20,6 +21,18 @@ std::string FormatMediatedSchema(const MediatedSchema& schema,
 /// equivalent of the µBE result pane (Figure 4).
 std::string FormatSolution(const Solution& solution, const Universe& universe,
                            const QualityModel& model);
+
+/// Same, plus a DegradedSources section when `acquisition` (may be null) has
+/// any degraded or dropped source.
+std::string FormatSolution(const Solution& solution, const Universe& universe,
+                           const QualityModel& model,
+                           const AcquisitionReport* acquisition);
+
+/// Renders the per-source acquisition report: the summary counts line plus
+/// one line per degraded or dropped source (outcome, attempts, breaker
+/// trips, staleness, final status). Fully acquired sources are summarized,
+/// not listed.
+std::string FormatAcquisitionReport(const AcquisitionReport& report);
 
 }  // namespace ube
 

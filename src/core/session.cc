@@ -30,6 +30,10 @@ Status Session::PinSource(SourceId source) {
   if (source < 0 || source >= engine_->universe().num_sources()) {
     return Status::InvalidArgument("source id out of range");
   }
+  if (!engine_->universe().source(source).available()) {
+    return Status::Unavailable(
+        "source was dropped during acquisition and cannot be pinned");
+  }
   const auto& banned = spec_.banned_sources;
   if (std::find(banned.begin(), banned.end(), source) != banned.end()) {
     return Status::FailedPrecondition(

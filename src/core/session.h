@@ -40,6 +40,13 @@ class Session {
   /// Last solution, or null before the first Iterate.
   const Solution* last() const;
 
+  /// The engine's acquisition report (null when the engine was built from a
+  /// plain universe). Lets UI code render the DegradedSources section next
+  /// to any solution in the history.
+  const AcquisitionReport* acquisition_report() const {
+    return engine_->acquisition_report();
+  }
+
   // --- feedback operations (all take effect at the next Iterate) --------
 
   /// Requires `source` to be part of the solution (a source constraint).

@@ -41,10 +41,12 @@ CandidateEvaluator::CandidateEvaluator(const Universe& universe,
       banned_(SortedUnique(spec.banned_sources)) {
   Status status = ValidateSpec(universe, spec);
   UBE_CHECK(status.ok(), "invalid ProblemSpec: " + status.ToString());
-  // Force the universe's lazily built union signature now, while we are
-  // still single-threaded: CoverageQef reads it on every evaluation and the
-  // lazy build mutates Universe state.
+  // Force the universe's lazily built union signatures now, while we are
+  // still single-threaded: MakeContext reads one of them (which, depends on
+  // the degradation policy) on every evaluation and the lazy build mutates
+  // Universe state.
   universe_.UnionSignature();
+  universe_.FreshUnionSignature();
 }
 
 Status CandidateEvaluator::ValidateSpec(const Universe& universe,

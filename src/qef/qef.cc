@@ -13,6 +13,18 @@ double Clamp01(double x) { return std::clamp(x, 0.0, 1.0); }
 
 }  // namespace
 
+std::string_view DegradationPolicyName(DegradationPolicy policy) {
+  switch (policy) {
+    case DegradationPolicy::kPessimisticPrior:
+      return "pessimistic-prior";
+    case DegradationPolicy::kLastKnownGood:
+      return "last-known-good";
+    case DegradationPolicy::kExcludeRenormalize:
+      return "exclude-renormalize";
+  }
+  return "unknown";
+}
+
 double MatchingQualityQef::Evaluate(const EvalContext& ctx) const {
   UBE_CHECK(ctx.match != nullptr,
             "MatchingQualityQef requires a Match(S) result in the context");
@@ -22,17 +34,16 @@ double MatchingQualityQef::Evaluate(const EvalContext& ctx) const {
 
 double CardinalityQef::Evaluate(const EvalContext& ctx) const {
   UBE_CHECK(ctx.universe != nullptr, "EvalContext missing universe");
-  int64_t total_u = ctx.universe->TotalCardinality();
-  if (total_u <= 0) return 0.0;
-  return Clamp01(static_cast<double>(ctx.total_cardinality) /
-                 static_cast<double>(total_u));
+  // MakeContext fills universe_cardinality per the degradation policy.
+  if (ctx.universe_cardinality <= 0) return 0.0;
+  return Clamp01(ctx.effective_cardinality /
+                 static_cast<double>(ctx.universe_cardinality));
 }
 
 double CoverageQef::Evaluate(const EvalContext& ctx) const {
   UBE_CHECK(ctx.universe != nullptr, "EvalContext missing universe");
-  double union_u = ctx.universe->UnionCardinalityEstimate();
-  if (union_u <= 0.0) return 0.0;
-  return Clamp01(ctx.union_estimate / union_u);
+  if (ctx.universe_union_estimate <= 0.0) return 0.0;
+  return Clamp01(ctx.union_estimate / ctx.universe_union_estimate);
 }
 
 double RedundancyQef::Evaluate(const EvalContext& ctx) const {
@@ -40,11 +51,10 @@ double RedundancyQef::Evaluate(const EvalContext& ctx) const {
   // coverage and redundancy QEFs" (Section 4), i.e. excluded here.
   const int n = ctx.cooperating_count;
   if (n <= 1) return 1.0;  // a single source cannot overlap with itself
-  if (ctx.union_estimate <= 0.0 || ctx.cooperating_cardinality <= 0) {
+  if (ctx.union_estimate <= 0.0 || ctx.cooperating_cardinality <= 0.0) {
     return 1.0;
   }
-  double overlap_factor =
-      static_cast<double>(ctx.cooperating_cardinality) / ctx.union_estimate;
+  double overlap_factor = ctx.cooperating_cardinality / ctx.union_estimate;
   switch (mode_) {
     case Mode::kOverlapFactor: {
       overlap_factor = std::clamp(overlap_factor, 1.0, static_cast<double>(n));

@@ -12,11 +12,44 @@
 
 namespace ube {
 
+/// How the data QEFs treat sources whose statistics came back degraded from
+/// acquisition (stale snapshot, truncated signature, nothing at all — see
+/// StatsState in source/data_source.h and the prober in source/prober.h).
+enum class DegradationPolicy {
+  /// Degraded statistics are not trusted: the source contributes nothing to
+  /// Card / Coverage / Redundancy (a worst-case prior of 0, the same
+  /// treatment Section 4 gives uncooperative sources); denominators stay
+  /// universe-wide, so degradation strictly lowers quality.
+  kPessimisticPrior,
+  /// Use the last-known-good snapshot, discounted: a stale source's
+  /// cardinality contributions are scaled by
+  /// (1 − stale_discount · staleness) and its signature still joins the
+  /// union-of-S estimate. The default — degraded data beats no data.
+  kLastKnownGood,
+  /// Degraded sources are excluded from numerators AND denominators: the
+  /// data QEFs renormalize over the fresh part of the universe, measuring
+  /// "quality relative to what we can actually see".
+  kExcludeRenormalize,
+};
+
+std::string_view DegradationPolicyName(DegradationPolicy policy);
+
+/// Degradation knobs, held by the QualityModel.
+struct DegradationOptions {
+  DegradationPolicy policy = DegradationPolicy::kLastKnownGood;
+  /// Cardinality weight lost per unit staleness under kLastKnownGood,
+  /// in [0, 1]: weight = 1 − stale_discount · staleness.
+  double stale_discount = 0.5;
+};
+
 /// Everything a QEF may look at when scoring a candidate source set S.
 ///
 /// Built once per candidate by QualityModel::MakeContext, which precomputes
 /// the aggregates shared by several QEFs (total cardinality, union-of-S
-/// distinct estimate over cooperating sources, the Match(S) result).
+/// distinct estimate over cooperating sources, the Match(S) result) and
+/// applies the model's degradation policy to sources with stale / partial /
+/// missing statistics. On a fully fresh universe every policy yields the
+/// same numbers, bit-identical to the pre-acquisition behavior.
 struct EvalContext {
   const Universe* universe = nullptr;
   /// The candidate S (each id valid for *universe).
@@ -26,14 +59,26 @@ struct EvalContext {
   /// and QualityModel::Evaluate returns 0 overall.
   const MatchResult* match = nullptr;
 
-  /// Σ_{s∈S} |s| over all sources of S.
+  /// Σ_{s∈S} |s| over all sources of S (raw, policy-independent).
   int64_t total_cardinality = 0;
-  /// Number of sources in S that provided a hash signature.
+  /// Policy-adjusted Σ over S — the Card numerator (equals
+  /// total_cardinality when every source is fresh).
+  double effective_cardinality = 0.0;
+  /// Number of sources in S whose signature the policy admits.
   int cooperating_count = 0;
-  /// Σ |s| over cooperating sources only.
-  int64_t cooperating_cardinality = 0;
-  /// Estimated |∪S| over cooperating sources (0 if none cooperate).
+  /// Policy-adjusted Σ |s| over those cooperating sources.
+  double cooperating_cardinality = 0.0;
+  /// Estimated |∪S| over admitted signatures (0 if none cooperate).
   double union_estimate = 0.0;
+  /// Sources in S with degraded (non-fresh) statistics.
+  int degraded_count = 0;
+
+  /// Card denominator under the active policy: Σ_{t∈U}|t|, or the fresh
+  /// subset under kExcludeRenormalize.
+  int64_t universe_cardinality = 0;
+  /// Coverage denominator under the active policy: estimated |∪U| (or
+  /// |∪ fresh U|).
+  double universe_union_estimate = 0.0;
 };
 
 /// A quality evaluation function F_k(S) ∈ [0, 1]; higher is better

@@ -1,5 +1,6 @@
 #include "qef/quality_model.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/check.h"
@@ -121,13 +122,51 @@ EvalContext QualityModel::MakeContext(const Universe& universe,
   ctx.sources = &sources;
   ctx.match = match;
 
+  const DegradationPolicy policy = degradation_.policy;
   std::unique_ptr<DistinctSignature> union_sig;
   for (SourceId s : sources) {
     const DataSource& source = universe.source(s);
     ctx.total_cardinality += source.cardinality();
-    if (!source.has_signature()) continue;
+
+    // Weight of this source's cardinality contributions and whether its
+    // signature is admitted, per the degradation policy. Fresh sources are
+    // weight 1 / admitted under every policy.
+    double weight = 1.0;
+    bool admit_signature = true;
+    switch (source.stats_state()) {
+      case StatsState::kFresh:
+        break;
+      case StatsState::kStale:
+        ++ctx.degraded_count;
+        if (policy == DegradationPolicy::kLastKnownGood) {
+          weight = std::max(
+              0.0, 1.0 - degradation_.stale_discount * source.staleness());
+        } else {
+          weight = 0.0;
+          admit_signature = false;
+        }
+        break;
+      case StatsState::kPartial:
+        // Cardinality arrived fresh; only the signature was lost. The
+        // exclude policy drops the source from the renormalized picture
+        // entirely; the others trust what did arrive.
+        ++ctx.degraded_count;
+        admit_signature = false;
+        if (policy == DegradationPolicy::kExcludeRenormalize) weight = 0.0;
+        break;
+      case StatsState::kMissing:
+        ++ctx.degraded_count;
+        weight = 0.0;
+        admit_signature = false;
+        break;
+    }
+
+    ctx.effective_cardinality +=
+        weight * static_cast<double>(source.cardinality());
+    if (!admit_signature || !source.has_signature()) continue;
     ++ctx.cooperating_count;
-    ctx.cooperating_cardinality += source.cardinality();
+    ctx.cooperating_cardinality +=
+        weight * static_cast<double>(source.cardinality());
     if (union_sig == nullptr) {
       union_sig = source.signature().Clone();
     } else {
@@ -135,6 +174,14 @@ EvalContext QualityModel::MakeContext(const Universe& universe,
     }
   }
   ctx.union_estimate = union_sig == nullptr ? 0.0 : union_sig->Estimate();
+
+  if (policy == DegradationPolicy::kExcludeRenormalize) {
+    ctx.universe_cardinality = universe.FreshCardinality();
+    ctx.universe_union_estimate = universe.FreshUnionCardinalityEstimate();
+  } else {
+    ctx.universe_cardinality = universe.TotalCardinality();
+    ctx.universe_union_estimate = universe.UnionCardinalityEstimate();
+  }
   return ctx;
 }
 

@@ -65,6 +65,14 @@ class QualityModel {
   /// requires running Match(S)).
   bool NeedsMatching() const;
 
+  /// How MakeContext treats sources with degraded statistics (stale /
+  /// partial / missing after acquisition). Irrelevant — all policies
+  /// identical — when every source is fresh.
+  const DegradationOptions& degradation() const { return degradation_; }
+  void set_degradation(const DegradationOptions& options) {
+    degradation_ = options;
+  }
+
   /// Builds the evaluation context for candidate `sources` (precomputes the
   /// shared aggregates). `match` may be null iff !NeedsMatching().
   EvalContext MakeContext(const Universe& universe,
@@ -79,6 +87,7 @@ class QualityModel {
  private:
   std::vector<std::unique_ptr<Qef>> qefs_;
   std::vector<double> weights_;
+  DegradationOptions degradation_;
 };
 
 }  // namespace ube

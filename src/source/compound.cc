@@ -6,46 +6,60 @@
 
 namespace ube {
 
-const std::vector<AttributeId>& CompoundMapping::OriginalsOf(
+Result<std::vector<AttributeId>> CompoundMapping::OriginalsOf(
     const AttributeId& derived) const {
-  UBE_CHECK(derived.source >= 0 &&
-                static_cast<size_t>(derived.source) < originals_.size(),
-            "derived source out of range");
+  if (derived.source < 0 ||
+      static_cast<size_t>(derived.source) >= originals_.size()) {
+    return Status::InvalidArgument("derived source out of range");
+  }
   const auto& per_source = originals_[static_cast<size_t>(derived.source)];
-  UBE_CHECK(derived.attr_index >= 0 &&
-                static_cast<size_t>(derived.attr_index) < per_source.size(),
-            "derived attribute out of range");
+  if (derived.attr_index < 0 ||
+      static_cast<size_t>(derived.attr_index) >= per_source.size()) {
+    return Status::InvalidArgument("derived attribute out of range");
+  }
   return per_source[static_cast<size_t>(derived.attr_index)];
 }
 
-AttributeId CompoundMapping::DerivedOf(const AttributeId& original) const {
-  UBE_CHECK(original.source >= 0 &&
-                static_cast<size_t>(original.source) < derived_.size(),
-            "original source out of range");
+Result<AttributeId> CompoundMapping::DerivedOf(
+    const AttributeId& original) const {
+  if (original.source < 0 ||
+      static_cast<size_t>(original.source) >= derived_.size()) {
+    return Status::InvalidArgument("original source out of range");
+  }
   const auto& per_source = derived_[static_cast<size_t>(original.source)];
-  UBE_CHECK(original.attr_index >= 0 &&
-                static_cast<size_t>(original.attr_index) < per_source.size(),
-            "original attribute out of range");
+  if (original.attr_index < 0 ||
+      static_cast<size_t>(original.attr_index) >= per_source.size()) {
+    return Status::InvalidArgument("original attribute out of range");
+  }
   return per_source[static_cast<size_t>(original.attr_index)];
 }
 
-std::vector<AttributeId> CompoundMapping::ExpandGa(
+Result<bool> CompoundMapping::IsCompound(const AttributeId& derived) const {
+  Result<std::vector<AttributeId>> originals = OriginalsOf(derived);
+  UBE_RETURN_IF_ERROR(originals.status());
+  return originals.value().size() > 1;
+}
+
+Result<std::vector<AttributeId>> CompoundMapping::ExpandGa(
     const GlobalAttribute& derived_ga) const {
   std::vector<AttributeId> out;
   for (const AttributeId& derived : derived_ga.attributes()) {
-    const std::vector<AttributeId>& originals = OriginalsOf(derived);
-    out.insert(out.end(), originals.begin(), originals.end());
+    Result<std::vector<AttributeId>> originals = OriginalsOf(derived);
+    UBE_RETURN_IF_ERROR(originals.status());
+    out.insert(out.end(), originals.value().begin(), originals.value().end());
   }
   std::sort(out.begin(), out.end());
   return out;
 }
 
-std::vector<std::vector<AttributeId>> CompoundMapping::ExpandSchema(
+Result<std::vector<std::vector<AttributeId>>> CompoundMapping::ExpandSchema(
     const MediatedSchema& derived_schema) const {
   std::vector<std::vector<AttributeId>> out;
   out.reserve(static_cast<size_t>(derived_schema.num_gas()));
   for (const GlobalAttribute& ga : derived_schema.gas()) {
-    out.push_back(ExpandGa(ga));
+    Result<std::vector<AttributeId>> expanded = ExpandGa(ga);
+    UBE_RETURN_IF_ERROR(expanded.status());
+    out.push_back(std::move(expanded).value());
   }
   return out;
 }

@@ -42,26 +42,31 @@ class CompoundMapping {
   CompoundMapping() = default;
 
   /// Original attributes behind a derived attribute (size 1 for
-  /// non-compound attributes, group size for compounds).
-  const std::vector<AttributeId>& OriginalsOf(const AttributeId& derived)
+  /// non-compound attributes, group size for compounds). InvalidArgument
+  /// when `derived` does not name an attribute of the derived universe —
+  /// ids arrive from user gestures (UI clicks, saved sessions), so bad
+  /// input is reported, never aborted on.
+  Result<std::vector<AttributeId>> OriginalsOf(const AttributeId& derived)
       const;
 
-  /// Derived attribute holding an original attribute.
-  AttributeId DerivedOf(const AttributeId& original) const;
+  /// Derived attribute holding an original attribute. InvalidArgument when
+  /// `original` does not name an attribute of the original universe.
+  Result<AttributeId> DerivedOf(const AttributeId& original) const;
 
-  /// True if the derived attribute is a compound (> 1 originals).
-  bool IsCompound(const AttributeId& derived) const {
-    return OriginalsOf(derived).size() > 1;
-  }
+  /// True if the derived attribute is a compound (> 1 originals);
+  /// InvalidArgument on an out-of-range id.
+  Result<bool> IsCompound(const AttributeId& derived) const;
 
   /// Expands a GA over the derived universe into the original attribute
   /// ids. The result can contain several attributes of one source — that
   /// is exactly the n:m semantics compounds encode — so it is returned as
-  /// a plain id list, not a (1:1) GlobalAttribute.
-  std::vector<AttributeId> ExpandGa(const GlobalAttribute& derived_ga) const;
+  /// a plain id list, not a (1:1) GlobalAttribute. InvalidArgument when the
+  /// GA references an attribute outside the derived universe.
+  Result<std::vector<AttributeId>> ExpandGa(
+      const GlobalAttribute& derived_ga) const;
 
   /// Expands every GA of a mediated schema over the derived universe.
-  std::vector<std::vector<AttributeId>> ExpandSchema(
+  Result<std::vector<std::vector<AttributeId>>> ExpandSchema(
       const MediatedSchema& derived_schema) const;
 
  private:

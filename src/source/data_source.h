@@ -13,6 +13,19 @@
 
 namespace ube {
 
+/// Quality of the statistics (cardinality + signature) attached to a source
+/// after acquisition (src/source/prober.h). A perfectly acquired source —
+/// and every source built without going through the prober — is kFresh, so
+/// the zero-fault path behaves exactly as before the acquisition layer.
+enum class StatsState {
+  kFresh,    ///< statistics are from a successful, current probe
+  kStale,    ///< statistics are a last-known-good snapshot (see staleness())
+  kPartial,  ///< cardinality known, signature truncated/lost in transit
+  kMissing,  ///< no statistics at all (schema only)
+};
+
+std::string_view StatsStateName(StatsState state);
+
 /// One data source as µBE sees it (Section 2.1): a schema, data
 /// characteristics (tuple cardinality plus a distinct-count signature
 /// provided by a *cooperating* source), and a set of named non-functional
@@ -50,6 +63,26 @@ class DataSource {
     signature_ = std::move(signature);
   }
 
+  /// False when acquisition dropped this source (permanent failure, breaker
+  /// stuck open, or retry budget exhausted): the source stays in the
+  /// universe so SourceIds remain stable against the acquisition report,
+  /// but the engine treats it as permanently banned.
+  bool available() const { return available_; }
+  void set_available(bool available) { available_ = available; }
+
+  /// Quality of the statistics attached to this source.
+  StatsState stats_state() const { return stats_state_; }
+  /// `staleness` is the snapshot's age in [0, 1] (0 = current); only
+  /// meaningful for kStale, forced to 0 otherwise.
+  void set_stats_state(StatsState state, double staleness = 0.0);
+  double staleness() const { return staleness_; }
+
+  /// Available with fully trusted statistics — the only sources the
+  /// exclude-and-renormalize degradation policy admits (qef/qef.h).
+  bool stats_fresh() const {
+    return available_ && stats_state_ == StatsState::kFresh;
+  }
+
   /// Named non-functional characteristics (Section 5). Values are positive
   /// reals of any magnitude; aggregation into [0,1] happens in the QEFs.
   void SetCharacteristic(std::string_view name, double value);
@@ -64,6 +97,9 @@ class DataSource {
   int64_t cardinality_ = 0;
   std::unique_ptr<DistinctSignature> signature_;
   std::map<std::string, double, std::less<>> characteristics_;
+  bool available_ = true;
+  StatsState stats_state_ = StatsState::kFresh;
+  double staleness_ = 0.0;
 };
 
 }  // namespace ube

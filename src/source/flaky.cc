@@ -1,0 +1,73 @@
+#include "source/flaky.h"
+
+#include <utility>
+
+#include "util/check.h"
+
+namespace ube {
+
+DataSource CloneSource(const DataSource& source) {
+  DataSource copy(source.name(), source.schema());
+  copy.set_cardinality(source.cardinality());
+  if (source.has_signature()) {
+    copy.set_signature(source.signature().Clone());
+  }
+  for (const auto& [name, value] : source.characteristics()) {
+    copy.SetCharacteristic(name, value);
+  }
+  copy.set_available(source.available());
+  copy.set_stats_state(source.stats_state(), source.staleness());
+  return copy;
+}
+
+ProbeResponse InMemoryProbeTarget::Probe(int attempt) {
+  (void)attempt;
+  ProbeResponse response{ProbedSource{CloneSource(source_)}, 0.0};
+  return response;
+}
+
+FlakyProbeTarget::FlakyProbeTarget(std::unique_ptr<ProbeTarget> inner,
+                                   const FaultPlan* plan)
+    : inner_(std::move(inner)), plan_(plan) {
+  UBE_CHECK(inner_ != nullptr && plan_ != nullptr,
+            "FlakyProbeTarget needs an inner target and a plan");
+  key_ = FaultPlan::KeyFor(inner_->name());
+}
+
+ProbeResponse FlakyProbeTarget::Probe(int attempt) {
+  FaultDecision fault = plan_->Decide(key_, attempt);
+  switch (fault.kind) {
+    case FaultKind::kTransient:
+      return {Status::Unavailable("transient failure probing '" +
+                                  inner_->name() + "'"),
+              fault.latency_ms};
+    case FaultKind::kTimeout:
+      // The latency alone triggers the prober's per-attempt deadline; the
+      // outcome below is what a caller without a deadline would see.
+      return {Status::DeadlineExceeded("probe of '" + inner_->name() +
+                                       "' did not respond"),
+              fault.latency_ms};
+    case FaultKind::kPermanent:
+      return {Status::NotFound("source '" + inner_->name() +
+                               "' is permanently gone"),
+              fault.latency_ms};
+    case FaultKind::kNone:
+    case FaultKind::kStale:
+    case FaultKind::kTruncated:
+      break;
+  }
+
+  ProbeResponse inner = inner_->Probe(attempt);
+  if (!inner.outcome.ok()) return inner;
+  ProbedSource probed = std::move(inner.outcome).value();
+  if (fault.kind == FaultKind::kStale) {
+    probed.stale = true;
+    probed.staleness = fault.staleness;
+  } else if (fault.kind == FaultKind::kTruncated) {
+    probed.truncated = true;
+    probed.source.set_signature(nullptr);
+  }
+  return {std::move(probed), fault.latency_ms + inner.latency_ms};
+}
+
+}  // namespace ube

@@ -1,0 +1,91 @@
+#ifndef UBE_SOURCE_FLAKY_H_
+#define UBE_SOURCE_FLAKY_H_
+
+#include <memory>
+#include <string>
+
+#include "source/data_source.h"
+#include "util/fault_injection.h"
+#include "util/result.h"
+
+namespace ube {
+
+/// A successful probe: the acquired source description plus flags about the
+/// quality of the statistics that came back with it.
+struct ProbedSource {
+  DataSource source;
+  /// Statistics are a last-known-good snapshot; `staleness` in (0, 1].
+  bool stale = false;
+  double staleness = 0.0;
+  /// The signature was truncated in transit and had to be discarded
+  /// (cardinality survived).
+  bool truncated = false;
+};
+
+/// One probe attempt's outcome: a source (possibly degraded) or a failure,
+/// plus the attempt's simulated service time.
+struct ProbeResponse {
+  Result<ProbedSource> outcome;
+  double latency_ms = 0.0;
+};
+
+/// A remote source as the acquisition layer sees it: something that can be
+/// probed for its description (schema, cardinality, signature,
+/// characteristics) and may fail doing so.
+///
+/// Probe(attempt) must be a pure function of `attempt` — the prober retries
+/// from ThreadPool workers and the replay contract requires the response
+/// stream to be independent of thread interleaving.
+class ProbeTarget {
+ public:
+  virtual ~ProbeTarget() = default;
+
+  /// Stable name; doubles as the source's identity in fault plans and
+  /// acquisition reports.
+  virtual const std::string& name() const = 0;
+
+  /// One probe attempt (0-based).
+  virtual ProbeResponse Probe(int attempt) = 0;
+};
+
+/// Deep copy of a DataSource (which is move-only by design): schema,
+/// cardinality, cloned signature, characteristics, stats state.
+DataSource CloneSource(const DataSource& source);
+
+/// Probe target over a fully materialized in-memory source: every probe
+/// succeeds instantly with fresh statistics. The building block tests and
+/// simulations wrap in FlakyProbeTarget.
+class InMemoryProbeTarget final : public ProbeTarget {
+ public:
+  explicit InMemoryProbeTarget(DataSource source)
+      : source_(std::move(source)) {}
+
+  const std::string& name() const override { return source_.name(); }
+  ProbeResponse Probe(int attempt) override;
+
+ private:
+  DataSource source_;
+};
+
+/// Decorator injecting faults from a deterministic FaultPlan: depending on
+/// the plan's draw for (source, attempt) the inner probe is passed through,
+/// failed transiently/permanently, timed out, or degraded (stale snapshot /
+/// truncated signature). With an all-zero-rate plan this is a transparent
+/// wrapper — the zero-fault path stays bit-identical.
+class FlakyProbeTarget final : public ProbeTarget {
+ public:
+  /// `plan` must outlive the target.
+  FlakyProbeTarget(std::unique_ptr<ProbeTarget> inner, const FaultPlan* plan);
+
+  const std::string& name() const override { return inner_->name(); }
+  ProbeResponse Probe(int attempt) override;
+
+ private:
+  std::unique_ptr<ProbeTarget> inner_;
+  const FaultPlan* plan_;
+  uint64_t key_;
+};
+
+}  // namespace ube
+
+#endif  // UBE_SOURCE_FLAKY_H_

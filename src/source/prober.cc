@@ -1,0 +1,260 @@
+#include "source/prober.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <optional>
+#include <utility>
+
+#include "util/check.h"
+#include "util/thread_pool.h"
+
+namespace ube {
+
+namespace {
+
+std::string FormatMs(double ms) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.1f", ms);
+  return buffer;
+}
+
+}  // namespace
+
+// --- CircuitBreaker --------------------------------------------------------
+
+std::string_view CircuitBreakerStateName(CircuitBreaker::State state) {
+  switch (state) {
+    case CircuitBreaker::State::kClosed:
+      return "closed";
+    case CircuitBreaker::State::kOpen:
+      return "open";
+    case CircuitBreaker::State::kHalfOpen:
+      return "half-open";
+  }
+  return "unknown";
+}
+
+bool CircuitBreaker::AllowRequest(double now_ms) {
+  switch (state_) {
+    case State::kClosed:
+      return true;
+    case State::kOpen:
+      if (now_ms + 1e-9 >= open_until_ms_) {
+        state_ = State::kHalfOpen;
+        return true;
+      }
+      return false;
+    case State::kHalfOpen:
+      return true;
+  }
+  return true;
+}
+
+void CircuitBreaker::RecordSuccess() {
+  state_ = State::kClosed;
+  consecutive_failures_ = 0;
+}
+
+void CircuitBreaker::RecordFailure(double now_ms) {
+  if (state_ == State::kHalfOpen) {
+    // The probationary probe failed: straight back to open.
+    Trip(now_ms);
+    return;
+  }
+  if (++consecutive_failures_ >= options_.trip_threshold) Trip(now_ms);
+}
+
+void CircuitBreaker::Trip(double now_ms) {
+  state_ = State::kOpen;
+  open_until_ms_ = now_ms + options_.cooldown_ms;
+  consecutive_failures_ = 0;
+  ++num_trips_;
+}
+
+// --- AcquisitionReport -----------------------------------------------------
+
+std::string_view AcquisitionOutcomeName(AcquisitionOutcome outcome) {
+  switch (outcome) {
+    case AcquisitionOutcome::kAcquired:
+      return "acquired";
+    case AcquisitionOutcome::kAcquiredStale:
+      return "acquired-stale";
+    case AcquisitionOutcome::kAcquiredPartial:
+      return "acquired-partial";
+    case AcquisitionOutcome::kDropped:
+      return "dropped";
+  }
+  return "unknown";
+}
+
+int AcquisitionReport::CountOutcome(AcquisitionOutcome outcome) const {
+  int count = 0;
+  for (const SourceAcquisition& s : sources) {
+    count += s.outcome == outcome ? 1 : 0;
+  }
+  return count;
+}
+
+double AcquisitionReport::max_elapsed_ms() const {
+  double max_ms = 0.0;
+  for (const SourceAcquisition& s : sources) {
+    max_ms = std::max(max_ms, s.elapsed_ms);
+  }
+  return max_ms;
+}
+
+double AcquisitionReport::mean_elapsed_ms() const {
+  if (sources.empty()) return 0.0;
+  double total = 0.0;
+  for (const SourceAcquisition& s : sources) total += s.elapsed_ms;
+  return total / static_cast<double>(sources.size());
+}
+
+std::string AcquisitionReport::Summary() const {
+  std::string out = std::to_string(num_acquired()) + "/" +
+                    std::to_string(sources.size()) + " sources acquired";
+  int stale = CountOutcome(AcquisitionOutcome::kAcquiredStale);
+  int partial = CountOutcome(AcquisitionOutcome::kAcquiredPartial);
+  if (stale > 0 || partial > 0) {
+    out += " (" + std::to_string(stale) + " stale, " +
+           std::to_string(partial) + " partial)";
+  }
+  out += ", " + std::to_string(num_dropped()) + " dropped; probe time mean " +
+         FormatMs(mean_elapsed_ms()) + " ms / max " +
+         FormatMs(max_elapsed_ms()) + " ms";
+  return out;
+}
+
+// --- SourceProber ----------------------------------------------------------
+
+SourceAcquisition SourceProber::ProbeOne(ProbeTarget& target, Rng rng,
+                                         DataSource* acquired) const {
+  const BackoffPolicy& policy = options_.backoff;
+  SourceAcquisition acq;
+  acq.name = target.name();
+  BackoffSchedule backoff(policy, rng);
+  CircuitBreaker breaker(options_.breaker);
+  double now_ms = 0.0;
+  Status last = Status::Unavailable("no probe attempt was made");
+
+  for (int attempt = 0; attempt < policy.max_attempts; ++attempt) {
+    if (now_ms > policy.total_budget_ms) {
+      last = Status::DeadlineExceeded(
+          "per-source probe budget exhausted after " + FormatMs(now_ms) +
+          " ms");
+      break;
+    }
+    if (!breaker.AllowRequest(now_ms)) {
+      // Wait out the cool-down on the virtual clock, then take the
+      // half-open probe — unless that would blow the total budget.
+      double reopen_ms = breaker.open_until_ms();
+      if (reopen_ms > policy.total_budget_ms) {
+        last = Status::Unavailable(
+            "circuit breaker open past the probe budget");
+        break;
+      }
+      now_ms = reopen_ms;
+      bool admitted = breaker.AllowRequest(now_ms);
+      UBE_CHECK(admitted, "breaker must admit a probe after its cool-down");
+    }
+
+    ProbeResponse response = target.Probe(attempt);
+    ++acq.attempts;
+    const bool timed_out = response.latency_ms > policy.attempt_deadline_ms;
+    now_ms += std::min(response.latency_ms, policy.attempt_deadline_ms);
+
+    if (!timed_out && response.outcome.ok()) {
+      breaker.RecordSuccess();
+      ProbedSource probed = std::move(response.outcome).value();
+      *acquired = std::move(probed.source);
+      if (probed.stale) {
+        acq.outcome = AcquisitionOutcome::kAcquiredStale;
+        acq.staleness = probed.staleness;
+        acquired->set_stats_state(StatsState::kStale, probed.staleness);
+      } else if (probed.truncated) {
+        acq.outcome = AcquisitionOutcome::kAcquiredPartial;
+        acquired->set_stats_state(StatsState::kPartial);
+      } else {
+        acq.outcome = AcquisitionOutcome::kAcquired;
+      }
+      acq.status = Status::Ok();
+      acq.breaker_trips = breaker.num_trips();
+      acq.elapsed_ms = now_ms;
+      return acq;
+    }
+
+    Status failure =
+        timed_out ? Status::DeadlineExceeded(
+                        "probe of '" + acq.name + "' exceeded the " +
+                        FormatMs(policy.attempt_deadline_ms) +
+                        " ms attempt deadline")
+                  : response.outcome.status();
+    last = failure;
+    breaker.RecordFailure(now_ms);
+    if (failure.code() == StatusCode::kNotFound) break;  // permanent: stop
+    if (attempt + 1 < policy.max_attempts) now_ms += backoff.NextDelayMs();
+  }
+
+  acq.outcome = AcquisitionOutcome::kDropped;
+  acq.status = last;
+  acq.breaker_trips = breaker.num_trips();
+  acq.elapsed_ms = now_ms;
+  return acq;
+}
+
+Result<Acquisition> SourceProber::Acquire(
+    std::vector<std::unique_ptr<ProbeTarget>> targets) const {
+  if (targets.empty()) {
+    return Status::InvalidArgument("Acquire needs at least one probe target");
+  }
+  const size_t n = targets.size();
+  std::vector<SourceAcquisition> records(n);
+  std::vector<std::optional<DataSource>> acquired(n);
+
+  // One independent jitter stream per source, forked up front, so the
+  // outcome is a pure function of (targets, options) — bit-identical for
+  // any thread count or worker interleaving.
+  Rng master(options_.seed);
+  std::vector<Rng> streams;
+  streams.reserve(n);
+  for (size_t i = 0; i < n; ++i) streams.push_back(master.Fork(i));
+
+  auto probe_one = [&](size_t i) {
+    UBE_CHECK(targets[i] != nullptr, "null probe target");
+    DataSource source;
+    records[i] = ProbeOne(*targets[i], streams[i], &source);
+    if (records[i].outcome != AcquisitionOutcome::kDropped) {
+      acquired[i] = std::move(source);
+    }
+  };
+  if (options_.num_threads == 1 || n == 1) {
+    for (size_t i = 0; i < n; ++i) probe_one(i);
+  } else {
+    ThreadPool pool(options_.num_threads);
+    pool.ParallelFor(n, probe_one);
+  }
+
+  Acquisition out;
+  for (size_t i = 0; i < n; ++i) {
+    if (acquired[i].has_value()) {
+      out.universe.AddSource(std::move(*acquired[i]));
+    } else {
+      // Dropped sources stay in the universe as unavailable shells so ids
+      // remain aligned with the report; the engine bans them from search.
+      DataSource shell(records[i].name, SourceSchema());
+      shell.set_available(false);
+      shell.set_stats_state(StatsState::kMissing);
+      out.universe.AddSource(std::move(shell));
+    }
+  }
+  out.report.sources = std::move(records);
+  if (out.universe.num_available() == 0) {
+    return Status::Unavailable(
+        "acquisition failed for every source (" + std::to_string(n) +
+        " probed); first failure: " +
+        out.report.sources.front().status.ToString());
+  }
+  return out;
+}
+
+}  // namespace ube

@@ -1,0 +1,159 @@
+#ifndef UBE_SOURCE_PROBER_H_
+#define UBE_SOURCE_PROBER_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "source/flaky.h"
+#include "source/universe.h"
+#include "util/backoff.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace ube {
+
+/// Per-source circuit breaker over the classic closed → open → half-open
+/// state machine: `trip_threshold` consecutive failures open the circuit,
+/// the cool-down keeps it open, then a single half-open probe decides
+/// between closing (success) and re-opening (failure).
+///
+/// Time is the prober's simulated clock (milliseconds), not wall time, so
+/// breaker behaviour is deterministic and replayable from a seed.
+class CircuitBreaker {
+ public:
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  struct Options {
+    /// Consecutive failures that trip the breaker.
+    int trip_threshold = 3;
+    /// How long the circuit stays open before allowing a half-open probe.
+    double cooldown_ms = 2'000.0;
+  };
+
+  explicit CircuitBreaker(const Options& options) : options_(options) {}
+
+  /// True if a request may go out at simulated time `now_ms`. An open
+  /// breaker whose cool-down has expired transitions to half-open here and
+  /// admits the probe.
+  bool AllowRequest(double now_ms);
+
+  /// Report the outcome of an admitted request.
+  void RecordSuccess();
+  void RecordFailure(double now_ms);
+
+  State state() const { return state_; }
+  /// Earliest simulated time an open breaker admits a half-open probe.
+  double open_until_ms() const { return open_until_ms_; }
+  /// Times the breaker has tripped (closed/half-open → open).
+  int num_trips() const { return num_trips_; }
+
+ private:
+  void Trip(double now_ms);
+
+  Options options_;
+  State state_ = State::kClosed;
+  int consecutive_failures_ = 0;
+  double open_until_ms_ = 0.0;
+  int num_trips_ = 0;
+};
+
+std::string_view CircuitBreakerStateName(CircuitBreaker::State state);
+
+/// How one source came out of acquisition.
+enum class AcquisitionOutcome {
+  kAcquired,         ///< fresh statistics, full trust
+  kAcquiredStale,    ///< acquired, but statistics are a stale snapshot
+  kAcquiredPartial,  ///< acquired, but the signature was truncated/lost
+  kDropped,          ///< not acquired; present in the universe but unavailable
+};
+
+std::string_view AcquisitionOutcomeName(AcquisitionOutcome outcome);
+
+/// Per-source acquisition record (index-aligned with the universe's ids).
+struct SourceAcquisition {
+  std::string name;
+  AcquisitionOutcome outcome = AcquisitionOutcome::kDropped;
+  /// Probe attempts actually sent (breaker-denied attempts do not count).
+  int attempts = 0;
+  /// Simulated time spent on this source: service + backoff + cool-down.
+  double elapsed_ms = 0.0;
+  /// Snapshot age for kAcquiredStale, in (0, 1].
+  double staleness = 0.0;
+  /// Breaker trips while acquiring this source.
+  int breaker_trips = 0;
+  /// OK when acquired; the decisive failure when dropped.
+  Status status;
+};
+
+/// The per-source outcomes of one acquisition run, plus aggregates.
+struct AcquisitionReport {
+  std::vector<SourceAcquisition> sources;
+
+  int CountOutcome(AcquisitionOutcome outcome) const;
+  int num_acquired() const {
+    return static_cast<int>(sources.size()) -
+           CountOutcome(AcquisitionOutcome::kDropped);
+  }
+  int num_dropped() const { return CountOutcome(AcquisitionOutcome::kDropped); }
+  /// Acquired with less than fresh statistics (stale or partial).
+  int num_degraded() const {
+    return CountOutcome(AcquisitionOutcome::kAcquiredStale) +
+           CountOutcome(AcquisitionOutcome::kAcquiredPartial);
+  }
+  /// Fan-out wall clock: the slowest per-source simulated time.
+  double max_elapsed_ms() const;
+  double mean_elapsed_ms() const;
+
+  /// One line: "187/200 acquired (6 stale, 3 partial), 13 dropped, ...".
+  std::string Summary() const;
+};
+
+struct ProberOptions {
+  BackoffPolicy backoff;
+  CircuitBreaker::Options breaker;
+  /// ThreadPool width for the probe fan-out (1 = inline, 0 = hardware
+  /// concurrency). Results are bit-identical for any value.
+  int num_threads = 1;
+  /// Seed of the backoff jitter streams (one independent fork per source).
+  uint64_t seed = 0;
+};
+
+/// A universe assembled from probes plus the per-source report. Dropped
+/// sources are present as unavailable shells so SourceIds line up with the
+/// report (and with any catalog the targets were built from).
+struct Acquisition {
+  Universe universe;
+  AcquisitionReport report;
+};
+
+/// Probes every target — with retries, backoff and a per-source circuit
+/// breaker, fanned out over a ThreadPool — and builds the universe of
+/// whatever the network gave us.
+///
+/// Returns a non-OK Status only when *no* source could be acquired (there
+/// is nothing to optimize over); partial failure is reported per source,
+/// not as an error.
+class SourceProber {
+ public:
+  explicit SourceProber(const ProberOptions& options = ProberOptions())
+      : options_(options) {}
+
+  const ProberOptions& options() const { return options_; }
+
+  Result<Acquisition> Acquire(
+      std::vector<std::unique_ptr<ProbeTarget>> targets) const;
+
+ private:
+  /// Runs the full retry/breaker loop for one target. Fills *acquired on
+  /// success; pure function of (target, rng) so the fan-out is replayable.
+  SourceAcquisition ProbeOne(ProbeTarget& target, Rng rng,
+                             DataSource* acquired) const;
+
+  ProberOptions options_;
+};
+
+}  // namespace ube
+
+#endif  // UBE_SOURCE_PROBER_H_

@@ -1,15 +1,37 @@
 #include "source/universe.h"
 
+#include <algorithm>
 #include <numeric>
 
 #include "util/check.h"
 
 namespace ube {
 
+std::string_view StatsStateName(StatsState state) {
+  switch (state) {
+    case StatsState::kFresh:
+      return "fresh";
+    case StatsState::kStale:
+      return "stale";
+    case StatsState::kPartial:
+      return "partial";
+    case StatsState::kMissing:
+      return "missing";
+  }
+  return "unknown";
+}
+
 const DistinctSignature& DataSource::signature() const {
   UBE_CHECK(signature_ != nullptr,
             "signature() called on a non-cooperating source");
   return *signature_;
+}
+
+void DataSource::set_stats_state(StatsState state, double staleness) {
+  stats_state_ = state;
+  staleness_ = state == StatsState::kStale
+                   ? std::clamp(staleness, 0.0, 1.0)
+                   : 0.0;
 }
 
 void DataSource::SetCharacteristic(std::string_view name, double value) {
@@ -26,6 +48,7 @@ std::optional<double> DataSource::GetCharacteristic(
 SourceId Universe::AddSource(DataSource source) {
   sources_.push_back(std::move(source));
   union_dirty_ = true;
+  fresh_union_dirty_ = true;
   return static_cast<SourceId>(sources_.size() - 1);
 }
 
@@ -37,6 +60,21 @@ const DataSource& Universe::source(SourceId id) const {
 DataSource* Universe::mutable_source(SourceId id) {
   UBE_CHECK(id >= 0 && id < num_sources(), "SourceId out of range");
   union_dirty_ = true;
+  fresh_union_dirty_ = true;
+  return &sources_[static_cast<size_t>(id)];
+}
+
+Status Universe::ValidateId(SourceId id) const {
+  if (id < 0 || id >= num_sources()) {
+    return Status::InvalidArgument("SourceId " + std::to_string(id) +
+                                   " out of range [0, " +
+                                   std::to_string(num_sources()) + ")");
+  }
+  return Status::Ok();
+}
+
+Result<const DataSource*> Universe::TryGetSource(SourceId id) const {
+  UBE_RETURN_IF_ERROR(ValidateId(id));
   return &sources_[static_cast<size_t>(id)];
 }
 
@@ -50,6 +88,14 @@ Result<SourceId> Universe::FindByName(std::string_view name) const {
 int64_t Universe::TotalCardinality() const {
   int64_t total = 0;
   for (const DataSource& s : sources_) total += s.cardinality();
+  return total;
+}
+
+int64_t Universe::FreshCardinality() const {
+  int64_t total = 0;
+  for (const DataSource& s : sources_) {
+    if (s.stats_fresh()) total += s.cardinality();
+  }
   return total;
 }
 
@@ -74,9 +120,44 @@ double Universe::UnionCardinalityEstimate() const {
   return sig == nullptr ? 0.0 : sig->Estimate();
 }
 
+const DistinctSignature* Universe::FreshUnionSignature() const {
+  if (fresh_union_dirty_) {
+    fresh_union_signature_.reset();
+    for (const DataSource& s : sources_) {
+      if (!s.stats_fresh() || !s.has_signature()) continue;
+      if (fresh_union_signature_ == nullptr) {
+        fresh_union_signature_ = s.signature().Clone();
+      } else {
+        fresh_union_signature_->MergeFrom(s.signature());
+      }
+    }
+    fresh_union_dirty_ = false;
+  }
+  return fresh_union_signature_.get();
+}
+
+double Universe::FreshUnionCardinalityEstimate() const {
+  const DistinctSignature* sig = FreshUnionSignature();
+  return sig == nullptr ? 0.0 : sig->Estimate();
+}
+
+int Universe::num_available() const {
+  int count = 0;
+  for (const DataSource& s : sources_) count += s.available() ? 1 : 0;
+  return count;
+}
+
 std::vector<SourceId> Universe::AllIds() const {
   std::vector<SourceId> ids(sources_.size());
   std::iota(ids.begin(), ids.end(), 0);
+  return ids;
+}
+
+std::vector<SourceId> Universe::UnavailableIds() const {
+  std::vector<SourceId> ids;
+  for (size_t i = 0; i < sources_.size(); ++i) {
+    if (!sources_[i].available()) ids.push_back(static_cast<SourceId>(i));
+  }
   return ids;
 }
 

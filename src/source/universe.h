@@ -33,14 +33,28 @@ class Universe {
   int num_sources() const { return static_cast<int>(sources_.size()); }
   bool empty() const { return sources_.empty(); }
 
+  /// Precondition-checked access (aborts on an out-of-range id); use only
+  /// with ids already validated — externally supplied ids go through
+  /// ValidateId / TryGetSource instead.
   const DataSource& source(SourceId id) const;
   DataSource* mutable_source(SourceId id);
+
+  /// OK iff `id` names a source of this universe. The graceful counterpart
+  /// of the UBE_CHECK in source() for externally-reachable paths.
+  Status ValidateId(SourceId id) const;
+
+  /// The source behind `id`, or InvalidArgument for out-of-range ids.
+  Result<const DataSource*> TryGetSource(SourceId id) const;
 
   /// First source with the given name, or NotFound.
   Result<SourceId> FindByName(std::string_view name) const;
 
   /// Σ_{t∈U} |t| — denominator of the Card QEF.
   int64_t TotalCardinality() const;
+
+  /// Σ |t| over available sources with fresh statistics — the Card
+  /// denominator under the exclude-and-renormalize degradation policy.
+  int64_t FreshCardinality() const;
 
   /// Union signature over every cooperating source in U (the |∪U|
   /// denominator of Coverage). Null when no source has a signature.
@@ -51,13 +65,28 @@ class Universe {
   /// Estimated |∪U| (0 when no source cooperates).
   double UnionCardinalityEstimate() const;
 
+  /// Same pair restricted to available sources with fresh statistics — the
+  /// Coverage denominator under exclude-and-renormalize. Cached like
+  /// UnionSignature.
+  const DistinctSignature* FreshUnionSignature() const;
+  double FreshUnionCardinalityEstimate() const;
+
+  /// Sources acquisition did not drop (all of them for a universe that
+  /// never went through the prober).
+  int num_available() const;
+
   /// All ids, 0..N-1 (convenience for "validate on all of U" call sites).
   std::vector<SourceId> AllIds() const;
+
+  /// Ids of sources acquisition dropped (available() == false), ascending.
+  std::vector<SourceId> UnavailableIds() const;
 
  private:
   std::vector<DataSource> sources_;
   mutable std::unique_ptr<DistinctSignature> union_signature_;
   mutable bool union_dirty_ = true;
+  mutable std::unique_ptr<DistinctSignature> fresh_union_signature_;
+  mutable bool fresh_union_dirty_ = true;
 };
 
 }  // namespace ube

@@ -1,0 +1,21 @@
+#include "util/backoff.h"
+
+#include <algorithm>
+
+namespace ube {
+
+BackoffSchedule::BackoffSchedule(const BackoffPolicy& policy, Rng rng)
+    : policy_(policy), rng_(rng), prev_ms_(policy.base_delay_ms) {}
+
+double BackoffSchedule::NextDelayMs() {
+  // Decorrelated jitter: next ~ Uniform(base, multiplier * prev), capped.
+  double lo = std::max(0.0, policy_.base_delay_ms);
+  double hi = std::max(lo, policy_.multiplier * prev_ms_);
+  double delay = hi > lo ? rng_.UniformDouble(lo, hi) : lo;
+  delay = std::min(delay, policy_.max_delay_ms);
+  prev_ms_ = std::max(delay, lo);
+  ++num_delays_;
+  return delay;
+}
+
+}  // namespace ube

@@ -1,0 +1,56 @@
+#ifndef UBE_UTIL_BACKOFF_H_
+#define UBE_UTIL_BACKOFF_H_
+
+#include "util/rng.h"
+
+namespace ube {
+
+/// Retry policy for one probe sequence against a remote source: a bounded
+/// number of attempts, a per-attempt deadline, and capped exponential
+/// backoff with *decorrelated jitter* between attempts
+/// (delay_k = min(cap, Uniform(base, multiplier · delay_{k-1}))), which
+/// spreads retry storms better than plain exponential-with-jitter.
+///
+/// All durations are in (simulated) milliseconds — the prober advances a
+/// deterministic virtual clock instead of sleeping, so tests and fault
+/// replays run instantly (see DESIGN.md §6).
+struct BackoffPolicy {
+  /// Lower bound of the first delay and of every jitter window.
+  double base_delay_ms = 50.0;
+  /// Upper bound on any single delay.
+  double max_delay_ms = 5'000.0;
+  /// Growth factor of the jitter window between consecutive delays.
+  double multiplier = 3.0;
+  /// Total probe attempts per source (1 = no retry). The retry budget.
+  int max_attempts = 4;
+  /// Per-attempt deadline: an attempt whose (simulated) service time
+  /// exceeds this is classified DEADLINE_EXCEEDED and retried.
+  double attempt_deadline_ms = 1'000.0;
+  /// Hard cap on the per-source simulated time (service + backoff + breaker
+  /// cool-down). Once exceeded, no further attempt is made.
+  double total_budget_ms = 20'000.0;
+};
+
+/// Produces the successive retry delays of one probe sequence.
+/// Deterministic: the same Rng state and policy always yield the same
+/// schedule, which is what makes fault plans replayable from a seed.
+class BackoffSchedule {
+ public:
+  BackoffSchedule(const BackoffPolicy& policy, Rng rng);
+
+  /// Delay to wait before the next retry. Each call advances the schedule.
+  double NextDelayMs();
+
+  /// Delays handed out so far.
+  int num_delays() const { return num_delays_; }
+
+ private:
+  BackoffPolicy policy_;
+  Rng rng_;
+  double prev_ms_;
+  int num_delays_ = 0;
+};
+
+}  // namespace ube
+
+#endif  // UBE_UTIL_BACKOFF_H_

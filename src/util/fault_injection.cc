@@ -1,0 +1,91 @@
+#include "util/fault_injection.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "util/rng.h"
+
+namespace ube {
+
+std::string_view FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone:
+      return "none";
+    case FaultKind::kTransient:
+      return "transient";
+    case FaultKind::kTimeout:
+      return "timeout";
+    case FaultKind::kPermanent:
+      return "permanent";
+    case FaultKind::kStale:
+      return "stale";
+    case FaultKind::kTruncated:
+      return "truncated";
+  }
+  return "unknown";
+}
+
+uint64_t FaultPlan::KeyFor(std::string_view source_name) {
+  // FNV-1a over the bytes, then splitmix64 to spread short names.
+  uint64_t hash = 14695981039346656037ull;
+  for (char c : source_name) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ull;
+  }
+  return SplitMix64(hash);
+}
+
+FaultDecision FaultPlan::Decide(uint64_t key, int attempt) const {
+  FaultDecision decision;
+  // Source-sticky draws: the same for every attempt against this source.
+  Rng source_rng(SplitMix64(seed_ ^ key));
+  const bool permanent = source_rng.Bernoulli(rates_.permanent);
+  const bool stale = source_rng.Bernoulli(rates_.stale);
+  const double staleness = source_rng.UniformDouble(0.05, 1.0);
+  const bool truncated = source_rng.Bernoulli(rates_.truncated);
+  const double base_latency_ms = source_rng.UniformDouble(5.0, 50.0);
+
+  // Attempt-level draws.
+  Rng attempt_rng = source_rng.Fork(static_cast<uint64_t>(attempt) + 1);
+  decision.latency_ms = base_latency_ms * attempt_rng.UniformDouble(0.5, 2.0);
+
+  if (permanent) {
+    decision.kind = FaultKind::kPermanent;
+    return decision;
+  }
+  if (attempt_rng.Bernoulli(rates_.timeout)) {
+    decision.kind = FaultKind::kTimeout;
+    decision.latency_ms = 1e12;  // prober clips to the attempt deadline
+    return decision;
+  }
+  if (attempt_rng.Bernoulli(rates_.transient)) {
+    decision.kind = FaultKind::kTransient;
+    return decision;
+  }
+  if (stale) {
+    decision.kind = FaultKind::kStale;
+    decision.staleness = staleness;
+    return decision;
+  }
+  if (truncated) {
+    decision.kind = FaultKind::kTruncated;
+    return decision;
+  }
+  return decision;
+}
+
+FaultRates FaultPlan::RatesFromEnv(FaultRates defaults) {
+  const char* raw = std::getenv(kFaultRateEnvVar);
+  if (raw == nullptr || raw[0] == '\0') return defaults;
+  char* end = nullptr;
+  double rate = std::strtod(raw, &end);
+  if (end == raw) return defaults;
+  rate = std::clamp(rate, 0.0, 1.0);
+  defaults.transient = rate;
+  // Keep a fixed transient:timeout pressure ratio so one knob drives both
+  // retryable fault classes.
+  defaults.timeout = std::clamp(rate / 3.0, 0.0, 1.0);
+  return defaults;
+}
+
+}  // namespace ube

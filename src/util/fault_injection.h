@@ -1,0 +1,88 @@
+#ifndef UBE_UTIL_FAULT_INJECTION_H_
+#define UBE_UTIL_FAULT_INJECTION_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace ube {
+
+/// What (if anything) goes wrong on one probe attempt against one source.
+enum class FaultKind {
+  kNone,       ///< probe succeeds with fresh statistics
+  kTransient,  ///< attempt fails (UNAVAILABLE); a retry may succeed
+  kTimeout,    ///< attempt runs past the per-attempt deadline
+  kPermanent,  ///< source is gone for good; retrying is pointless
+  kStale,      ///< probe succeeds but serves an old statistics snapshot
+  kTruncated,  ///< probe succeeds but the signature is truncated in transit
+};
+
+std::string_view FaultKindName(FaultKind kind);
+
+/// Per-attempt / per-source fault probabilities. Rates are independent;
+/// permanence, staleness and truncation are properties of a *source*
+/// (sticky across attempts), transient failures and timeouts are properties
+/// of an *attempt*.
+struct FaultRates {
+  double transient = 0.0;
+  double timeout = 0.0;
+  double permanent = 0.0;
+  double stale = 0.0;
+  double truncated = 0.0;
+
+  bool AllZero() const {
+    return transient <= 0.0 && timeout <= 0.0 && permanent <= 0.0 &&
+           stale <= 0.0 && truncated <= 0.0;
+  }
+};
+
+/// The fault drawn for one (source, attempt) pair.
+struct FaultDecision {
+  FaultKind kind = FaultKind::kNone;
+  /// Simulated service time of the attempt. For kTimeout this already
+  /// exceeds any sane deadline; the prober clips it to the deadline.
+  double latency_ms = 0.0;
+  /// Age of the served snapshot for kStale, in (0, 1] (1 = oldest).
+  double staleness = 0.0;
+};
+
+/// A deterministic, seeded fault-injection plan.
+///
+/// Decide(key, attempt) is a pure function of (seed, key, attempt) — no
+/// shared mutable state — so a plan replays bit-identically regardless of
+/// how probe attempts interleave across ThreadPool workers, in the same
+/// spirit as the UBE_PROPERTY_SEED replay contract (TESTING.md).
+class FaultPlan {
+ public:
+  /// A plan that never injects faults (the default-constructed plan).
+  FaultPlan() = default;
+  FaultPlan(uint64_t seed, const FaultRates& rates)
+      : seed_(seed), rates_(rates) {}
+
+  /// Draws the fault for probe attempt `attempt` against the source
+  /// identified by `key` (use KeyFor(source name)).
+  FaultDecision Decide(uint64_t key, int attempt) const;
+
+  /// Stable 64-bit key of a source name (FNV-1a folded through splitmix64).
+  static uint64_t KeyFor(std::string_view source_name);
+
+  uint64_t seed() const { return seed_; }
+  const FaultRates& rates() const { return rates_; }
+  bool enabled() const { return !rates_.AllZero(); }
+
+  /// `defaults` with the transient rate (and, scaled by ratio, the timeout
+  /// rate) overridden from the UBE_FAULT_RATE environment variable when it
+  /// is set — how the CI fault-injection job elevates the fault pressure
+  /// without recompiling. Values are clamped to [0, 1].
+  static FaultRates RatesFromEnv(FaultRates defaults);
+
+  /// Name of the environment variable RatesFromEnv reads.
+  static constexpr const char* kFaultRateEnvVar = "UBE_FAULT_RATE";
+
+ private:
+  uint64_t seed_ = 0;
+  FaultRates rates_;
+};
+
+}  // namespace ube
+
+#endif  // UBE_UTIL_FAULT_INJECTION_H_

@@ -20,6 +20,8 @@ enum class StatusCode {
   kFailedPrecondition,///< operation not valid in the current object state
   kInfeasible,        ///< optimization constraints admit no solution
   kInternal,          ///< invariant violation that was caught gracefully
+  kUnavailable,       ///< a remote source is (transiently) unreachable
+  kDeadlineExceeded,  ///< an operation ran past its deadline
 };
 
 /// Returns a stable human-readable name ("OK", "INVALID_ARGUMENT", ...).
@@ -59,6 +61,12 @@ class Status {
   }
   static Status Internal(std::string message) {
     return Status(StatusCode::kInternal, std::move(message));
+  }
+  static Status Unavailable(std::string message) {
+    return Status(StatusCode::kUnavailable, std::move(message));
+  }
+  static Status DeadlineExceeded(std::string message) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(message));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

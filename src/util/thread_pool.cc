@@ -1,6 +1,7 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace ube {
 
@@ -42,7 +43,12 @@ void ThreadPool::WorkerLoop() {
     }
     size_t i;
     while ((i = next_.fetch_add(1, std::memory_order_relaxed)) < n) {
-      (*fn)(i);
+      try {
+        (*fn)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (!batch_exception_) batch_exception_ = std::current_exception();
+      }
     }
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -64,6 +70,11 @@ void ThreadPool::ParallelFor(size_t n,
   done_cv_.wait(lock, [&] { return active_workers_ == 0; });
   fn_ = nullptr;
   batch_size_ = 0;
+  if (batch_exception_) {
+    std::exception_ptr rethrow = std::exchange(batch_exception_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(rethrow);
+  }
 }
 
 }  // namespace ube

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -40,6 +41,12 @@ class ThreadPool {
   /// all calls returned. fn must be safe to invoke concurrently for
   /// distinct indices. Not reentrant: do not call ParallelFor from inside
   /// fn or from two threads at once.
+  ///
+  /// Exception safety: a throwing fn(i) does NOT take down the worker (which
+  /// would std::terminate the process). The first exception of the batch is
+  /// captured, the remaining indices still run, and the exception is
+  /// rethrown here, on the calling thread, once the batch has drained. The
+  /// pool stays fully usable for subsequent batches.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
   /// std::thread::hardware_concurrency with a floor of 1 (the standard
@@ -61,6 +68,7 @@ class ThreadPool {
   int active_workers_ = 0;
   uint64_t epoch_ = 0;
   bool shutdown_ = false;
+  std::exception_ptr batch_exception_;  // first exception of the batch
 };
 
 }  // namespace ube

@@ -29,10 +29,10 @@ TEST(CompoundTest, EmptyGroupsIsIdentity) {
   const auto& [derived, mapping] = *result;
   ASSERT_EQ(derived.num_sources(), 2);
   EXPECT_EQ(derived.source(0).schema(), original.source(0).schema());
-  EXPECT_EQ(mapping.DerivedOf(AttributeId{0, 1}), (AttributeId{0, 1}));
-  EXPECT_EQ(mapping.OriginalsOf(AttributeId{0, 1}),
+  EXPECT_EQ(mapping.DerivedOf(AttributeId{0, 1}).value(), (AttributeId{0, 1}));
+  EXPECT_EQ(mapping.OriginalsOf(AttributeId{0, 1}).value(),
             (std::vector<AttributeId>{AttributeId{0, 1}}));
-  EXPECT_FALSE(mapping.IsCompound(AttributeId{0, 0}));
+  EXPECT_FALSE(mapping.IsCompound(AttributeId{0, 0}).value());
 }
 
 TEST(CompoundTest, FusesGroupAtFirstMemberPosition) {
@@ -48,13 +48,31 @@ TEST(CompoundTest, FusesGroupAtFirstMemberPosition) {
   EXPECT_EQ(derived.source(0).schema().names(),
             (std::vector<std::string>{"first name last name", "age",
                                       "city"}));
-  EXPECT_TRUE(mapping.IsCompound(AttributeId{0, 0}));
-  EXPECT_EQ(mapping.OriginalsOf(AttributeId{0, 0}),
+  EXPECT_TRUE(mapping.IsCompound(AttributeId{0, 0}).value());
+  EXPECT_EQ(mapping.OriginalsOf(AttributeId{0, 0}).value(),
             (std::vector<AttributeId>{AttributeId{0, 0}, AttributeId{0, 2}}));
-  EXPECT_EQ(mapping.DerivedOf(AttributeId{0, 0}), (AttributeId{0, 0}));
-  EXPECT_EQ(mapping.DerivedOf(AttributeId{0, 2}), (AttributeId{0, 0}));
-  EXPECT_EQ(mapping.DerivedOf(AttributeId{0, 1}), (AttributeId{0, 1}));
-  EXPECT_EQ(mapping.DerivedOf(AttributeId{0, 3}), (AttributeId{0, 2}));
+  EXPECT_EQ(mapping.DerivedOf(AttributeId{0, 0}).value(), (AttributeId{0, 0}));
+  EXPECT_EQ(mapping.DerivedOf(AttributeId{0, 2}).value(), (AttributeId{0, 0}));
+  EXPECT_EQ(mapping.DerivedOf(AttributeId{0, 1}).value(), (AttributeId{0, 1}));
+  EXPECT_EQ(mapping.DerivedOf(AttributeId{0, 3}).value(), (AttributeId{0, 2}));
+}
+
+TEST(CompoundTest, OutOfRangeIdsReportInsteadOfAborting) {
+  Universe original = MakeUniverse({{"a", "b"}});
+  auto result = BuildCompoundUniverse(original, {});
+  ASSERT_TRUE(result.ok());
+  const auto& mapping = result->second;
+  EXPECT_EQ(mapping.OriginalsOf(AttributeId{5, 0}).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(mapping.OriginalsOf(AttributeId{0, 9}).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(mapping.DerivedOf(AttributeId{-1, 0}).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(mapping.IsCompound(AttributeId{0, -3}).status().code(),
+            StatusCode::kInvalidArgument);
+  GlobalAttribute bad_ga({AttributeId{0, 0}, AttributeId{7, 7}});
+  EXPECT_EQ(mapping.ExpandGa(bad_ga).status().code(),
+            StatusCode::kInvalidArgument);
 }
 
 TEST(CompoundTest, CustomName) {
@@ -157,15 +175,17 @@ TEST(CompoundTest, EnablesNtoMMatching) {
 
   // Expanding the derived GA yields the n:m match over original ids:
   // both fragments of source 0 plus source 1's single attribute.
-  std::vector<AttributeId> expanded =
+  Result<std::vector<AttributeId>> expanded =
       mapping.ExpandGa(fused->schema.ga(0));
-  EXPECT_EQ(expanded,
+  ASSERT_TRUE(expanded.ok());
+  EXPECT_EQ(expanded.value(),
             (std::vector<AttributeId>{AttributeId{0, 0}, AttributeId{0, 1},
                                       AttributeId{1, 0}}));
   // ExpandSchema covers the whole mediated schema.
   auto all = mapping.ExpandSchema(fused->schema);
-  ASSERT_EQ(all.size(), 1u);
-  EXPECT_EQ(all[0], expanded);
+  ASSERT_TRUE(all.ok());
+  ASSERT_EQ(all->size(), 1u);
+  EXPECT_EQ((*all)[0], expanded.value());
 }
 
 }  // namespace

@@ -339,8 +339,9 @@ TEST_F(IntegrationTest, CompoundUniverseSolvesEndToEnd) {
   // Any GA touching source 0 expands to valid original ids.
   for (const GlobalAttribute& ga : solution->mediated_schema.gas()) {
     if (!ga.TouchesSource(0)) continue;
-    std::vector<AttributeId> expanded = derived->second.ExpandGa(ga);
-    EXPECT_GE(expanded.size(), static_cast<size_t>(ga.size()));
+    Result<std::vector<AttributeId>> expanded = derived->second.ExpandGa(ga);
+    ASSERT_TRUE(expanded.ok()) << expanded.status();
+    EXPECT_GE(expanded->size(), static_cast<size_t>(ga.size()));
   }
 }
 

@@ -1,0 +1,166 @@
+// Property suite for the acquisition layer: any seeded fault plan leads to
+// a feasible solution over the acquired sources or a clean Status — never a
+// crash — and replaying the same plan is bit-identical, including across
+// thread counts. Rerun failures with UBE_PROPERTY_SEED=<seed>.
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "source/flaky.h"
+#include "source/prober.h"
+#include "source/universe.h"
+#include "testkit/generators.h"
+#include "testkit/property.h"
+#include "util/fault_injection.h"
+
+namespace ube {
+namespace {
+
+using testkit::GenerateSpec;
+using testkit::GenerateUniverse;
+using testkit::PropertyRunner;
+
+struct FaultCase {
+  Universe universe;
+  FaultRates rates;
+  uint64_t plan_seed = 0;
+  uint64_t prober_seed = 0;
+  uint64_t solver_seed = 0;
+};
+
+// Draws one case from `rng`. Called twice with identical rng states to
+// exercise the replay property without copying move-only universes.
+FaultCase DrawCase(Rng& rng) {
+  FaultCase out;
+  out.universe = GenerateUniverse(rng);
+  out.rates.transient = rng.UniformDouble(0.0, 0.6);
+  out.rates.timeout = rng.UniformDouble(0.0, 0.3);
+  out.rates.permanent = rng.UniformDouble(0.0, 0.2);
+  out.rates.stale = rng.UniformDouble(0.0, 0.3);
+  out.rates.truncated = rng.UniformDouble(0.0, 0.3);
+  // UBE_FAULT_RATE (the CI fault-injection job) pins the transient/timeout
+  // pressure; seeds still come from the case stream, so runs stay
+  // replayable for any fixed value of the variable.
+  out.rates = FaultPlan::RatesFromEnv(out.rates);
+  out.plan_seed = rng.Next64();
+  out.prober_seed = rng.Next64();
+  out.solver_seed = rng.Next64();
+  return out;
+}
+
+std::vector<std::unique_ptr<ProbeTarget>> TargetsOf(const Universe& universe,
+                                                    const FaultPlan* plan) {
+  std::vector<std::unique_ptr<ProbeTarget>> targets;
+  for (SourceId s = 0; s < universe.num_sources(); ++s) {
+    targets.push_back(std::make_unique<FlakyProbeTarget>(
+        std::make_unique<InMemoryProbeTarget>(
+            CloneSource(universe.source(s))),
+        plan));
+  }
+  return targets;
+}
+
+Result<Acquisition> AcquireCase(const FaultCase& c, int num_threads) {
+  FaultPlan plan(c.plan_seed, c.rates);
+  ProberOptions options;
+  options.num_threads = num_threads;
+  options.seed = c.prober_seed;
+  SourceProber prober(options);
+  return prober.Acquire(TargetsOf(c.universe, &plan));
+}
+
+// Acquisition + solve never crash: every case ends in a feasible solution
+// over available sources or a clean, categorized Status.
+TEST(FaultPropertyTest, SolveOrCleanStatusNeverCrash) {
+  PropertyRunner runner("faults-solve-or-status", 40);
+  for (int c = 0; c < runner.num_cases(); ++c) {
+    SCOPED_TRACE(runner.Replay(c));
+    Rng rng = runner.CaseRng(c);
+    FaultCase fault_case = DrawCase(rng);
+    const int n = fault_case.universe.num_sources();
+
+    Result<Acquisition> acquired = AcquireCase(fault_case, 1);
+    if (!acquired.ok()) {
+      // Total acquisition failure must be the documented clean error.
+      EXPECT_EQ(acquired.status().code(), StatusCode::kUnavailable);
+      continue;
+    }
+    Acquisition acquisition = std::move(acquired).value();
+    ASSERT_EQ(acquisition.universe.num_sources(), n);
+    ASSERT_EQ(static_cast<int>(acquisition.report.sources.size()), n);
+    for (SourceId s = 0; s < n; ++s) {
+      const SourceAcquisition& acq = acquisition.report.sources[s];
+      EXPECT_EQ(acq.name, acquisition.universe.source(s).name());
+      EXPECT_EQ(acq.outcome == AcquisitionOutcome::kDropped,
+                !acquisition.universe.source(s).available());
+      EXPECT_EQ(acq.status.ok(),
+                acq.outcome != AcquisitionOutcome::kDropped);
+    }
+
+    Engine engine(std::move(acquisition), QualityModel::MakeDefault());
+    Rng spec_rng = rng.Fork(1);
+    ProblemSpec spec = GenerateSpec(spec_rng, engine.universe());
+    SolverOptions options;
+    options.seed = fault_case.solver_seed;
+    options.max_iterations = 60;
+    options.stall_iterations = 20;
+    Result<Solution> solution =
+        engine.Solve(spec, SolverKind::kTabu, options);
+    if (!solution.ok()) {
+      // The spec may pin a dropped source (Unavailable) or be infeasible
+      // once the dropped sources are banned; both are clean outcomes.
+      EXPECT_TRUE(solution.status().code() == StatusCode::kUnavailable ||
+                  solution.status().code() == StatusCode::kInfeasible ||
+                  solution.status().code() == StatusCode::kInvalidArgument)
+          << solution.status();
+      continue;
+    }
+    EXPECT_FALSE(solution->sources.empty());
+    EXPECT_GE(solution->quality, 0.0);
+    EXPECT_LE(solution->quality, 1.0);
+    for (SourceId s : solution->sources) {
+      EXPECT_TRUE(engine.universe().source(s).available())
+          << "solution uses dropped source " << s;
+    }
+  }
+}
+
+// Replaying a fault plan from its seed is bit-identical, and the thread
+// count of the probe fan-out cannot change any outcome.
+TEST(FaultPropertyTest, ReplayIsBitIdentical) {
+  PropertyRunner runner("faults-replay-identical", 20);
+  for (int c = 0; c < runner.num_cases(); ++c) {
+    SCOPED_TRACE(runner.Replay(c));
+    Rng rng_a = runner.CaseRng(c);
+    Rng rng_b = runner.CaseRng(c);
+    FaultCase case_a = DrawCase(rng_a);
+    FaultCase case_b = DrawCase(rng_b);
+    Result<Acquisition> first = AcquireCase(case_a, 1);
+    Result<Acquisition> second = AcquireCase(case_b, 3);
+    ASSERT_EQ(first.ok(), second.ok());
+    if (!first.ok()) continue;
+    const AcquisitionReport& a = first->report;
+    const AcquisitionReport& b = second->report;
+    ASSERT_EQ(a.sources.size(), b.sources.size());
+    for (size_t i = 0; i < a.sources.size(); ++i) {
+      EXPECT_EQ(a.sources[i].outcome, b.sources[i].outcome) << i;
+      EXPECT_EQ(a.sources[i].attempts, b.sources[i].attempts) << i;
+      EXPECT_DOUBLE_EQ(a.sources[i].elapsed_ms, b.sources[i].elapsed_ms) << i;
+      EXPECT_DOUBLE_EQ(a.sources[i].staleness, b.sources[i].staleness) << i;
+      EXPECT_EQ(a.sources[i].breaker_trips, b.sources[i].breaker_trips) << i;
+    }
+    for (SourceId s = 0; s < first->universe.num_sources(); ++s) {
+      EXPECT_EQ(first->universe.source(s).cardinality(),
+                second->universe.source(s).cardinality());
+      EXPECT_EQ(first->universe.source(s).stats_state(),
+                second->universe.source(s).stats_state());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ube

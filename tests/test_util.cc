@@ -2,6 +2,7 @@
 #include <atomic>
 #include <cmath>
 #include <set>
+#include <stdexcept>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -383,6 +384,41 @@ TEST(ThreadPoolTest, ZeroMeansHardwareConcurrency) {
   ThreadPool pool(0);
   EXPECT_EQ(pool.num_threads(), ThreadPool::HardwareConcurrency());
   EXPECT_GE(ThreadPool::HardwareConcurrency(), 1);
+}
+
+TEST(ThreadPoolTest, ThrowingTaskIsRethrownOnCaller) {
+  ThreadPool pool(4);
+  const size_t n = 257;
+  std::vector<std::atomic<int>> visits(n);
+  for (auto& v : visits) v.store(0);
+  try {
+    pool.ParallelFor(n, [&](size_t i) {
+      visits[i].fetch_add(1, std::memory_order_relaxed);
+      if (i == 100) throw std::runtime_error("boom at 100");
+    });
+    FAIL() << "expected ParallelFor to rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom at 100");
+  }
+  // The batch drained: every index ran exactly once despite the throw.
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(visits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, PoolSurvivesExceptionsAcrossBatches) {
+  ThreadPool pool(2);
+  for (int round = 0; round < 10; ++round) {
+    EXPECT_THROW(
+        pool.ParallelFor(8, [](size_t) { throw std::logic_error("again"); }),
+        std::logic_error);
+  }
+  // Workers were not terminated; a clean batch still completes.
+  std::atomic<int64_t> sum{0};
+  pool.ParallelFor(64, [&](size_t i) {
+    sum.fetch_add(static_cast<int64_t>(i), std::memory_order_relaxed);
+  });
+  EXPECT_EQ(sum.load(), 63 * 64 / 2);
 }
 
 }  // namespace
