@@ -1,0 +1,201 @@
+// Convergence-telemetry exporter: runs one solver with the observability
+// layer attached and writes (a) the chrome://tracing JSON of the run's
+// spans, (b) a per-iteration CSV of the convergence telemetry ring, and
+// (c) the human-readable solution + metrics report to stdout. This is the
+// tool behind the convergence-curve table in EXPERIMENTS.md and the CI
+// observability job's trace artifact.
+//
+//   solver_trace [--seed N] [--solver NAME] [--golden[=PATH]]
+//                [--out trace.json] [--csv trace.csv]
+//
+// Default substrate is the paper-scale workload (choose 20 of 200); with
+// --golden the pinned small universe from tests/data is used instead (the
+// CI job runs that, so the artifact is bit-stable across machines).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/engine.h"
+#include "core/report.h"
+#include "obs/obs.h"
+#include "testkit/golden.h"
+#include "util/rng.h"
+
+using namespace ube;
+using namespace ube::bench;
+
+namespace {
+
+#ifndef UBE_TEST_DATA_DIR
+#define UBE_TEST_DATA_DIR "tests/data"
+#endif
+
+struct TraceArgs {
+  uint64_t seed = 42;
+  std::string solver = "tabu";
+  bool golden = false;
+  std::string golden_path =
+      std::string(UBE_TEST_DATA_DIR) + "/golden_small_universe.json";
+  std::string out_json = "solver_trace.json";
+  std::string out_csv = "solver_trace.csv";
+};
+
+[[noreturn]] void Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--seed N] [--solver "
+               "tabu|sls|annealing|pso|greedy|random|exhaustive]\n"
+               "          [--golden[=PATH]] [--out FILE.json] [--csv "
+               "FILE.csv]\n",
+               argv0);
+  std::exit(2);
+}
+
+// `--flag value` / `--flag=value` → the value, advancing *i as needed.
+const char* FlagValue(const char* flag, int argc, char** argv, int* i) {
+  const char* arg = argv[*i];
+  size_t len = std::strlen(flag);
+  if (std::strncmp(arg, flag, len) == 0 && arg[len] == '=') return arg + len + 1;
+  if (std::strcmp(arg, flag) == 0 && *i + 1 < argc) return argv[++*i];
+  return nullptr;
+}
+
+TraceArgs ParseArgs(int argc, char** argv) {
+  TraceArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const char* value = nullptr;
+    if ((value = FlagValue("--seed", argc, argv, &i)) != nullptr) {
+      char* end = nullptr;
+      args.seed = std::strtoull(value, &end, 0);
+      if (end == value || *end != '\0') Usage(argv[0]);
+    } else if ((value = FlagValue("--solver", argc, argv, &i)) != nullptr) {
+      args.solver = value;
+    } else if ((value = FlagValue("--out", argc, argv, &i)) != nullptr) {
+      args.out_json = value;
+    } else if ((value = FlagValue("--csv", argc, argv, &i)) != nullptr) {
+      args.out_csv = value;
+    } else if (std::strncmp(argv[i], "--golden=", 9) == 0) {
+      args.golden = true;
+      args.golden_path = argv[i] + 9;
+    } else if (std::strcmp(argv[i], "--golden") == 0) {
+      args.golden = true;
+    } else {
+      Usage(argv[0]);
+    }
+  }
+  return args;
+}
+
+std::optional<SolverKind> KindFromName(const std::string& name) {
+  for (SolverKind kind :
+       {SolverKind::kTabu, SolverKind::kLocalSearch, SolverKind::kAnnealing,
+        SolverKind::kPso, SolverKind::kGreedy, SolverKind::kRandom,
+        SolverKind::kExhaustive}) {
+    if (name == SolverKindName(kind)) return kind;
+  }
+  return std::nullopt;
+}
+
+bool WriteFile(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  bool ok = std::fwrite(content.data(), 1, content.size(), f) ==
+            content.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+std::string TelemetryCsv(const SolverStats& stats) {
+  std::string csv =
+      "iteration,evaluations,incumbent_quality,neighborhood,"
+      "tabu_occupancy,temperature,stall\n";
+  char row[160];
+  for (const obs::IterationSample& s : stats.telemetry) {
+    std::snprintf(row, sizeof(row), "%lld,%lld,%.17g,%d,%d,%.17g,%d\n",
+                  static_cast<long long>(s.iteration),
+                  static_cast<long long>(s.evaluations), s.incumbent_quality,
+                  s.neighborhood, s.tabu_occupancy, s.temperature, s.stall);
+    csv += row;
+  }
+  return csv;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const TraceArgs args = ParseArgs(argc, argv);
+  std::optional<SolverKind> kind = KindFromName(args.solver);
+  if (!kind.has_value()) {
+    std::fprintf(stderr, "unknown solver: %s\n", args.solver.c_str());
+    Usage(argv[0]);
+  }
+
+  obs::ObsContext obs;
+  Engine::Options engine_options;
+  engine_options.obs = &obs;
+
+  ProblemSpec spec;
+  std::optional<Engine> engine;
+  if (args.golden) {
+    Result<testkit::GoldenSmallUniverse> golden =
+        testkit::LoadGoldenSmallUniverse(args.golden_path);
+    if (!golden.ok()) {
+      std::fprintf(stderr, "cannot load golden universe %s: %s\n",
+                   args.golden_path.c_str(),
+                   golden.status().ToString().c_str());
+      return 1;
+    }
+    Rng rng(golden->universe_seed);
+    Universe universe = testkit::GenerateUniverse(rng, golden->universe);
+    spec = golden->spec;
+    std::printf("substrate: golden universe (%s), m=%d\n",
+                golden->description.c_str(), spec.max_sources);
+    engine.emplace(std::move(universe), QualityModel::MakeDefault(),
+                   std::move(engine_options));
+  } else {
+    GeneratedWorkload workload = MakeWorkload(200, 17);
+    spec.max_sources = 20;
+    std::printf("substrate: paper workload (choose 20 of 200)\n");
+    engine.emplace(std::move(workload.universe), QualityModel::MakeDefault(),
+                   std::move(engine_options));
+  }
+
+  SolverOptions options;
+  options.seed = args.seed;
+  options.record_trace = true;
+  options.max_iterations = 400;
+  options.stall_iterations = 100;
+  std::printf("solver: %s, seed %llu\n\n", args.solver.c_str(),
+              static_cast<unsigned long long>(args.seed));
+
+  Result<Solution> solution = engine->Solve(spec, *kind, options);
+  if (!solution.ok()) {
+    std::fprintf(stderr, "solve failed: %s\n",
+                 solution.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("%s\n", FormatSolution(solution.value(), engine->universe(),
+                                     engine->quality_model())
+                          .c_str());
+  std::printf("span summary:\n%s\n", obs.tracer().Summary().c_str());
+
+  if (!WriteFile(args.out_json, obs.tracer().ToChromeTraceJson())) {
+    std::fprintf(stderr, "cannot write %s\n", args.out_json.c_str());
+    return 1;
+  }
+  std::printf("chrome trace: %s (%lld events; load in chrome://tracing)\n",
+              args.out_json.c_str(),
+              static_cast<long long>(obs.tracer().num_events()));
+
+  if (!WriteFile(args.out_csv, TelemetryCsv(solution->stats))) {
+    std::fprintf(stderr, "cannot write %s\n", args.out_csv.c_str());
+    return 1;
+  }
+  std::printf("telemetry csv: %s (%zu iteration samples, %lld dropped)\n",
+              args.out_csv.c_str(), solution->stats.telemetry.size(),
+              static_cast<long long>(solution->stats.telemetry_dropped));
+  return 0;
+}

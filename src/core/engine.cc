@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/obs.h"
 #include "util/check.h"
 
 namespace ube {
@@ -11,7 +12,10 @@ Engine::Engine(Universe universe, QualityModel model)
     : Engine(std::move(universe), std::move(model), Options{}) {}
 
 Engine::Engine(Universe universe, QualityModel model, Options options)
-    : universe_(std::move(universe)), model_(std::move(model)) {
+    : universe_(std::move(universe)),
+      model_(std::move(model)),
+      obs_(options.obs) {
+  obs::Tracer::Span span = obs::SpanIf(obs_, "phase/match");
   std::unique_ptr<AttributeSimilarity> measure =
       options.similarity != nullptr ? std::move(options.similarity)
                                     : MakeDefaultSimilarity();
@@ -77,10 +81,17 @@ Result<Solution> Engine::Solve(const ProblemSpec& spec, SolverKind solver,
         "θ is below the engine's similarity floor; rebuild the engine with a "
         "lower Options::similarity_floor");
   }
+  obs::Tracer::Span evaluate_span = obs::SpanIf(obs_, "phase/evaluate");
   CandidateEvaluator evaluator(universe_, *matcher_, model_,
                                effective.value());
+  evaluate_span.End();
   std::unique_ptr<Solver> impl = MakeSolver(solver);
-  return impl->Solve(evaluator, options);
+  // Forward the engine's context into the solve unless the caller attached
+  // their own SolverOptions::obs.
+  SolverOptions effective_options = options;
+  if (effective_options.obs == nullptr) effective_options.obs = obs_;
+  obs::Tracer::Span solve_span = obs::SpanIf(obs_, "phase/solve");
+  return impl->Solve(evaluator, effective_options);
 }
 
 Result<CandidateEvaluator::Evaluation> Engine::EvaluateCandidate(

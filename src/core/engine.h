@@ -39,6 +39,12 @@ class Engine {
     double similarity_floor = 0.25;
     /// Attribute similarity measure (null = the paper's 3-gram Jaccard).
     std::unique_ptr<AttributeSimilarity> similarity;
+    /// Optional observability context. Not owned; must outlive the engine.
+    /// The engine records phase spans (phase/match at construction,
+    /// phase/evaluate and phase/solve inside Solve) and forwards the
+    /// context to each Solve's SolverOptions unless the caller attached
+    /// their own there. Null (default) disables instrumentation.
+    obs::ObsContext* obs = nullptr;
   };
 
   /// Takes ownership of the universe (it must not change afterwards — the
@@ -72,6 +78,8 @@ class Engine {
   QualityModel& mutable_quality_model() { return model_; }
   const SimilarityGraph& similarity_graph() const { return *graph_; }
   const ClusterMatcher& matcher() const { return *matcher_; }
+  /// The attached observability context (null = disabled).
+  obs::ObsContext* obs() const { return obs_; }
 
   /// Solves one µBE optimization problem. Validates the spec; infeasible
   /// constraint sets return kInfeasible.
@@ -96,6 +104,7 @@ class Engine {
 
   Universe universe_;
   QualityModel model_;
+  obs::ObsContext* obs_ = nullptr;
   std::unique_ptr<SimilarityGraph> graph_;
   std::unique_ptr<ClusterMatcher> matcher_;
   std::optional<AcquisitionReport> acquisition_report_;

@@ -1,6 +1,9 @@
 #include "core/report.h"
 
+#include <algorithm>
 #include <cstdio>
+
+#include "obs/metrics.h"
 
 namespace ube {
 
@@ -80,7 +83,9 @@ std::string FormatSolution(const Solution& solution, const Universe& universe,
   out += "solver: " + solution.stats.solver_name +
          "  (iterations=" + std::to_string(solution.stats.iterations) +
          ", evaluations=" + std::to_string(solution.stats.evaluations) +
-         ", time=" + Format("%.3f", solution.stats.elapsed_seconds) + "s)\n";
+         ", time=" + Format("%.3f", solution.stats.elapsed_seconds) +
+         "s, stop=" + std::string(StopReasonName(solution.stats.stop_reason)) +
+         ")\n";
   out += "overall quality Q(S) = " + Format("%.4f", solution.quality) + "\n";
   for (size_t i = 0; i < solution.breakdown.scores.size() &&
                      static_cast<int>(i) < model.num_qefs();
@@ -97,6 +102,45 @@ std::string FormatSolution(const Solution& solution, const Universe& universe,
          std::to_string(solution.mediated_schema.num_gas()) + " GAs):\n";
   out += FormatMediatedSchema(solution.mediated_schema,
                               solution.ga_qualities, universe);
+  out += FormatObservability(solution.stats);
+  return out;
+}
+
+std::string FormatObservability(const SolverStats& stats) {
+  if (stats.metrics == nullptr) return "";
+  std::string out = "observability:\n";
+  const int64_t lookups = stats.evaluations + stats.cache_hits;
+  const double hit_rate =
+      lookups > 0
+          ? 100.0 * static_cast<double>(stats.cache_hits) /
+                static_cast<double>(lookups)
+          : 0.0;
+  out += "  cache: " + std::to_string(stats.cache_hits) + " hits / " +
+         std::to_string(lookups) + " lookups (hit rate " +
+         Format("%.1f", hit_rate) + "%)\n";
+  if (!stats.telemetry.empty()) {
+    out += "  telemetry: " + std::to_string(stats.telemetry.size()) +
+           " iteration samples (" + std::to_string(stats.telemetry_dropped) +
+           " dropped)\n";
+    // Compact incumbent curve: up to 8 evenly spaced samples, always
+    // including the last.
+    out += "  incumbent curve:";
+    const size_t n = stats.telemetry.size();
+    const size_t step = n <= 8 ? 1 : (n + 7) / 8;
+    for (size_t i = 0; i < n; i += step) {
+      size_t at = std::min(i, n - 1);
+      const obs::IterationSample& s = stats.telemetry[at];
+      out += " @" + std::to_string(s.iteration) + ":" +
+             Format("%.4f", s.incumbent_quality);
+    }
+    const obs::IterationSample& final_sample = stats.telemetry.back();
+    if ((n - 1) % step != 0) {
+      out += " @" + std::to_string(final_sample.iteration) + ":" +
+             Format("%.4f", final_sample.incumbent_quality);
+    }
+    out += "\n";
+  }
+  out += obs::FormatMetricsReport(*stats.metrics);
   return out;
 }
 

@@ -28,6 +28,12 @@ std::string FormatSolution(const Solution& solution, const Universe& universe,
                            const QualityModel& model,
                            const AcquisitionReport* acquisition);
 
+/// Renders the observability section of a solution's stats: cache hit rate,
+/// the per-iteration incumbent curve, and the full metrics report. Empty
+/// string when the solve ran without an ObsContext (stats.metrics null) —
+/// FormatSolution appends this automatically.
+std::string FormatObservability(const SolverStats& stats);
+
 /// Renders the per-source acquisition report: the summary counts line plus
 /// one line per degraded or dropped source (outcome, attempts, breaker
 /// trips, staleness, final status). Fully acquired sources are summarized,

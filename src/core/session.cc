@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "core/report.h"
+#include "obs/obs.h"
 #include "util/check.h"
 
 namespace ube {
@@ -17,6 +19,7 @@ Result<Solution> Session::Iterate(SolverKind solver) {
 
 Result<Solution> Session::Iterate(SolverKind solver,
                                   const SolverOptions& options) {
+  obs::Tracer::Span span = obs::SpanIf(engine_->obs(), "session/iterate");
   Result<Solution> solution = engine_->Solve(spec_, solver, options);
   if (solution.ok()) history_.push_back(solution.value());
   return solution;
@@ -24,6 +27,14 @@ Result<Solution> Session::Iterate(SolverKind solver,
 
 const Solution* Session::last() const {
   return history_.empty() ? nullptr : &history_.back();
+}
+
+std::string Session::ReportLast() const {
+  const Solution* solution = last();
+  if (solution == nullptr) return "";
+  obs::Tracer::Span span = obs::SpanIf(engine_->obs(), "phase/report");
+  return FormatSolution(*solution, engine_->universe(),
+                        engine_->quality_model(), acquisition_report());
 }
 
 Status Session::PinSource(SourceId source) {

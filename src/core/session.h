@@ -1,6 +1,7 @@
 #ifndef UBE_CORE_SESSION_H_
 #define UBE_CORE_SESSION_H_
 
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -39,6 +40,11 @@ class Session {
   const std::vector<Solution>& history() const { return history_; }
   /// Last solution, or null before the first Iterate.
   const Solution* last() const;
+
+  /// Renders the last solution (FormatSolution with the acquisition report
+  /// and, when the engine has an ObsContext, the observability section).
+  /// Empty string before the first Iterate.
+  std::string ReportLast() const;
 
   /// The engine's acquisition report (null when the engine was built from a
   /// plain universe). Lets UI code render the DegradedSources section next

@@ -1,0 +1,16 @@
+#include "obs/obs.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace ube::obs {
+
+std::unique_ptr<ObsContext> ObsContext::FromEnv() {
+  const char* value = std::getenv(kTraceEnvVar);
+  if (value == nullptr || *value == '\0' || std::strcmp(value, "0") == 0) {
+    return nullptr;
+  }
+  return std::make_unique<ObsContext>();
+}
+
+}  // namespace ube::obs

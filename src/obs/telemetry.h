@@ -1,0 +1,65 @@
+#ifndef UBE_OBS_TELEMETRY_H_
+#define UBE_OBS_TELEMETRY_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace ube::obs {
+
+/// One solver outer-iteration's convergence telemetry. Solver-specific
+/// fields are zero where they do not apply (temperature outside annealing,
+/// tabu_occupancy outside tabu search).
+struct IterationSample {
+  int64_t iteration = 0;          ///< outer iteration (1-based, as counted)
+  int64_t evaluations = 0;        ///< evaluator computations so far
+  double incumbent_quality = 0.0; ///< best Q(S) seen so far
+  int32_t neighborhood = 0;       ///< candidates scored this iteration
+  int32_t tabu_occupancy = 0;     ///< sources currently tabu (tabu search)
+  double temperature = 0.0;       ///< current temperature (annealing)
+  int32_t stall = 0;              ///< iterations since the last improvement
+};
+
+/// Fixed-capacity ring of the most recent IterationSamples. Bounded so an
+/// instrumented long run cannot grow without limit; `dropped()` reports how
+/// many old samples the ring overwrote. Single-threaded by design — it
+/// lives inside one solver's Solve() loop.
+class TelemetryRing {
+ public:
+  explicit TelemetryRing(int capacity)
+      : capacity_(capacity > 0 ? static_cast<size_t>(capacity) : 1) {}
+
+  void Record(const IterationSample& sample) {
+    if (buffer_.size() < capacity_) {
+      buffer_.push_back(sample);
+    } else {
+      buffer_[next_] = sample;
+      next_ = (next_ + 1) % capacity_;
+    }
+    ++total_;
+  }
+
+  int64_t total() const { return total_; }
+  int64_t dropped() const {
+    return total_ - static_cast<int64_t>(buffer_.size());
+  }
+
+  /// Samples in recording order (oldest surviving sample first).
+  std::vector<IterationSample> Samples() const {
+    std::vector<IterationSample> out;
+    out.reserve(buffer_.size());
+    for (size_t i = 0; i < buffer_.size(); ++i) {
+      out.push_back(buffer_[(next_ + i) % buffer_.size()]);
+    }
+    return out;
+  }
+
+ private:
+  size_t capacity_;
+  size_t next_ = 0;  // overwrite cursor == index of the oldest sample
+  int64_t total_ = 0;
+  std::vector<IterationSample> buffer_;
+};
+
+}  // namespace ube::obs
+
+#endif  // UBE_OBS_TELEMETRY_H_

@@ -1,5 +1,6 @@
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <memory>
 #include <vector>
 
@@ -31,6 +32,7 @@ Result<Solution> AnnealingSolver::Solve(const CandidateEvaluator& evaluator,
   UBE_RETURN_IF_ERROR(internal::CheckSolvable(evaluator));
   WallTimer timer;
   evaluator.BeginRun();
+  internal::SolveScope scope(evaluator, options, name());
   Rng rng(options.seed);
   std::unique_ptr<ThreadPool> pool = internal::MakeEvalPool(options);
 
@@ -58,12 +60,17 @@ Result<Solution> AnnealingSolver::Solve(const CandidateEvaluator& evaluator,
   std::vector<SearchState::Move> moves;
   std::vector<std::vector<SourceId>> candidates;
   bool exhausted = false;
+  StopReason stop = StopReason::kMaxIterations;
   while (iterations < budget && !exhausted) {
-    if (options.time_limit_seconds > 0.0 &&
-        timer.ElapsedSeconds() > options.time_limit_seconds) {
+    // Pre-dispatch deadline check (post-batch check at the bottom).
+    if (internal::TimeExpired(timer, options)) {
+      stop = StopReason::kTimeLimit;
       break;
     }
-    if (stall_budget > 0 && stall >= stall_budget) break;
+    if (stall_budget > 0 && stall >= stall_budget) {
+      stop = StopReason::kStalled;
+      break;
+    }
 
     moves.clear();
     candidates.clear();
@@ -78,7 +85,10 @@ Result<Solution> AnnealingSolver::Solve(const CandidateEvaluator& evaluator,
       moves.push_back(move);
       candidates.push_back(state.Apply(move));
     }
-    if (moves.empty()) break;
+    if (moves.empty()) {
+      stop = StopReason::kExhausted;
+      break;
+    }
     std::vector<double> qualities =
         evaluator.QualityBatch(candidates, pool.get());
 
@@ -111,11 +121,31 @@ Result<Solution> AnnealingSolver::Solve(const CandidateEvaluator& evaluator,
       // drop them and draft a fresh block from the new state.
       break;
     }
+    if (scope.enabled()) {
+      obs::IterationSample sample;
+      sample.iteration = iterations;
+      sample.evaluations = evaluator.num_evaluations();
+      sample.incumbent_quality = best_quality;
+      sample.neighborhood = static_cast<int32_t>(candidates.size());
+      sample.temperature = temperature;
+      sample.stall = static_cast<int32_t>(
+          std::min<int64_t>(stall, std::numeric_limits<int32_t>::max()));
+      scope.RecordIteration(sample);
+    }
+    // Post-batch deadline check: the block already ran and its accepted
+    // move is committed; stop before drafting another one.
+    if (internal::TimeExpired(timer, options)) {
+      stop = StopReason::kTimeLimit;
+      break;
+    }
   }
+  // A drafting failure means no feasible move exists at all — terminal,
+  // regardless of which budget also happened to run out.
+  if (exhausted) stop = StopReason::kExhausted;
 
   return internal::FinalizeSolution(evaluator, std::move(best),
                                     std::string(name()), iterations, timer,
-                                    std::move(trace));
+                                    stop, std::move(trace), &scope);
 }
 
 }  // namespace ube

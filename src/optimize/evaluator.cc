@@ -1,8 +1,10 @@
 #include "optimize/evaluator.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstddef>
 
+#include "obs/obs.h"
 #include "util/check.h"
 #include "util/rng.h"
 
@@ -134,6 +136,7 @@ CandidateEvaluator::Evaluation CandidateEvaluator::Evaluate(
 #endif
 
   evaluations_.fetch_add(1, std::memory_order_relaxed);
+  if (obs_.ctx != nullptr) obs_.ctx->metrics().Add(obs_.computed);
   Evaluation out;
   if (model_.NeedsMatching()) {
     MatchOptions options;
@@ -162,7 +165,12 @@ bool CandidateEvaluator::CacheLookup(uint64_t key,
   if (it == shard.map.end()) return false;
   // Verify the stored candidate: a 64-bit collision must recompute, never
   // hand back another candidate's quality.
-  if (it->second.candidate != candidate) return false;
+  if (it->second.candidate != candidate) {
+    if (obs_.ctx != nullptr) {
+      obs_.ctx->metrics().Add(obs_.collision_recompute);
+    }
+    return false;
+  }
   *quality = it->second.quality;
   return true;
 }
@@ -172,7 +180,10 @@ void CandidateEvaluator::CacheInsert(uint64_t key,
                                      double quality) const {
   CacheShard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mu);
-  if (shard.map.size() >= kMaxEntriesPerShard) shard.map.clear();
+  if (shard.map.size() >= max_entries_per_shard_) {
+    shard.map.clear();
+    if (obs_.ctx != nullptr) obs_.ctx->metrics().Add(obs_.shard_eviction);
+  }
   shard.map[key] = CacheEntry{candidate, quality};
 }
 
@@ -182,6 +193,7 @@ double CandidateEvaluator::Quality(
   double quality = 0.0;
   if (CacheLookup(key, candidate, &quality)) {
     cache_hits_.fetch_add(1, std::memory_order_relaxed);
+    if (obs_.ctx != nullptr) obs_.ctx->metrics().Add(obs_.cache_hit);
     return quality;
   }
   quality = Evaluate(candidate).quality;
@@ -195,6 +207,13 @@ std::vector<double> CandidateEvaluator::QualityBatch(
   const size_t n = candidates.size();
   std::vector<double> out(n, 0.0);
   if (n == 0) return out;
+
+  obs::Tracer::Span span = obs::SpanIf(obs_.ctx, "eval/batch");
+  std::chrono::steady_clock::time_point batch_start;
+  if (obs_.ctx != nullptr) {
+    obs_.ctx->metrics().Observe(obs_.batch_size, static_cast<int64_t>(n));
+    batch_start = std::chrono::steady_clock::now();
+  }
 
   // Phase 1 (sequential): probe the cache and deduplicate the misses, so a
   // candidate appearing twice in one batch is computed once and the second
@@ -253,7 +272,35 @@ std::vector<double> CandidateEvaluator::QualityBatch(
     }
   }
   cache_hits_.fetch_add(hits, std::memory_order_relaxed);
+  if (obs_.ctx != nullptr) {
+    if (hits > 0) obs_.ctx->metrics().Add(obs_.cache_hit, hits);
+    auto elapsed = std::chrono::steady_clock::now() - batch_start;
+    obs_.ctx->metrics().Observe(
+        obs_.batch_latency_us,
+        std::chrono::duration_cast<std::chrono::microseconds>(elapsed)
+            .count());
+  }
   return out;
+}
+
+void CandidateEvaluator::AttachObs(obs::ObsContext* obs) const {
+  obs_ = ObsHooks{};
+  obs_.ctx = obs;
+  if (obs == nullptr) return;
+  obs::MetricsRegistry& m = obs->metrics();
+  obs_.computed = m.Counter("eval.computed");
+  obs_.cache_hit = m.Counter("eval.cache_hit");
+  obs_.collision_recompute = m.Counter("eval.collision_recompute");
+  obs_.shard_eviction = m.Counter("eval.shard_eviction");
+  obs_.batch_size =
+      m.Histogram("eval.batch_size", {1, 2, 4, 8, 16, 32, 64, 128, 256, 512,
+                                      1024, 4096});
+  // Wall-clock valued: the one metric family excluded from the
+  // equal-totals-across-thread-counts guarantee.
+  obs_.batch_latency_us =
+      m.Histogram("eval.batch_latency_us",
+                  {100, 250, 500, 1000, 2500, 5000, 10000, 25000, 50000,
+                   100000, 250000, 1000000});
 }
 
 void CandidateEvaluator::ResetCounters() const {

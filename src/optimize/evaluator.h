@@ -18,6 +18,10 @@
 
 namespace ube {
 
+namespace obs {
+class ObsContext;
+}  // namespace obs
+
 /// Scores candidate source sets for one optimization problem: runs
 /// Match(S, C, G) when the model needs it, builds the QEF context and
 /// returns Q(S). Infeasible candidates (Match invalid on C) score 0.
@@ -116,10 +120,25 @@ class CandidateEvaluator {
     ResetCounters();
   }
 
+  /// Attaches an observability context (null detaches). Records counters
+  /// eval.computed / eval.cache_hit / eval.collision_recompute /
+  /// eval.shard_eviction, histograms eval.batch_size /
+  /// eval.batch_latency_us, and an eval/batch span per QualityBatch. Like
+  /// BeginRun, not synchronized against concurrent evaluation — attach
+  /// before the search starts. Never changes any returned quality.
+  void AttachObs(obs::ObsContext* obs) const;
+  void DetachObs() const { AttachObs(nullptr); }
+
   /// Test hook: replaces the cache hash function (e.g. with a constant) to
   /// force collisions and exercise the verify-on-hit path.
   using HashFn = uint64_t (*)(const std::vector<SourceId>&);
   void SetHashFunctionForTesting(HashFn fn) { hash_fn_ = fn; }
+
+  /// Test hook: shrinks the per-shard cache bound so eviction is reachable
+  /// without inserting ~2^14 entries.
+  void SetShardCapacityForTesting(size_t max_entries_per_shard) {
+    max_entries_per_shard_ = max_entries_per_shard;
+  }
 
  private:
   static uint64_t HashCandidate(const std::vector<SourceId>& candidate);
@@ -159,9 +178,23 @@ class CandidateEvaluator {
   static constexpr size_t kMaxEntriesPerShard =
       kMaxCacheEntries / kNumCacheShards;
   mutable CacheShard cache_shards_[kNumCacheShards];
+  size_t max_entries_per_shard_ = kMaxEntriesPerShard;
   HashFn hash_fn_ = &CandidateEvaluator::HashCandidate;
   mutable std::atomic<int64_t> evaluations_{0};
   mutable std::atomic<int64_t> cache_hits_{0};
+
+  /// Pre-registered metric ids so hot paths never do name lookups; all -1
+  /// (= MetricsRegistry::kInvalidMetric) when no context is attached.
+  struct ObsHooks {
+    obs::ObsContext* ctx = nullptr;
+    int32_t computed = -1;
+    int32_t cache_hit = -1;
+    int32_t collision_recompute = -1;
+    int32_t shard_eviction = -1;
+    int32_t batch_size = -1;
+    int32_t batch_latency_us = -1;
+  };
+  mutable ObsHooks obs_;
 };
 
 }  // namespace ube

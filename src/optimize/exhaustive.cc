@@ -30,10 +30,10 @@ int64_t CountCandidates(int pool, int slots) {
 
 Result<Solution> ExhaustiveSolver::Solve(const CandidateEvaluator& evaluator,
                                          const SolverOptions& options) const {
-  (void)options;  // exhaustive search has no tunables besides the limit
   UBE_RETURN_IF_ERROR(internal::CheckSolvable(evaluator));
   WallTimer timer;
   evaluator.BeginRun();
+  internal::SolveScope scope(evaluator, options, name());
 
   const int n = evaluator.universe().num_sources();
   const int m = evaluator.spec().max_sources;
@@ -70,14 +70,30 @@ Result<Solution> ExhaustiveSolver::Solve(const CandidateEvaluator& evaluator,
       best_quality = quality;
       best = std::move(candidate);
     }
+    if (scope.enabled()) {
+      obs::IterationSample sample;
+      sample.iteration = iterations;
+      sample.evaluations = evaluator.num_evaluations();
+      sample.incumbent_quality = best_quality;
+      sample.neighborhood = 1;
+      scope.RecordIteration(sample);
+    }
   };
 
   // Iterative stack-based subset enumeration for determinism and to avoid
   // deep recursion.
+  StopReason stop = StopReason::kExhausted;
   evaluate_current();
   std::vector<size_t> stack;  // stack of pool indices forming `chosen`
   size_t next = 0;
   while (true) {
+    // Exact enumeration is the slowest solver per instance, so it honors
+    // the wall-clock budget too (it used to ignore it entirely); a cut
+    // enumeration returns the best candidate seen so far.
+    if (internal::TimeExpired(timer, options)) {
+      stop = StopReason::kTimeLimit;
+      break;
+    }
     if (static_cast<int>(stack.size()) < slots && next < pool.size()) {
       stack.push_back(next);
       chosen.push_back(pool[next]);
@@ -101,7 +117,8 @@ Result<Solution> ExhaustiveSolver::Solve(const CandidateEvaluator& evaluator,
     return Status::Infeasible("no feasible candidate exists");
   }
   return internal::FinalizeSolution(evaluator, std::move(best),
-                                    std::string(name()), iterations, timer);
+                                    std::string(name()), iterations, timer,
+                                    stop, {}, &scope);
 }
 
 }  // namespace ube

@@ -23,6 +23,7 @@ Result<Solution> GreedySolver::Solve(const CandidateEvaluator& evaluator,
   UBE_RETURN_IF_ERROR(internal::CheckSolvable(evaluator));
   WallTimer timer;
   evaluator.BeginRun();
+  internal::SolveScope scope(evaluator, options, name());
   std::unique_ptr<ThreadPool> pool = internal::MakeEvalPool(options);
 
   const int n = evaluator.universe().num_sources();
@@ -73,10 +74,14 @@ Result<Solution> GreedySolver::Solve(const CandidateEvaluator& evaluator,
   // source improves over the rest — Q is typically monotone in |S| through
   // the Card/Coverage terms, but an invalid Match can make all extensions
   // score 0; in that case we keep the incumbent and stop.
+  // Construction that runs to completion (reaches m, or no extension
+  // improves) converged; only the wall clock can cut it short.
+  StopReason stop = StopReason::kConverged;
   while (static_cast<int>(current.size()) < m) {
     ++iterations;
-    if (options.time_limit_seconds > 0.0 &&
-        timer.ElapsedSeconds() > options.time_limit_seconds) {
+    // Pre-dispatch deadline check (post-batch check at the bottom).
+    if (internal::TimeExpired(timer, options)) {
+      stop = StopReason::kTimeLimit;
       break;
     }
     // Score every feasible one-source extension as a single batch, then
@@ -105,18 +110,36 @@ Result<Solution> GreedySolver::Solve(const CandidateEvaluator& evaluator,
         found = true;
       }
     }
-    if (!found) break;
-    current.insert(std::lower_bound(current.begin(), current.end(), best_add),
-                   best_add);
-    member[static_cast<size_t>(best_add)] = 1;
-    current_quality = best_quality;
-    internal::MaybeTrace(options.record_trace, evaluator, current_quality,
-                         &trace);
+    if (found) {
+      current.insert(
+          std::lower_bound(current.begin(), current.end(), best_add),
+          best_add);
+      member[static_cast<size_t>(best_add)] = 1;
+      current_quality = best_quality;
+      internal::MaybeTrace(options.record_trace, evaluator, current_quality,
+                           &trace);
+    }
+    if (scope.enabled()) {
+      obs::IterationSample sample;
+      sample.iteration = iterations;
+      sample.evaluations = evaluator.num_evaluations();
+      sample.incumbent_quality = current_quality;
+      sample.neighborhood = static_cast<int32_t>(candidates.size());
+      scope.RecordIteration(sample);
+    }
+    if (!found) break;  // construction converged — the true stop cause even
+                        // if the clock also just ran out
+    // Post-batch deadline check: fold the extension we just paid for, then
+    // stop before scoring another round.
+    if (internal::TimeExpired(timer, options)) {
+      stop = StopReason::kTimeLimit;
+      break;
+    }
   }
 
   return internal::FinalizeSolution(evaluator, std::move(current),
                                     std::string(name()), iterations, timer,
-                                    std::move(trace));
+                                    stop, std::move(trace), &scope);
 }
 
 }  // namespace ube

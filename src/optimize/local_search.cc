@@ -22,6 +22,7 @@ Result<Solution> LocalSearchSolver::Solve(const CandidateEvaluator& evaluator,
   UBE_RETURN_IF_ERROR(internal::CheckSolvable(evaluator));
   WallTimer timer;
   evaluator.BeginRun();
+  internal::SolveScope scope(evaluator, options, name());
   Rng rng(options.seed);
   std::unique_ptr<ThreadPool> pool = internal::MakeEvalPool(options);
 
@@ -36,11 +37,15 @@ Result<Solution> LocalSearchSolver::Solve(const CandidateEvaluator& evaluator,
   std::vector<SourceId> best;
   double best_quality = -1.0;
   int64_t iterations = 0;
+  StopReason stop = StopReason::kMaxIterations;
   std::vector<TracePoint> trace;
 
   for (int restart = 0; restart < restarts; ++restart) {
-    if (options.time_limit_seconds > 0.0 &&
-        timer.ElapsedSeconds() > options.time_limit_seconds) {
+    // The deadline may only end the run once an incumbent exists: the first
+    // restart must initialize and take its inner-loop checks, or a tiny
+    // time limit would return an empty (infeasible) solution.
+    if (!best.empty() && internal::TimeExpired(timer, options)) {
+      stop = StopReason::kTimeLimit;
       break;
     }
     SearchState state(evaluator, rng);
@@ -53,8 +58,9 @@ Result<Solution> LocalSearchSolver::Solve(const CandidateEvaluator& evaluator,
     }
 
     for (int iter = 0; iter < iters_per_restart; ++iter) {
-      if (options.time_limit_seconds > 0.0 &&
-          timer.ElapsedSeconds() > options.time_limit_seconds) {
+      // Pre-dispatch deadline check (post-batch check below).
+      if (internal::TimeExpired(timer, options)) {
+        stop = StopReason::kTimeLimit;
         break;
       }
       ++iterations;
@@ -81,21 +87,37 @@ Result<Solution> LocalSearchSolver::Solve(const CandidateEvaluator& evaluator,
           chosen_quality = qualities[k];
         }
       }
-      if (!improved) break;  // local optimum w.r.t. the sampled neighborhood
-      state.Commit(chosen);
-      current = chosen_quality;
-      if (current > best_quality) {
-        best_quality = current;
-        best = state.sources();
-        internal::MaybeTrace(options.record_trace, evaluator, best_quality,
-                             &trace);
+      if (improved) {
+        state.Commit(chosen);
+        current = chosen_quality;
+        if (current > best_quality) {
+          best_quality = current;
+          best = state.sources();
+          internal::MaybeTrace(options.record_trace, evaluator, best_quality,
+                               &trace);
+        }
       }
+      if (scope.enabled()) {
+        obs::IterationSample sample;
+        sample.iteration = iterations;
+        sample.evaluations = evaluator.num_evaluations();
+        sample.incumbent_quality = best_quality;
+        sample.neighborhood = static_cast<int32_t>(candidates.size());
+        scope.RecordIteration(sample);
+      }
+      // Post-batch deadline check: the batch already ran, so fold its
+      // result (above) but do not dispatch another one past the budget.
+      if (internal::TimeExpired(timer, options)) {
+        stop = StopReason::kTimeLimit;
+        break;
+      }
+      if (!improved) break;  // local optimum w.r.t. the sampled neighborhood
     }
   }
 
   return internal::FinalizeSolution(evaluator, std::move(best),
                                     std::string(name()), iterations, timer,
-                                    std::move(trace));
+                                    stop, std::move(trace), &scope);
 }
 
 Result<Solution> RandomSolver::Solve(const CandidateEvaluator& evaluator,
@@ -103,15 +125,19 @@ Result<Solution> RandomSolver::Solve(const CandidateEvaluator& evaluator,
   UBE_RETURN_IF_ERROR(internal::CheckSolvable(evaluator));
   WallTimer timer;
   evaluator.BeginRun();
+  internal::SolveScope scope(evaluator, options, name());
   Rng rng(options.seed);
 
   std::vector<SourceId> best;
   double best_quality = -1.0;
   int64_t iterations = 0;
+  StopReason stop = StopReason::kMaxIterations;
   std::vector<TracePoint> trace;
   for (int i = 0; i < std::max(1, options.random_samples); ++i) {
-    if (options.time_limit_seconds > 0.0 &&
-        timer.ElapsedSeconds() > options.time_limit_seconds) {
+    // First sample always runs so a tiny time limit still yields a feasible
+    // (nonempty) incumbent.
+    if (!best.empty() && internal::TimeExpired(timer, options)) {
+      stop = StopReason::kTimeLimit;
       break;
     }
     ++iterations;
@@ -123,11 +149,19 @@ Result<Solution> RandomSolver::Solve(const CandidateEvaluator& evaluator,
       internal::MaybeTrace(options.record_trace, evaluator, best_quality,
                            &trace);
     }
+    if (scope.enabled()) {
+      obs::IterationSample sample;
+      sample.iteration = iterations;
+      sample.evaluations = evaluator.num_evaluations();
+      sample.incumbent_quality = best_quality;
+      sample.neighborhood = 1;
+      scope.RecordIteration(sample);
+    }
   }
 
   return internal::FinalizeSolution(evaluator, std::move(best),
                                     std::string(name()), iterations, timer,
-                                    std::move(trace));
+                                    stop, std::move(trace), &scope);
 }
 
 }  // namespace ube

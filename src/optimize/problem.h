@@ -2,13 +2,20 @@
 #define UBE_OPTIMIZE_PROBLEM_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "obs/telemetry.h"
 #include "qef/quality_model.h"
 #include "schema/mediated_schema.h"
 
 namespace ube {
+
+namespace obs {
+struct MetricsSnapshot;
+}  // namespace obs
 
 /// The constrained optimization problem of Section 2.5:
 ///
@@ -42,6 +49,20 @@ struct TracePoint {
   double best_quality = 0.0; ///< incumbent Q(S) at that point
 };
 
+/// Why a solver's main loop terminated. Every solver sets this; without it
+/// a converged run and a truncated one are indistinguishable in the report.
+enum class StopReason {
+  kUnknown = 0,    ///< solver did not report (should not happen)
+  kMaxIterations,  ///< iteration/sample budget exhausted
+  kStalled,        ///< stall_iterations without an incumbent improvement
+  kTimeLimit,      ///< wall-clock budget (time_limit_seconds) reached
+  kConverged,      ///< search converged (no admissible improving move left)
+  kExhausted,      ///< whole feasible space enumerated / no move exists
+};
+
+/// Display name: "max-iterations", "stalled", ...
+std::string_view StopReasonName(StopReason reason);
+
 /// Progress/effort counters reported with every Solution.
 struct SolverStats {
   std::string solver_name;
@@ -49,9 +70,23 @@ struct SolverStats {
   int64_t evaluations = 0;   ///< candidate evaluations actually computed
   int64_t cache_hits = 0;    ///< candidate evaluations answered from cache
   double elapsed_seconds = 0.0;
+  /// Why the run ended. Deterministic (part of the bit-identity guarantee)
+  /// except for kTimeLimit, which depends on wall clock by definition.
+  StopReason stop_reason = StopReason::kUnknown;
   /// Incumbent-improvement trace; only recorded when
   /// SolverOptions::record_trace is set.
   std::vector<TracePoint> trace;
+
+  // --- observability extras (filled only when SolverOptions::obs is ---
+  // --- attached; never part of the bit-identity guarantee)          ---
+  /// Per-iteration convergence telemetry (the tail that fit the ring).
+  std::vector<obs::IterationSample> telemetry;
+  /// Samples overwritten because the run outlived the telemetry ring.
+  int64_t telemetry_dropped = 0;
+  /// Metrics snapshot taken as the solve finished (cumulative over the
+  /// attached ObsContext's lifetime, so back-to-back solves accumulate
+  /// unless the caller resets the registry between runs).
+  std::shared_ptr<const obs::MetricsSnapshot> metrics;
 };
 
 /// The data integration system µBE proposes: the chosen sources, the

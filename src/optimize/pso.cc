@@ -78,6 +78,7 @@ Result<Solution> PsoSolver::Solve(const CandidateEvaluator& evaluator,
   UBE_RETURN_IF_ERROR(internal::CheckSolvable(evaluator));
   WallTimer timer;
   evaluator.BeginRun();
+  internal::SolveScope scope(evaluator, options, name());
   Rng rng(options.seed);
   std::unique_ptr<ThreadPool> pool = internal::MakeEvalPool(options);
 
@@ -141,13 +142,18 @@ Result<Solution> PsoSolver::Solve(const CandidateEvaluator& evaluator,
           ? std::max(1, options.stall_iterations * 32 / swarm_size)
           : 0;
   constexpr double kVelocityClamp = 6.0;
+  StopReason stop = StopReason::kMaxIterations;
 
   for (int iter = 0; iter < pso_iterations; ++iter) {
-    if (options.time_limit_seconds > 0.0 &&
-        timer.ElapsedSeconds() > options.time_limit_seconds) {
+    // Pre-dispatch deadline check (post-batch check at the bottom).
+    if (internal::TimeExpired(timer, options)) {
+      stop = StopReason::kTimeLimit;
       break;
     }
-    if (pso_stall > 0 && stall >= pso_stall) break;
+    if (pso_stall > 0 && stall >= pso_stall) {
+      stop = StopReason::kStalled;
+      break;
+    }
     ++iterations;
 
     // Synchronous PSO step: every particle moves against the global best of
@@ -196,11 +202,26 @@ Result<Solution> PsoSolver::Solve(const CandidateEvaluator& evaluator,
     } else {
       ++stall;
     }
+    if (scope.enabled()) {
+      obs::IterationSample sample;
+      sample.iteration = iterations;
+      sample.evaluations = evaluator.num_evaluations();
+      sample.incumbent_quality = global_best_quality;
+      sample.neighborhood = static_cast<int32_t>(positions.size());
+      sample.stall = stall;
+      scope.RecordIteration(sample);
+    }
+    // Post-batch deadline check: this swarm step already ran and its bests
+    // are folded in; stop before scoring another one.
+    if (internal::TimeExpired(timer, options)) {
+      stop = StopReason::kTimeLimit;
+      break;
+    }
   }
 
   return internal::FinalizeSolution(evaluator, std::move(global_best),
                                     std::string(name()), iterations, timer,
-                                    std::move(trace));
+                                    stop, std::move(trace), &scope);
 }
 
 }  // namespace ube

@@ -26,6 +26,24 @@ std::unique_ptr<Solver> MakeSolver(SolverKind kind) {
   return nullptr;
 }
 
+std::string_view StopReasonName(StopReason reason) {
+  switch (reason) {
+    case StopReason::kUnknown:
+      return "unknown";
+    case StopReason::kMaxIterations:
+      return "max-iterations";
+    case StopReason::kStalled:
+      return "stalled";
+    case StopReason::kTimeLimit:
+      return "time-limit";
+    case StopReason::kConverged:
+      return "converged";
+    case StopReason::kExhausted:
+      return "exhausted";
+  }
+  return "unknown";
+}
+
 std::string_view SolverKindName(SolverKind kind) {
   switch (kind) {
     case SolverKind::kTabu:

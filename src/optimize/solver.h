@@ -12,6 +12,10 @@
 
 namespace ube {
 
+namespace obs {
+class ObsContext;
+}  // namespace obs
+
 /// Shared knobs for all solvers; each solver reads the subset it needs.
 struct SolverOptions {
   /// Seed for the solver's deterministic random stream.
@@ -31,6 +35,11 @@ struct SolverOptions {
   /// For a fixed seed the returned Solution (sources, quality, trace,
   /// counters) is identical for every value — only wall-clock changes.
   int num_threads = 1;
+  /// Optional observability context (metrics + tracing + per-iteration
+  /// telemetry). Not owned; must outlive the Solve call. Null (default)
+  /// disables all instrumentation — the deterministic parts of the
+  /// returned Solution are byte-identical either way.
+  obs::ObsContext* obs = nullptr;
 
   // --- tabu search -----------------------------------------------------
   /// Moves sampled per iteration (0 = auto: scales with |U| and m).

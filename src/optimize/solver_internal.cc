@@ -4,10 +4,40 @@
 
 namespace ube::internal {
 
+SolveScope::SolveScope(const CandidateEvaluator& evaluator,
+                       const SolverOptions& options,
+                       std::string_view solver_name)
+    : evaluator_(evaluator), obs_(options.obs) {
+  if (obs_ == nullptr) return;
+  evaluator_.AttachObs(obs_);
+  ring_ = std::make_unique<obs::TelemetryRing>(
+      obs_->options().telemetry_capacity);
+  span_ = obs_->tracer().StartSpan(std::string("solve/") +
+                                   std::string(solver_name));
+}
+
+SolveScope::~SolveScope() {
+  if (obs_ == nullptr) return;
+  span_.End();
+  evaluator_.DetachObs();
+}
+
+void SolveScope::Export(SolverStats* stats) {
+  if (obs_ == nullptr) return;
+  stats->telemetry = ring_->Samples();
+  stats->telemetry_dropped = ring_->dropped();
+  obs_->metrics().Add(obs_->metrics().Counter(
+      std::string("solver.stop.") +
+      std::string(StopReasonName(stats->stop_reason))));
+  stats->metrics = std::make_shared<const obs::MetricsSnapshot>(
+      obs_->metrics().Snapshot());
+}
+
 Solution FinalizeSolution(const CandidateEvaluator& evaluator,
                           std::vector<SourceId> best, std::string solver_name,
                           int64_t iterations, const WallTimer& timer,
-                          std::vector<TracePoint> trace) {
+                          StopReason stop_reason,
+                          std::vector<TracePoint> trace, SolveScope* scope) {
   CandidateEvaluator::Evaluation eval = evaluator.Evaluate(best);
   Solution solution;
   solution.sources = std::move(best);
@@ -21,7 +51,9 @@ Solution FinalizeSolution(const CandidateEvaluator& evaluator,
   solution.stats.evaluations = evaluator.num_evaluations();
   solution.stats.cache_hits = evaluator.num_cache_hits();
   solution.stats.elapsed_seconds = timer.ElapsedSeconds();
+  solution.stats.stop_reason = stop_reason;
   solution.stats.trace = std::move(trace);
+  if (scope != nullptr) scope->Export(&solution.stats);
   return solution;
 }
 

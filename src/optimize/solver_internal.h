@@ -3,8 +3,10 @@
 
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "obs/obs.h"
 #include "optimize/evaluator.h"
 #include "optimize/problem.h"
 #include "optimize/solver.h"
@@ -14,13 +16,59 @@
 
 namespace ube::internal {
 
-/// Fully evaluates `best` and packages it (plus effort counters) into a
-/// Solution. Shared by every solver. `trace` (may be empty) is moved into
-/// the stats.
+/// Per-solve observability scope shared by every solver. Construction
+/// attaches SolverOptions::obs to the evaluator, opens a "solve/<name>"
+/// span and allocates the telemetry ring; destruction detaches. When
+/// options.obs is null (the default) every member is a cheap no-op, so
+/// solvers use it unconditionally — gate only per-iteration sample
+/// *assembly* on enabled() when it costs anything (e.g. counting the tabu
+/// list).
+class SolveScope {
+ public:
+  SolveScope(const CandidateEvaluator& evaluator, const SolverOptions& options,
+             std::string_view solver_name);
+  ~SolveScope();
+  SolveScope(const SolveScope&) = delete;
+  SolveScope& operator=(const SolveScope&) = delete;
+
+  bool enabled() const { return obs_ != nullptr; }
+
+  /// Records one outer-iteration telemetry sample (ring-bounded).
+  void RecordIteration(const obs::IterationSample& sample) {
+    if (ring_ != nullptr) ring_->Record(sample);
+  }
+
+  /// Copies telemetry and a metrics snapshot into `stats` and bumps the
+  /// solver.stop.<reason> counter. FinalizeSolution calls this; only call
+  /// it directly on non-FinalizeSolution exits.
+  void Export(SolverStats* stats);
+
+ private:
+  const CandidateEvaluator& evaluator_;
+  obs::ObsContext* obs_ = nullptr;
+  std::unique_ptr<obs::TelemetryRing> ring_;
+  obs::Tracer::Span span_;
+};
+
+/// True when the wall-clock budget is set and spent. Solvers must consult
+/// this both before dispatching a QualityBatch and right after it returns:
+/// checking only at the top of the outer loop lets one large batch
+/// overshoot time_limit_seconds by an unbounded amount.
+inline bool TimeExpired(const WallTimer& timer, const SolverOptions& options) {
+  return options.time_limit_seconds > 0.0 &&
+         timer.ElapsedSeconds() >= options.time_limit_seconds;
+}
+
+/// Fully evaluates `best` and packages it (plus effort counters and the
+/// stop reason) into a Solution. Shared by every solver. `trace` (may be
+/// empty) is moved into the stats; `scope`, when given, exports telemetry
+/// and metrics into the stats.
 Solution FinalizeSolution(const CandidateEvaluator& evaluator,
                           std::vector<SourceId> best, std::string solver_name,
                           int64_t iterations, const WallTimer& timer,
-                          std::vector<TracePoint> trace = {});
+                          StopReason stop_reason,
+                          std::vector<TracePoint> trace = {},
+                          SolveScope* scope = nullptr);
 
 /// Appends a trace point when tracing is enabled.
 inline void MaybeTrace(bool enabled, const CandidateEvaluator& evaluator,

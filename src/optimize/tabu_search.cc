@@ -31,6 +31,7 @@ Result<Solution> TabuSearchSolver::Solve(const CandidateEvaluator& evaluator,
   UBE_RETURN_IF_ERROR(internal::CheckSolvable(evaluator));
   WallTimer timer;
   evaluator.BeginRun();
+  internal::SolveScope scope(evaluator, options, name());
   Rng rng(options.seed);
   std::unique_ptr<ThreadPool> pool = internal::MakeEvalPool(options);
 
@@ -68,20 +69,40 @@ Result<Solution> TabuSearchSolver::Solve(const CandidateEvaluator& evaluator,
   int since_restart = 0;
   int unproductive_restarts = 0;
   bool improved_since_restart = false;
+  StopReason stop = StopReason::kMaxIterations;
   std::vector<SearchState::Move> moves;
   std::vector<std::vector<SourceId>> candidates;
+  // Telemetry is assembled only when observability is attached: counting
+  // the tabu lists is O(n) per iteration.
+  auto record_iteration = [&](int iter, size_t neighborhood) {
+    if (!scope.enabled()) return;
+    obs::IterationSample sample;
+    sample.iteration = iterations;
+    sample.evaluations = evaluator.num_evaluations();
+    sample.incumbent_quality = best_quality;
+    sample.neighborhood = static_cast<int32_t>(neighborhood);
+    int occupancy = 0;
+    for (int until : tabu_add_until) occupancy += iter < until ? 1 : 0;
+    for (int until : tabu_drop_until) occupancy += iter < until ? 1 : 0;
+    sample.tabu_occupancy = occupancy;
+    sample.stall = stall;
+    scope.RecordIteration(sample);
+  };
   for (int iter = 0; iter < options.max_iterations; ++iter) {
-    if (options.time_limit_seconds > 0.0 &&
-        timer.ElapsedSeconds() > options.time_limit_seconds) {
+    // Pre-dispatch deadline check (see also the post-batch check below).
+    if (internal::TimeExpired(timer, options)) {
+      stop = StopReason::kTimeLimit;
       break;
     }
     if (options.stall_iterations > 0 && stall >= options.stall_iterations) {
+      stop = StopReason::kStalled;
       break;
     }
     if (since_restart >= restart_after) {
       if (improved_since_restart) {
         unproductive_restarts = 0;
       } else if (++unproductive_restarts >= kMaxUnproductiveRestarts) {
+        stop = StopReason::kStalled;
         break;
       }
       state.Reset(best);
@@ -136,6 +157,13 @@ Result<Solution> TabuSearchSolver::Solve(const CandidateEvaluator& evaluator,
     if (!have_move) {
       ++stall;
       ++since_restart;
+      record_iteration(iter, candidates.size());
+      // Post-batch deadline check: the batch we just paid for may have
+      // overshot the budget; stop now instead of sampling another one.
+      if (internal::TimeExpired(timer, options)) {
+        stop = StopReason::kTimeLimit;
+        break;
+      }
       continue;
     }
 
@@ -163,11 +191,18 @@ Result<Solution> TabuSearchSolver::Solve(const CandidateEvaluator& evaluator,
       ++stall;
       ++since_restart;
     }
+    record_iteration(iter, candidates.size());
+    // Post-batch deadline check: fold the batch's result (above), then stop
+    // before dispatching another batch past the budget.
+    if (internal::TimeExpired(timer, options)) {
+      stop = StopReason::kTimeLimit;
+      break;
+    }
   }
 
   return internal::FinalizeSolution(evaluator, std::move(best),
                                     std::string(name()), iterations, timer,
-                                    std::move(trace));
+                                    stop, std::move(trace), &scope);
 }
 
 }  // namespace ube

@@ -1,10 +1,12 @@
 #include "source/prober.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <optional>
 #include <utility>
 
+#include "obs/obs.h"
 #include "util/check.h"
 #include "util/thread_pool.h"
 
@@ -127,15 +129,49 @@ std::string AcquisitionReport::Summary() const {
 
 // --- SourceProber ----------------------------------------------------------
 
+void SourceProber::InitObsHooks() const {
+  hooks_ = ObsHooks{};
+  hooks_.ctx = options_.obs;
+  if (options_.obs == nullptr) return;
+  obs::MetricsRegistry& m = options_.obs->metrics();
+  hooks_.attempts = m.Counter("prober.attempts");
+  hooks_.backoff_waits = m.Counter("prober.backoff_waits");
+  // Simulated-clock valued, so the totals (unlike wall-clock latency
+  // histograms) stay deterministic across thread counts.
+  hooks_.backoff_wait_us =
+      m.Histogram("prober.backoff_wait_us",
+                  {1000, 5000, 10000, 25000, 50000, 100000, 250000, 500000,
+                   1000000, 5000000});
+  hooks_.breaker_trips = m.Counter("prober.breaker.trips");
+  hooks_.breaker_half_open = m.Counter("prober.breaker.half_open");
+  hooks_.breaker_reclose = m.Counter("prober.breaker.reclose");
+  for (int i = 0; i < 4; ++i) {
+    hooks_.outcome[i] = m.Counter(
+        std::string("prober.outcome.") +
+        std::string(AcquisitionOutcomeName(static_cast<AcquisitionOutcome>(i))));
+  }
+}
+
 SourceAcquisition SourceProber::ProbeOne(ProbeTarget& target, Rng rng,
                                          DataSource* acquired) const {
   const BackoffPolicy& policy = options_.backoff;
+  obs::Tracer::Span span = obs::SpanIf(hooks_.ctx, "prober/probe");
   SourceAcquisition acq;
   acq.name = target.name();
   BackoffSchedule backoff(policy, rng);
   CircuitBreaker breaker(options_.breaker);
   double now_ms = 0.0;
   Status last = Status::Unavailable("no probe attempt was made");
+  // Breaker transition counters, observed around the calls that can change
+  // state: closed/half-open → open (trips, via num_trips), open →
+  // half-open (cool-down expiry), half-open → closed (reclose).
+  auto note_half_open = [&](CircuitBreaker::State before) {
+    if (hooks_.ctx != nullptr &&
+        before == CircuitBreaker::State::kOpen &&
+        breaker.state() == CircuitBreaker::State::kHalfOpen) {
+      hooks_.ctx->metrics().Add(hooks_.breaker_half_open);
+    }
+  };
 
   for (int attempt = 0; attempt < policy.max_attempts; ++attempt) {
     if (now_ms > policy.total_budget_ms) {
@@ -144,7 +180,10 @@ SourceAcquisition SourceProber::ProbeOne(ProbeTarget& target, Rng rng,
           " ms");
       break;
     }
-    if (!breaker.AllowRequest(now_ms)) {
+    CircuitBreaker::State before_allow = breaker.state();
+    bool allowed = breaker.AllowRequest(now_ms);
+    note_half_open(before_allow);
+    if (!allowed) {
       // Wait out the cool-down on the virtual clock, then take the
       // half-open probe — unless that would blow the total budget.
       double reopen_ms = breaker.open_until_ms();
@@ -154,17 +193,25 @@ SourceAcquisition SourceProber::ProbeOne(ProbeTarget& target, Rng rng,
         break;
       }
       now_ms = reopen_ms;
+      before_allow = breaker.state();
       bool admitted = breaker.AllowRequest(now_ms);
+      note_half_open(before_allow);
       UBE_CHECK(admitted, "breaker must admit a probe after its cool-down");
     }
 
     ProbeResponse response = target.Probe(attempt);
     ++acq.attempts;
+    if (hooks_.ctx != nullptr) hooks_.ctx->metrics().Add(hooks_.attempts);
     const bool timed_out = response.latency_ms > policy.attempt_deadline_ms;
     now_ms += std::min(response.latency_ms, policy.attempt_deadline_ms);
 
     if (!timed_out && response.outcome.ok()) {
+      CircuitBreaker::State before_success = breaker.state();
       breaker.RecordSuccess();
+      if (hooks_.ctx != nullptr &&
+          before_success == CircuitBreaker::State::kHalfOpen) {
+        hooks_.ctx->metrics().Add(hooks_.breaker_reclose);
+      }
       ProbedSource probed = std::move(response.outcome).value();
       *acquired = std::move(probed.source);
       if (probed.stale) {
@@ -192,7 +239,16 @@ SourceAcquisition SourceProber::ProbeOne(ProbeTarget& target, Rng rng,
     last = failure;
     breaker.RecordFailure(now_ms);
     if (failure.code() == StatusCode::kNotFound) break;  // permanent: stop
-    if (attempt + 1 < policy.max_attempts) now_ms += backoff.NextDelayMs();
+    if (attempt + 1 < policy.max_attempts) {
+      double delay_ms = backoff.NextDelayMs();
+      now_ms += delay_ms;
+      if (hooks_.ctx != nullptr) {
+        hooks_.ctx->metrics().Add(hooks_.backoff_waits);
+        hooks_.ctx->metrics().Observe(
+            hooks_.backoff_wait_us,
+            static_cast<int64_t>(std::llround(delay_ms * 1000.0)));
+      }
+    }
   }
 
   acq.outcome = AcquisitionOutcome::kDropped;
@@ -207,6 +263,8 @@ Result<Acquisition> SourceProber::Acquire(
   if (targets.empty()) {
     return Status::InvalidArgument("Acquire needs at least one probe target");
   }
+  obs::Tracer::Span span = obs::SpanIf(options_.obs, "prober/acquire");
+  InitObsHooks();
   const size_t n = targets.size();
   std::vector<SourceAcquisition> records(n);
   std::vector<std::optional<DataSource>> acquired(n);
@@ -232,6 +290,16 @@ Result<Acquisition> SourceProber::Acquire(
   } else {
     ThreadPool pool(options_.num_threads);
     pool.ParallelFor(n, probe_one);
+  }
+
+  // Per-state aggregates folded sequentially from the records so the
+  // totals match AcquisitionReport exactly, whatever the fan-out width.
+  if (hooks_.ctx != nullptr) {
+    obs::MetricsRegistry& m = hooks_.ctx->metrics();
+    for (const SourceAcquisition& record : records) {
+      m.Add(hooks_.breaker_trips, record.breaker_trips);
+      m.Add(hooks_.outcome[static_cast<int>(record.outcome)]);
+    }
   }
 
   Acquisition out;

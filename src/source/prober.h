@@ -14,6 +14,10 @@
 
 namespace ube {
 
+namespace obs {
+class ObsContext;
+}  // namespace obs
+
 /// Per-source circuit breaker over the classic closed → open → half-open
 /// state machine: `trip_threshold` consecutive failures open the circuit,
 /// the cool-down keeps it open, then a single half-open probe decides
@@ -118,6 +122,12 @@ struct ProberOptions {
   int num_threads = 1;
   /// Seed of the backoff jitter streams (one independent fork per source).
   uint64_t seed = 0;
+  /// Optional observability context (counters prober.*, histogram of
+  /// simulated backoff waits, prober/acquire + prober/probe spans). Not
+  /// owned; must outlive Acquire. Null (default) = no instrumentation.
+  /// All prober metric values derive from the simulated clock, so totals
+  /// are deterministic for any num_threads.
+  obs::ObsContext* obs = nullptr;
 };
 
 /// A universe assembled from probes plus the per-source report. Dropped
@@ -151,7 +161,22 @@ class SourceProber {
   SourceAcquisition ProbeOne(ProbeTarget& target, Rng rng,
                              DataSource* acquired) const;
 
+  /// Pre-registered metric ids (all -1 when options_.obs is null). Set up
+  /// sequentially at the top of Acquire, read-only during the fan-out.
+  struct ObsHooks {
+    obs::ObsContext* ctx = nullptr;
+    int32_t attempts = -1;
+    int32_t backoff_waits = -1;
+    int32_t backoff_wait_us = -1;  // histogram, simulated-clock valued
+    int32_t breaker_trips = -1;
+    int32_t breaker_half_open = -1;
+    int32_t breaker_reclose = -1;
+    int32_t outcome[4] = {-1, -1, -1, -1};  // indexed by AcquisitionOutcome
+  };
+  void InitObsHooks() const;
+
   ProberOptions options_;
+  mutable ObsHooks hooks_;
 };
 
 }  // namespace ube

@@ -625,6 +625,147 @@ TEST(BannedSourcesTest, SearchStateNeverProposesBanned) {
   }
 }
 
+// ----------------------------- stop reasons -----------------------------
+
+TEST(StopReasonTest, BudgetExhaustionReportsMaxIterations) {
+  KnownOptimumFixture fx;
+  ProblemSpec spec = SpecWithM(3);
+  CandidateEvaluator eval = fx.MakeEvaluator(spec);
+  SolverOptions options = FastOptions();
+  options.max_iterations = 5;
+  options.stall_iterations = 0;  // disabled: only the budget can stop us
+  Result<Solution> solution = TabuSearchSolver().Solve(eval, options);
+  ASSERT_TRUE(solution.ok());
+  EXPECT_EQ(solution->stats.stop_reason, StopReason::kMaxIterations);
+  EXPECT_EQ(solution->stats.iterations, 5);
+}
+
+TEST(StopReasonTest, StallReportsStalled) {
+  // Tiny fixture, huge budget: the optimum is found almost immediately and
+  // the search ends by unproductive restarts — a stall, not the budget.
+  KnownOptimumFixture fx;
+  ProblemSpec spec = SpecWithM(3);
+  CandidateEvaluator eval = fx.MakeEvaluator(spec);
+  SolverOptions options = FastOptions(5);
+  options.max_iterations = 100000;
+  options.stall_iterations = 60;
+  Result<Solution> solution = TabuSearchSolver().Solve(eval, options);
+  ASSERT_TRUE(solution.ok());
+  EXPECT_EQ(solution->stats.stop_reason, StopReason::kStalled);
+}
+
+TEST(StopReasonTest, ExhaustiveReportsExhausted) {
+  KnownOptimumFixture fx(5);
+  ProblemSpec spec = SpecWithM(2);
+  CandidateEvaluator eval = fx.MakeEvaluator(spec);
+  Result<Solution> solution = ExhaustiveSolver().Solve(eval, SolverOptions());
+  ASSERT_TRUE(solution.ok());
+  EXPECT_EQ(solution->stats.stop_reason, StopReason::kExhausted);
+}
+
+TEST(StopReasonTest, GreedyReportsConverged) {
+  KnownOptimumFixture fx;
+  ProblemSpec spec = SpecWithM(3);
+  CandidateEvaluator eval = fx.MakeEvaluator(spec);
+  Result<Solution> solution =
+      MakeSolver(SolverKind::kGreedy)->Solve(eval, FastOptions());
+  ASSERT_TRUE(solution.ok());
+  EXPECT_EQ(solution->stats.stop_reason, StopReason::kConverged);
+}
+
+TEST(StopReasonTest, RandomReportsMaxIterations) {
+  KnownOptimumFixture fx;
+  ProblemSpec spec = SpecWithM(3);
+  CandidateEvaluator eval = fx.MakeEvaluator(spec);
+  Result<Solution> solution =
+      MakeSolver(SolverKind::kRandom)->Solve(eval, FastOptions());
+  ASSERT_TRUE(solution.ok());
+  EXPECT_EQ(solution->stats.stop_reason, StopReason::kMaxIterations);
+}
+
+// Regression for the time-limit overshoot bug: the deadline used to be
+// checked only between outer iterations, so one iteration with a large
+// candidate_moves batch could blow far past time_limit_seconds. With the
+// pre-dispatch + post-batch checks a microscopic limit must stop every
+// solver within its first iteration — not after max_iterations of them.
+class TimeLimitTest : public ::testing::TestWithParam<SolverKind> {};
+
+TEST_P(TimeLimitTest, TinyLimitStopsPromptlyWithTimeLimitReason) {
+  KnownOptimumFixture fx;
+  ProblemSpec spec = SpecWithM(3);
+  CandidateEvaluator eval = fx.MakeEvaluator(spec);
+  SolverOptions options = FastOptions();
+  options.max_iterations = 100000;
+  options.stall_iterations = 0;
+  options.random_samples = 100000;
+  options.candidate_moves = 5000;  // one batch alone overshoots the limit
+  options.time_limit_seconds = 1e-9;
+  std::unique_ptr<Solver> solver = MakeSolver(GetParam());
+  Result<Solution> solution = solver->Solve(eval, options);
+  ASSERT_TRUE(solution.ok()) << solution.status();
+  EXPECT_EQ(solution->stats.stop_reason, StopReason::kTimeLimit)
+      << SolverKindName(GetParam());
+  EXPECT_LE(solution->stats.iterations, 1) << SolverKindName(GetParam());
+  // Even a truncated run returns a feasible (nonempty, within-m) solution.
+  EXPECT_GE(solution->sources.size(), 1u);
+  EXPECT_LE(static_cast<int>(solution->sources.size()), spec.max_sources);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kinds, TimeLimitTest,
+    ::testing::Values(SolverKind::kTabu, SolverKind::kLocalSearch,
+                      SolverKind::kAnnealing, SolverKind::kPso,
+                      SolverKind::kGreedy, SolverKind::kRandom),
+    [](const ::testing::TestParamInfo<SolverKind>& info) {
+      return std::string(SolverKindName(info.param));
+    });
+
+// The incumbent trace must be STRICTLY improving even across tabu
+// intensification restarts: a restart resets the current solution to the
+// incumbent, and re-reaching (not beating) the incumbent afterwards must
+// not append a duplicate trace point.
+TEST(TraceAcrossRestartsTest, TabuTraceStrictlyImproving) {
+  for (uint64_t seed : {3ull, 5ull, 11ull}) {
+    KnownOptimumFixture fx;
+    ProblemSpec spec = SpecWithM(4);
+    CandidateEvaluator eval = fx.MakeEvaluator(spec);
+    SolverOptions options = FastOptions(seed);
+    options.record_trace = true;
+    options.max_iterations = 2000;
+    options.stall_iterations = 24;  // restart_after = 8: many restarts
+    Result<Solution> solution = TabuSearchSolver().Solve(eval, options);
+    ASSERT_TRUE(solution.ok());
+    const std::vector<TracePoint>& trace = solution->stats.trace;
+    ASSERT_FALSE(trace.empty());
+    for (size_t i = 1; i < trace.size(); ++i) {
+      EXPECT_GT(trace[i].best_quality, trace[i - 1].best_quality)
+          << "seed " << seed << " trace index " << i;
+      EXPECT_GE(trace[i].evaluations, trace[i - 1].evaluations);
+    }
+    EXPECT_NEAR(trace.back().best_quality, solution->quality, 1e-12);
+  }
+}
+
+TEST(TraceAcrossRestartsTest, SlsTraceStrictlyImprovingAcrossRestarts) {
+  for (uint64_t seed : {3ull, 7ull}) {
+    KnownOptimumFixture fx;
+    ProblemSpec spec = SpecWithM(4);
+    CandidateEvaluator eval = fx.MakeEvaluator(spec);
+    SolverOptions options = FastOptions(seed);
+    options.record_trace = true;
+    options.restarts = 8;
+    Result<Solution> solution =
+        MakeSolver(SolverKind::kLocalSearch)->Solve(eval, options);
+    ASSERT_TRUE(solution.ok());
+    const std::vector<TracePoint>& trace = solution->stats.trace;
+    ASSERT_FALSE(trace.empty());
+    for (size_t i = 1; i < trace.size(); ++i) {
+      EXPECT_GT(trace[i].best_quality, trace[i - 1].best_quality)
+          << "seed " << seed << " trace index " << i;
+    }
+  }
+}
+
 TEST(SolverComparisonTest, TabuAtLeastAsGoodAsRandom) {
   // Structured instance: matching quality + cardinality; tabu should find
   // at least as good a solution as random sampling given equal budget.
