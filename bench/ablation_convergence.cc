@@ -10,6 +10,7 @@
 
 #include "bench/bench_util.h"
 #include "core/engine.h"
+#include "util/timer.h"
 
 using namespace ube;
 using namespace ube::bench;
@@ -30,7 +31,10 @@ double QualityAt(const std::vector<TracePoint>& trace, int64_t evaluations) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const BenchArgs args = ParseBenchArgs(argc, argv);
+  BenchHarness bench("ablation_convergence");
+  bench.ParseOrExit(argc, argv);
+  const BenchArgs& args = bench.args();
+  WallTimer total;
   std::printf("Convergence — incumbent Q(S) vs evaluations spent "
               "(choose 20 of 200, seed 3)\n\n");
   GeneratedWorkload workload = MakeWorkload(200, args.workload_seed);
@@ -47,13 +51,18 @@ int main(int argc, char** argv) {
   for (SolverKind kind : {SolverKind::kTabu, SolverKind::kLocalSearch,
                           SolverKind::kAnnealing, SolverKind::kPso,
                           SolverKind::kRandom}) {
-    SolverOptions options = BenchSolverOptions(args.SolverSeed(3));
+    SolverOptions options =
+        BenchSolverOptions(args.SolverSeed(3), args.threads);
     options.record_trace = true;
     options.max_iterations = 400;
     options.stall_iterations = 0;  // run the full budget
     options.random_samples = 8000;
     Result<Solution> solution = engine.Solve(spec, kind, options);
     if (!solution.ok()) continue;
+    if (kind == SolverKind::kTabu) {
+      bench.SetMetric("tabu_q_at_8000",
+                      QualityAt(solution->stats.trace, 8000));
+    }
     std::vector<std::string> row = {std::string(SolverKindName(kind))};
     for (int64_t c : checkpoints) {
       row.push_back(Fmt("%.4f", QualityAt(solution->stats.trace, c)));
@@ -62,5 +71,6 @@ int main(int argc, char** argv) {
   }
   std::printf("\n(each cell: incumbent quality after that many candidate "
               "evaluations)\n");
-  return 0;
+  bench.SetMetric("wall_ms", total.ElapsedMillis());
+  return bench.Finish();
 }

@@ -31,7 +31,10 @@ QualityModel ModelWithRedundancy(RedundancyQef::Mode mode) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const BenchArgs args = ParseBenchArgs(argc, argv);
+  BenchHarness bench("ablation_design");
+  bench.ParseOrExit(argc, argv);
+  const BenchArgs& args = bench.args();
+  WallTimer total;
   std::printf("Design ablations (choose 20 of 200 unless noted)\n");
 
   // --- 1. redundancy formula -------------------------------------------
@@ -43,8 +46,9 @@ int main(int argc, char** argv) {
     Engine engine(std::move(workload.universe), ModelWithRedundancy(mode));
     ProblemSpec spec;
     spec.max_sources = 20;
-    Result<Solution> solution =
-        engine.Solve(spec, SolverKind::kTabu, BenchSolverOptions(args.SolverSeed()));
+    Result<Solution> solution = engine.Solve(
+        spec, SolverKind::kTabu,
+        BenchSolverOptions(args.SolverSeed(), args.threads));
     if (!solution.ok()) continue;
     PrintRow({mode == RedundancyQef::Mode::kOverlapFactor ? "overlap-factor"
                                                           : "union-ratio",
@@ -74,16 +78,22 @@ int main(int argc, char** argv) {
   for (int moves : {8, 16, 32, 64, 128}) {
     ProblemSpec spec;
     spec.max_sources = 20;
-    SolverOptions options = BenchSolverOptions(args.SolverSeed());
+    SolverOptions options =
+        BenchSolverOptions(args.SolverSeed(), args.threads);
     options.candidate_moves = moves;
     WallTimer timer;
     Result<Solution> solution =
         engine.Solve(spec, SolverKind::kTabu, options);
     if (!solution.ok()) continue;
+    if (moves == 32) {
+      bench.SetMetric("q_moves32", solution->quality);
+      bench.SetMetric("evals_moves32", solution->stats.evaluations);
+    }
     PrintRow({Fmt(static_cast<int64_t>(moves)),
               Fmt("%.4f", solution->quality),
               Fmt("%.2f", timer.ElapsedSeconds()),
               Fmt(solution->stats.evaluations)});
   }
-  return 0;
+  bench.SetMetric("wall_ms", total.ElapsedMillis());
+  return bench.Finish();
 }

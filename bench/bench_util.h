@@ -8,60 +8,19 @@
 #define UBE_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <string>
 #include <vector>
 
+#include "bench/harness.h"
 #include "core/engine.h"
 #include "workload/generator.h"
 
 namespace ube::bench {
 
-/// Command-line arguments shared by the bench binaries.
-struct BenchArgs {
-  /// Workload seed (--seed N). Defaults to the historical value 17, so an
-  /// argument-less run reproduces the numbers in EXPERIMENTS.md exactly.
-  uint64_t workload_seed = 17;
-
-  /// Seed for a solver run that historically used `historical`: returned
-  /// unchanged in a default run, re-derived from the workload seed under
-  /// --seed so the entire sweep (workload *and* search) shifts together.
-  uint64_t SolverSeed(uint64_t historical = 42) const {
-    if (workload_seed == 17) return historical;
-    return (workload_seed * 0x9e3779b97f4a7c15ull) ^ historical;
-  }
-};
-
-/// Parses `--seed N` / `--seed=N` (exits with usage on anything else), so
-/// every bench sweep can be replayed under a different random substrate —
-/// the same seed-replay contract the property tests follow (TESTING.md).
-inline BenchArgs ParseBenchArgs(int argc, char** argv) {
-  BenchArgs args;
-  for (int i = 1; i < argc; ++i) {
-    const char* arg = argv[i];
-    const char* value = nullptr;
-    if (std::strncmp(arg, "--seed=", 7) == 0) {
-      value = arg + 7;
-    } else if (std::strcmp(arg, "--seed") == 0 && i + 1 < argc) {
-      value = argv[++i];
-    } else {
-      std::fprintf(stderr, "usage: %s [--seed N]\n", argv[0]);
-      std::exit(2);
-    }
-    char* end = nullptr;
-    args.workload_seed = std::strtoull(value, &end, 0);
-    if (end == value || *end != '\0') {
-      std::fprintf(stderr, "bad --seed value: %s\n", value);
-      std::exit(2);
-    }
-  }
-  return args;
-}
-
 /// The paper's experimental universe (Section 7.1) at bench scale: schemas
 /// and perturbation identical to the paper, data volumes scaled by `scale`.
-inline GeneratedWorkload MakeWorkload(int num_sources, uint64_t seed = 17,
+inline GeneratedWorkload MakeWorkload(int num_sources,
+                                      uint64_t seed = kDefaultWorkloadSeed,
                                       double scale = 0.01) {
   WorkloadConfig config;
   config.num_sources = num_sources;

@@ -16,6 +16,7 @@
 
 #include "bench/bench_util.h"
 #include "core/engine.h"
+#include "util/timer.h"
 #include "workload/domains.h"
 #include "workload/generator.h"
 
@@ -44,7 +45,10 @@ QualityModel ModelWithCoherenceWeight(double coherence_weight) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const BenchArgs args = ParseBenchArgs(argc, argv);
+  BenchHarness bench("domain_selection");
+  bench.ParseOrExit(argc, argv);
+  const BenchArgs& args = bench.args();
+  WallTimer total;
   std::printf("Domain coherence — mixed universe (50%% books, 20%% "
               "airfares, 15%% movies, 15%% musicrecords; |U|=300, m=20)\n\n");
   PrintRow({"w(coher)", "books", "airfares", "movies", "music", "GAs",
@@ -70,13 +74,17 @@ int main(int argc, char** argv) {
                   ModelWithCoherenceWeight(weight));
     ProblemSpec spec;
     spec.max_sources = 20;
-    Result<Solution> solution =
-        engine.Solve(spec, SolverKind::kTabu, BenchSolverOptions(args.SolverSeed()));
+    Result<Solution> solution = engine.Solve(
+        spec, SolverKind::kTabu,
+        BenchSolverOptions(args.SolverSeed(), args.threads));
     if (!solution.ok()) continue;
 
     int counts[4] = {0, 0, 0, 0};
     for (SourceId s : solution->sources) {
       ++counts[domain_of[static_cast<size_t>(s)]];
+    }
+    if (weight == 0.9) {
+      bench.SetMetric("books_w090", static_cast<int64_t>(counts[0]));
     }
     PrintRow({Fmt("%.2f", weight), Fmt(static_cast<int64_t>(counts[0])),
               Fmt(static_cast<int64_t>(counts[1])),
@@ -92,5 +100,6 @@ int main(int argc, char** argv) {
       "drops out first — and the selection settles on a few internally\n"
       "coherent domain clusters; several coherent clusters can coexist\n"
       "because schema-coverage is per-attribute, not per-domain)\n");
-  return 0;
+  bench.SetMetric("wall_ms", total.ElapsedMillis());
+  return bench.Finish();
 }

@@ -20,6 +20,7 @@
 #include "source/flaky.h"
 #include "source/prober.h"
 #include "util/fault_injection.h"
+#include "util/timer.h"
 
 using namespace ube;
 using namespace ube::bench;
@@ -39,7 +40,10 @@ FaultRates RatesAt(double rate) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const BenchArgs args = ParseBenchArgs(argc, argv);
+  BenchHarness bench("fault_sweep");
+  bench.ParseOrExit(argc, argv);
+  const BenchArgs& args = bench.args();
+  WallTimer total;
   std::printf("Fault sweep — acquisition cost and quality vs failure rate "
               "(|U|=200, m=10, tabu search)\n\n");
 
@@ -91,10 +95,17 @@ int main(int argc, char** argv) {
     ProblemSpec spec;
     spec.max_sources = 10;
     Result<Solution> solution = engine.Solve(
-        spec, SolverKind::kTabu, BenchSolverOptions(args.SolverSeed()));
+        spec, SolverKind::kTabu,
+        BenchSolverOptions(args.SolverSeed(), args.threads));
+    if (solution.ok() && rate == sweep.back()) {
+      bench.SetMetric("q_max_rate", solution->quality);
+      bench.SetMetric("acquired_max_rate",
+                      static_cast<int64_t>(report.num_acquired()));
+    }
     row.push_back(solution.ok() ? Fmt("%.4f", solution->quality)
                                 : "ERR");
     PrintRow(row);
   }
-  return 0;
+  bench.SetMetric("wall_ms", total.ElapsedMillis());
+  return bench.Finish();
 }

@@ -13,7 +13,10 @@ using namespace ube;
 using namespace ube::bench;
 
 int main(int argc, char** argv) {
-  const BenchArgs args = ParseBenchArgs(argc, argv);
+  BenchHarness bench("fig5_universe_size");
+  bench.ParseOrExit(argc, argv);
+  const BenchArgs& args = bench.args();
+  WallTimer total;
   std::printf("Figure 5 — execution time (s) vs universe size "
               "(choose m=20, tabu search)\n");
   std::printf("columns: universe size | one column per constraint set\n\n");
@@ -35,20 +38,27 @@ int main(int argc, char** argv) {
       spec.source_constraints = cs.sources;
       spec.ga_constraints = cs.gas;
       WallTimer timer;
-      Result<Solution> solution =
-          engine.Solve(spec, SolverKind::kTabu, BenchSolverOptions(args.SolverSeed()));
+      Result<Solution> solution = engine.Solve(
+          spec, SolverKind::kTabu,
+          BenchSolverOptions(args.SolverSeed(), args.threads));
       double seconds = timer.ElapsedSeconds();
       if (!solution.ok()) {
         row.push_back("ERR");
         continue;
       }
+      if (n == 700 && cs.sources.empty() && cs.gas.empty()) {
+        bench.SetMetric("solve_700_none_ms", seconds * 1e3);
+        bench.SetMetric("q_700_none", solution->quality);
+      }
       row.push_back(Fmt("%.2f", seconds));
     }
+    if (n == 700) bench.SetMetric("graph_build_700_ms", build_seconds * 1e3);
     row.push_back(Fmt("%.2f", build_seconds));
     PrintRow(row);
   }
   std::printf(
       "\n(graph-build = one-time similarity-graph precomputation per "
       "universe, amortized across all iterations of a µBE session)\n");
-  return 0;
+  bench.SetMetric("wall_ms", total.ElapsedMillis());
+  return bench.Finish();
 }

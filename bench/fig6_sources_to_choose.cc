@@ -13,7 +13,10 @@ using namespace ube;
 using namespace ube::bench;
 
 int main(int argc, char** argv) {
-  const BenchArgs args = ParseBenchArgs(argc, argv);
+  BenchHarness bench("fig6_sources_to_choose");
+  bench.ParseOrExit(argc, argv);
+  const BenchArgs& args = bench.args();
+  WallTimer total;
   std::printf("Figure 6 — execution time (s) vs sources to choose "
               "(|U|=200, tabu search)\n\n");
   GeneratedWorkload workload = MakeWorkload(200, args.workload_seed);
@@ -29,12 +32,17 @@ int main(int argc, char** argv) {
       spec.source_constraints = cs.sources;
       spec.ga_constraints = cs.gas;
       WallTimer timer;
-      Result<Solution> solution =
-          engine.Solve(spec, SolverKind::kTabu, BenchSolverOptions(args.SolverSeed()));
+      Result<Solution> solution = engine.Solve(
+          spec, SolverKind::kTabu,
+          BenchSolverOptions(args.SolverSeed(), args.threads));
+      if (solution.ok() && m == 50 && cs.sources.empty() && cs.gas.empty()) {
+        bench.SetMetric("solve_m50_none_ms", timer.ElapsedMillis());
+      }
       row.push_back(solution.ok() ? Fmt("%.2f", timer.ElapsedSeconds())
                                   : "ERR");
     }
     PrintRow(row);
   }
-  return 0;
+  bench.SetMetric("wall_ms", total.ElapsedMillis());
+  return bench.Finish();
 }

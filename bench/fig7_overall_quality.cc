@@ -7,12 +7,16 @@
 
 #include "bench/bench_util.h"
 #include "core/engine.h"
+#include "util/timer.h"
 
 using namespace ube;
 using namespace ube::bench;
 
 int main(int argc, char** argv) {
-  const BenchArgs args = ParseBenchArgs(argc, argv);
+  BenchHarness bench("fig7_overall_quality");
+  bench.ParseOrExit(argc, argv);
+  const BenchArgs& args = bench.args();
+  WallTimer total;
   std::printf("Figure 7 — overall quality Q(S) vs sources to choose "
               "(|U|=200, tabu search)\n\n");
   GeneratedWorkload workload = MakeWorkload(200, args.workload_seed);
@@ -27,11 +31,16 @@ int main(int argc, char** argv) {
       spec.max_sources = m;
       spec.source_constraints = cs.sources;
       spec.ga_constraints = cs.gas;
-      Result<Solution> solution =
-          engine.Solve(spec, SolverKind::kTabu, BenchSolverOptions(args.SolverSeed()));
+      Result<Solution> solution = engine.Solve(
+          spec, SolverKind::kTabu,
+          BenchSolverOptions(args.SolverSeed(), args.threads));
+      if (solution.ok() && m == 50 && cs.sources.empty() && cs.gas.empty()) {
+        bench.SetMetric("q_m50_none", solution->quality);
+      }
       row.push_back(solution.ok() ? Fmt("%.4f", solution->quality) : "ERR");
     }
     PrintRow(row);
   }
-  return 0;
+  bench.SetMetric("wall_ms", total.ElapsedMillis());
+  return bench.Finish();
 }

@@ -10,6 +10,7 @@
 
 #include "bench/bench_util.h"
 #include "core/engine.h"
+#include "util/timer.h"
 #include "workload/generator.h"
 
 using namespace ube;
@@ -33,7 +34,10 @@ QualityModel ModelWithCardWeight(double card_weight) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const BenchArgs args = ParseBenchArgs(argc, argv);
+  BenchHarness bench("fig8_weight_sensitivity");
+  bench.ParseOrExit(argc, argv);
+  const BenchArgs& args = bench.args();
+  WallTimer total;
   std::printf("Figure 8 — solution cardinality vs Card QEF weight "
               "(choose 20 of 200; other weights equal)\n\n");
   PrintRow({"w(Card)", "solution card", "Card(S)", "Q(S)"});
@@ -44,8 +48,9 @@ int main(int argc, char** argv) {
     Engine engine(std::move(workload.universe), ModelWithCardWeight(weight));
     ProblemSpec spec;
     spec.max_sources = 20;
-    Result<Solution> solution =
-        engine.Solve(spec, SolverKind::kTabu, BenchSolverOptions(args.SolverSeed()));
+    Result<Solution> solution = engine.Solve(
+        spec, SolverKind::kTabu,
+        BenchSolverOptions(args.SolverSeed(), args.threads));
     if (!solution.ok()) {
       std::printf("w=%.1f: %s\n", weight,
                   solution.status().ToString().c_str());
@@ -58,8 +63,10 @@ int main(int argc, char** argv) {
     double card_fraction =
         static_cast<double>(total_card) /
         static_cast<double>(engine.universe().TotalCardinality());
+    if (step == 10) bench.SetMetric("card_fraction_w10", card_fraction);
     PrintRow({Fmt("%.1f", weight), Fmt(total_card),
               Fmt("%.4f", card_fraction), Fmt("%.4f", solution->quality)});
   }
-  return 0;
+  bench.SetMetric("wall_ms", total.ElapsedMillis());
+  return bench.Finish();
 }

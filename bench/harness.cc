@@ -1,0 +1,332 @@
+#include "bench/harness.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/json.h"
+#include "util/timer.h"
+
+namespace ube::bench {
+
+namespace {
+
+#ifndef UBE_GIT_COMMIT
+#define UBE_GIT_COMMIT "unknown"
+#endif
+
+bool ParseUint64(const char* text, uint64_t* out) {
+  char* end = nullptr;
+  uint64_t value = std::strtoull(text, &end, 0);
+  if (end == text || *end != '\0') return false;
+  *out = value;
+  return true;
+}
+
+bool ParseInt(const char* text, int* out) {
+  char* end = nullptr;
+  long value = std::strtol(text, &end, 0);
+  if (end == text || *end != '\0') return false;
+  *out = static_cast<int>(value);
+  return true;
+}
+
+}  // namespace
+
+void FlagParser::AddUint64(std::string_view name, std::string_view help,
+                           uint64_t* value, bool* seen) {
+  Flag flag;
+  flag.name = std::string(name);
+  flag.help = std::string(help);
+  flag.kind = Kind::kUint64;
+  flag.u64 = value;
+  flag.seen = seen;
+  flags_.push_back(std::move(flag));
+}
+
+void FlagParser::AddInt(std::string_view name, std::string_view help,
+                        int* value, bool* seen) {
+  Flag flag;
+  flag.name = std::string(name);
+  flag.help = std::string(help);
+  flag.kind = Kind::kInt;
+  flag.i32 = value;
+  flag.seen = seen;
+  flags_.push_back(std::move(flag));
+}
+
+void FlagParser::AddString(std::string_view name, std::string_view help,
+                           std::string* value, bool* seen) {
+  Flag flag;
+  flag.name = std::string(name);
+  flag.help = std::string(help);
+  flag.kind = Kind::kString;
+  flag.str = value;
+  flag.seen = seen;
+  flags_.push_back(std::move(flag));
+}
+
+void FlagParser::AddOptionalString(std::string_view name,
+                                   std::string_view help,
+                                   std::optional<std::string>* value,
+                                   std::string_view bare_value) {
+  Flag flag;
+  flag.name = std::string(name);
+  flag.help = std::string(help);
+  flag.kind = Kind::kOptionalString;
+  flag.opt = value;
+  flag.bare_value = std::string(bare_value);
+  flags_.push_back(std::move(flag));
+}
+
+void FlagParser::AddBool(std::string_view name, std::string_view help,
+                         bool* value) {
+  Flag flag;
+  flag.name = std::string(name);
+  flag.help = std::string(help);
+  flag.kind = Kind::kBool;
+  flag.flag = value;
+  flags_.push_back(std::move(flag));
+}
+
+bool FlagParser::Apply(Flag& flag, const char* value, std::string* error) {
+  if (flag.seen != nullptr) *flag.seen = true;
+  switch (flag.kind) {
+    case Kind::kUint64:
+      if (!ParseUint64(value, flag.u64)) {
+        *error = "bad " + flag.name + " value: " + value;
+        return false;
+      }
+      return true;
+    case Kind::kInt:
+      if (!ParseInt(value, flag.i32)) {
+        *error = "bad " + flag.name + " value: " + value;
+        return false;
+      }
+      return true;
+    case Kind::kString:
+      *flag.str = value;
+      return true;
+    case Kind::kOptionalString:
+      *flag.opt = std::string(value);
+      return true;
+    case Kind::kBool:
+      *flag.flag = true;
+      return true;
+  }
+  return false;
+}
+
+bool FlagParser::ParseKnown(int* argc, char** argv, std::string* error) {
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const char* arg = argv[i];
+    Flag* match = nullptr;
+    const char* value = nullptr;
+    bool bare = false;
+    for (Flag& flag : flags_) {
+      size_t len = flag.name.size();
+      if (std::strncmp(arg, flag.name.c_str(), len) != 0) continue;
+      if (arg[len] == '=') {
+        match = &flag;
+        value = arg + len + 1;
+        break;
+      }
+      if (arg[len] != '\0') continue;
+      match = &flag;
+      const bool takes_value = flag.kind != Kind::kBool;
+      const bool value_optional = flag.kind == Kind::kOptionalString ||
+                                  flag.kind == Kind::kBool;
+      // A value-optional flag consumes the next argument only when it does
+      // not look like another flag.
+      if (takes_value && i + 1 < *argc &&
+          (!value_optional || std::strncmp(argv[i + 1], "--", 2) != 0)) {
+        value = argv[++i];
+      } else {
+        bare = true;
+      }
+      break;
+    }
+    if (match == nullptr) {
+      argv[out++] = argv[i];
+      continue;
+    }
+    if (bare || value == nullptr) {
+      if (match->kind == Kind::kBool) {
+        if (match->seen != nullptr) *match->seen = true;
+        *match->flag = true;
+        continue;
+      }
+      if (match->kind == Kind::kOptionalString) {
+        *match->opt = match->bare_value;
+        continue;
+      }
+      *error = match->name + " requires a value";
+      return false;
+    }
+    if (!Apply(*match, value, error)) return false;
+  }
+  *argc = out;
+  return true;
+}
+
+bool FlagParser::Parse(int argc, char** argv, std::string* error) {
+  if (!ParseKnown(&argc, argv, error)) return false;
+  if (argc > 1) {
+    *error = std::string("unknown argument: ") + argv[1];
+    return false;
+  }
+  return true;
+}
+
+std::string FlagParser::Usage(std::string_view argv0) const {
+  std::string usage = "usage: " + std::string(argv0) + " [flags]\n";
+  for (const Flag& flag : flags_) {
+    usage += "  " + flag.name;
+    switch (flag.kind) {
+      case Kind::kUint64:
+      case Kind::kInt:
+        usage += " N";
+        break;
+      case Kind::kString:
+        usage += " VALUE";
+        break;
+      case Kind::kOptionalString:
+        usage += "[=VALUE]";
+        break;
+      case Kind::kBool:
+        break;
+    }
+    usage += "  — " + flag.help + "\n";
+  }
+  return usage;
+}
+
+bool WriteTextFile(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  bool ok =
+      std::fwrite(content.data(), 1, content.size(), f) == content.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+BenchHarness::BenchHarness(std::string_view name) : name_(name) {
+  flags_.AddUint64("--seed", "workload seed (shifts the whole sweep)",
+                   &args_.workload_seed, &args_.seed_explicit);
+  flags_.AddInt("--threads",
+                "evaluation threads (1=sequential, 0=hardware)",
+                &args_.threads);
+  flags_.AddInt("--repeat", "measurement repetitions (0=binary default)",
+                &args_.repeat);
+  flags_.AddOptionalString("--json",
+                           "write BENCH_" + name_ +
+                               ".json (or the given path)",
+                           &args_.json_path);
+}
+
+void BenchHarness::ParseOrExit(int argc, char** argv) {
+  std::string error;
+  if (!flags_.Parse(argc, argv, &error)) {
+    std::fprintf(stderr, "%s\n%s", error.c_str(),
+                 flags_.Usage(argv[0]).c_str());
+    std::exit(2);
+  }
+}
+
+void BenchHarness::ParseKnownOrExit(int* argc, char** argv) {
+  std::string error;
+  if (!flags_.ParseKnown(argc, argv, &error)) {
+    std::fprintf(stderr, "%s\n%s", error.c_str(),
+                 flags_.Usage(argv[0]).c_str());
+    std::exit(2);
+  }
+}
+
+void BenchHarness::SetMetric(std::string_view key, double value) {
+  for (Metric& metric : metrics_) {
+    if (metric.key == key) {
+      metric.is_int = false;
+      metric.d = value;
+      return;
+    }
+  }
+  Metric metric;
+  metric.key = std::string(key);
+  metric.d = value;
+  metrics_.push_back(std::move(metric));
+}
+
+void BenchHarness::SetMetric(std::string_view key, int64_t value) {
+  for (Metric& metric : metrics_) {
+    if (metric.key == key) {
+      metric.is_int = true;
+      metric.i = value;
+      return;
+    }
+  }
+  Metric metric;
+  metric.key = std::string(key);
+  metric.is_int = true;
+  metric.i = value;
+  metrics_.push_back(std::move(metric));
+}
+
+double BenchHarness::TimeMs(std::string_view key,
+                            const std::function<void()>& fn) {
+  fn();  // warmup
+  std::vector<double> samples;
+  const int repeat = std::max(1, Repeat());
+  samples.reserve(static_cast<size_t>(repeat));
+  for (int r = 0; r < repeat; ++r) {
+    WallTimer timer;
+    fn();
+    samples.push_back(timer.ElapsedMillis());
+  }
+  std::sort(samples.begin(), samples.end());
+  const double median = samples[samples.size() / 2];
+  SetMetric(std::string(key) + "_ms", median);
+  return median;
+}
+
+std::string BenchHarness::Json() const {
+  json::Writer writer;
+  writer.BeginObject();
+  writer.Key("bench");
+  writer.String(name_);
+  writer.Key("git_commit");
+  writer.String(UBE_GIT_COMMIT);
+  writer.Key("seed");
+  writer.Number(static_cast<int64_t>(args_.workload_seed));
+  writer.Key("threads");
+  writer.Number(static_cast<int64_t>(args_.threads));
+  writer.Key("repeat");
+  writer.Number(static_cast<int64_t>(Repeat()));
+  writer.Key("metrics");
+  writer.BeginObject();
+  for (const Metric& metric : metrics_) {
+    writer.Key(metric.key);
+    if (metric.is_int) {
+      writer.Number(metric.i);
+    } else {
+      writer.Number(metric.d);
+    }
+  }
+  writer.EndObject();
+  writer.EndObject();
+  return writer.str() + "\n";
+}
+
+int BenchHarness::Finish() {
+  if (!args_.json_path.has_value()) return 0;
+  std::string path = *args_.json_path;
+  if (path.empty()) path = "BENCH_" + name_ + ".json";
+  if (!WriteTextFile(path, Json())) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::printf("\nbench json: %s\n", path.c_str());
+  return 0;
+}
+
+}  // namespace ube::bench

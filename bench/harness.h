@@ -1,0 +1,155 @@
+// Shared bench harness: one extensible flag parser (--seed/--threads/
+// --repeat/--json plus binary-specific flags), warmup+median timing, and a
+// machine-readable BENCH_<name>.json next to the human tables — the perf
+// trajectory the builder pipeline tracks (see EXPERIMENTS.md).
+#ifndef UBE_BENCH_HARNESS_H_
+#define UBE_BENCH_HARNESS_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ube::bench {
+
+/// The historical workload seed: an argument-less run reproduces the
+/// numbers in EXPERIMENTS.md exactly. Single source of truth — BenchArgs
+/// and MakeWorkload both use it.
+inline constexpr uint64_t kDefaultWorkloadSeed = 17;
+
+/// Command-line arguments shared by every bench binary.
+struct BenchArgs {
+  /// Workload seed (--seed N).
+  uint64_t workload_seed = kDefaultWorkloadSeed;
+  /// Whether --seed was passed at all. "Default run" keys off this, not
+  /// off the seed's value, so the replay contract cannot silently drift if
+  /// the default ever changes.
+  bool seed_explicit = false;
+  /// Worker threads for solver neighborhood evaluation (--threads N;
+  /// 1 = sequential, 0 = hardware concurrency). Solutions are identical
+  /// for every value — only wall-clock changes.
+  int threads = 1;
+  /// Measurement repetitions (--repeat N; 0 = the binary's default).
+  int repeat = 0;
+  /// Output path for BENCH_<name>.json (--json[=PATH]; bare --json uses
+  /// the default name). Unset = no JSON output.
+  std::optional<std::string> json_path;
+
+  /// Seed for a solver run that historically used `historical`: returned
+  /// unchanged in a default run, re-derived from the workload seed under
+  /// an explicit --seed so the entire sweep (workload *and* search) shifts
+  /// together.
+  uint64_t SolverSeed(uint64_t historical = 42) const {
+    if (!seed_explicit) return historical;
+    return (workload_seed * 0x9e3779b97f4a7c15ull) ^ historical;
+  }
+};
+
+/// Registration-based flag parser. Flags accept `--name value` and
+/// `--name=value`; value-optional flags additionally accept bare `--name`.
+/// Parse() rejects unknown arguments (with a usage listing); ParseKnown()
+/// consumes registered flags and leaves everything else in argv for a
+/// second-stage parser (micro_ube passes --benchmark_* through this way).
+class FlagParser {
+ public:
+  /// `seen`, when non-null, is set to true if the flag was passed.
+  void AddUint64(std::string_view name, std::string_view help,
+                 uint64_t* value, bool* seen = nullptr);
+  void AddInt(std::string_view name, std::string_view help, int* value,
+              bool* seen = nullptr);
+  void AddString(std::string_view name, std::string_view help,
+                 std::string* value, bool* seen = nullptr);
+  /// Value-optional string flag: bare `--name` stores `bare_value`.
+  void AddOptionalString(std::string_view name, std::string_view help,
+                         std::optional<std::string>* value,
+                         std::string_view bare_value = "");
+  /// Value-less switch.
+  void AddBool(std::string_view name, std::string_view help, bool* value);
+
+  /// Strict parse: any unregistered argument is an error.
+  bool Parse(int argc, char** argv, std::string* error);
+  /// Permissive parse: consumes registered flags, compacts the rest back
+  /// into argv and updates *argc (for pass-through to another parser).
+  bool ParseKnown(int* argc, char** argv, std::string* error);
+
+  /// One-line-per-flag usage text.
+  std::string Usage(std::string_view argv0) const;
+
+ private:
+  enum class Kind { kUint64, kInt, kString, kOptionalString, kBool };
+  struct Flag {
+    std::string name;  // including the leading "--"
+    std::string help;
+    Kind kind = Kind::kString;
+    uint64_t* u64 = nullptr;
+    int* i32 = nullptr;
+    std::string* str = nullptr;
+    std::optional<std::string>* opt = nullptr;
+    bool* flag = nullptr;
+    bool* seen = nullptr;
+    std::string bare_value;
+  };
+
+  bool Apply(Flag& flag, const char* value, std::string* error);
+
+  std::vector<Flag> flags_;
+};
+
+/// Writes `content` to `path`, returning false on any I/O failure.
+bool WriteTextFile(const std::string& path, const std::string& content);
+
+/// Per-binary harness: owns the shared BenchArgs + FlagParser, collects
+/// named metrics in insertion order, and writes BENCH_<name>.json on
+/// Finish() when --json was passed.
+class BenchHarness {
+ public:
+  explicit BenchHarness(std::string_view name);
+
+  /// Register binary-specific flags here before parsing.
+  FlagParser& flags() { return flags_; }
+  const BenchArgs& args() const { return args_; }
+
+  /// Strict / permissive parse; prints usage and exits(2) on bad flags.
+  void ParseOrExit(int argc, char** argv);
+  void ParseKnownOrExit(int* argc, char** argv);
+
+  /// Binary-specific meaning of --repeat when the user does not pass it
+  /// (e.g. seeds-per-solver in ablation_solvers). Defaults to 1.
+  void set_default_repeat(int n) { default_repeat_ = n; }
+  /// --repeat if given, else the binary default.
+  int Repeat() const { return args_.repeat > 0 ? args_.repeat : default_repeat_; }
+
+  /// Records one metric (last write wins; first write fixes the position).
+  void SetMetric(std::string_view key, double value);
+  void SetMetric(std::string_view key, int64_t value);
+
+  /// Runs `fn` once as warmup, then Repeat() timed times; records the
+  /// median as metric `<key>_ms` and returns it.
+  double TimeMs(std::string_view key, const std::function<void()>& fn);
+
+  /// The BENCH_*.json document for the metrics recorded so far.
+  std::string Json() const;
+
+  /// Writes the JSON file when --json was passed. Returns the process exit
+  /// code (0, or 1 when the file cannot be written).
+  int Finish();
+
+ private:
+  std::string name_;
+  FlagParser flags_;
+  BenchArgs args_;
+  int default_repeat_ = 1;
+  struct Metric {
+    std::string key;
+    bool is_int = false;
+    double d = 0.0;
+    int64_t i = 0;
+  };
+  std::vector<Metric> metrics_;
+};
+
+}  // namespace ube::bench
+
+#endif  // UBE_BENCH_HARNESS_H_

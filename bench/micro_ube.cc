@@ -8,6 +8,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/harness.h"
 #include "core/engine.h"
 #include "matching/cluster_matcher.h"
 #include "matching/similarity_graph.h"
@@ -151,6 +152,42 @@ void BM_WorkloadGeneration(benchmark::State& state) {
 BENCHMARK(BM_WorkloadGeneration)->Arg(100)->Arg(400)
     ->Unit(benchmark::kMillisecond);
 
+// Console output as usual, plus every benchmark's per-iteration real time
+// harvested into the harness as `<name>_ns` for BENCH_micro_ube.json.
+class MetricReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit MetricReporter(ube::bench::BenchHarness* bench)
+      : bench_(bench) {}
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) {
+      if (run.error_occurred || run.iterations <= 0) continue;
+      std::string key = run.benchmark_name();
+      for (char& c : key) {
+        if (c == '/' || c == ':') c = '_';
+      }
+      const double ns_per_iter = run.real_accumulated_time /
+                                 static_cast<double>(run.iterations) * 1e9;
+      bench_->SetMetric(key + "_ns", ns_per_iter);
+    }
+    ConsoleReporter::ReportRuns(reports);
+  }
+
+ private:
+  ube::bench::BenchHarness* bench_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  ube::bench::BenchHarness bench("micro_ube");
+  // Harness flags first; --benchmark_* (and anything else) passes through
+  // to google-benchmark's own parser.
+  bench.ParseKnownOrExit(&argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  MetricReporter reporter(&bench);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return bench.Finish();
+}

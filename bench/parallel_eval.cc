@@ -64,7 +64,10 @@ double MeasureThroughput(const CandidateEvaluator& evaluator, int threads,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const BenchArgs args = ParseBenchArgs(argc, argv);
+  BenchHarness bench("parallel_eval");
+  bench.ParseOrExit(argc, argv);
+  const BenchArgs& args = bench.args();
+  WallTimer total;
   std::printf("QualityBatch throughput — 200 sources, choose 20, "
               "64-move neighborhoods, cache-cold per configuration\n");
   std::printf("(hardware threads available: %d)\n\n",
@@ -81,7 +84,9 @@ int main(int argc, char** argv) {
   const int kSample = 64;
   std::vector<double> reference;
   double base = MeasureThroughput(evaluator, 1, kBatches, kSample, &reference);
+  bench.SetMetric("cand_per_s_t1", base);
 
+  bool all_identical = true;
   PrintRow({"threads", "cand/s", "speedup", "identical"});
   PrintRow({"1", Fmt("%.1f", base), "1.00x", "ref"});
   for (int threads : {2, 4, 8}) {
@@ -89,10 +94,13 @@ int main(int argc, char** argv) {
     double rate =
         MeasureThroughput(evaluator, threads, kBatches, kSample, &qualities);
     bool identical = qualities == reference;
+    all_identical = all_identical && identical;
+    if (threads == 8) bench.SetMetric("cand_per_s_t8", rate);
     PrintRow({Fmt(static_cast<int64_t>(threads)), Fmt("%.1f", rate),
               Fmt("%.2f", base > 0.0 ? rate / base : 0.0) + "x",
               identical ? "yes" : "NO"});
   }
+  bench.SetMetric("batch_identical", static_cast<int64_t>(all_identical));
 
   std::printf("\nEnd-to-end tabu search (seed 1), same instance:\n");
   PrintRow({"threads", "time(s)", "quality", "evals"});
@@ -106,7 +114,12 @@ int main(int argc, char** argv) {
         engine.Solve(spec, SolverKind::kTabu, options);
     double seconds = timer.ElapsedSeconds();
     if (!solution.ok()) continue;
-    if (threads == 1) reference_sources = solution->sources;
+    if (threads == 1) {
+      reference_sources = solution->sources;
+      bench.SetMetric("tabu_t1_ms", seconds * 1e3);
+      bench.SetMetric("q_best", solution->quality);
+      bench.SetMetric("evals", solution->stats.evaluations);
+    }
     PrintRow({Fmt(static_cast<int64_t>(threads)), Fmt("%.2f", seconds),
               Fmt("%.4f", solution->quality),
               Fmt(solution->stats.evaluations)});
@@ -117,5 +130,6 @@ int main(int argc, char** argv) {
   }
   std::printf("\n(solutions are bit-identical across thread counts by "
               "construction)\n");
-  return 0;
+  bench.SetMetric("wall_ms", total.ElapsedMillis());
+  return bench.Finish();
 }

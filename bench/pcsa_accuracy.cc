@@ -15,6 +15,7 @@
 #include "bench/bench_util.h"
 #include "sketch/pcsa.h"
 #include "util/rng.h"
+#include "util/timer.h"
 
 using namespace ube;
 using namespace ube::bench;
@@ -70,14 +71,21 @@ ErrorStats UnionError(int bitmaps, int trials, Rng& rng) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const BenchArgs args = ParseBenchArgs(argc, argv);
+  BenchHarness bench("pcsa_accuracy");
+  bench.ParseOrExit(argc, argv);
+  const BenchArgs& args = bench.args();
+  WallTimer total;
   std::printf("§7.3 — PCSA accuracy vs exact counting\n\n");
   std::printf("-- single-source signatures (20 trials each) --\n");
   PrintRow({"distinct", "bitmaps", "mean err", "worst err"});
-  Rng rng(args.workload_seed == 17 ? 7 : args.workload_seed);
+  // Historical trial seed 7; keyed off --seed explicitness (not its value)
+  // so a literal `--seed 17` behaves like any other explicit seed.
+  Rng rng(args.seed_explicit ? args.workload_seed : 7);
+  double worst_1024 = 0.0;
   for (int bitmaps : {64, 256, 1024}) {
     for (int count : {1000, 10000, 100000}) {
       ErrorStats stats = SingleSetError(count, bitmaps, 20, rng);
+      if (bitmaps == 1024) worst_1024 = std::max(worst_1024, stats.worst);
       PrintRow({Fmt(static_cast<int64_t>(count)),
                 Fmt(static_cast<int64_t>(bitmaps)),
                 Fmt("%.3f", stats.mean), Fmt("%.3f", stats.worst)});
@@ -88,11 +96,14 @@ int main(int argc, char** argv) {
   PrintRow({"bitmaps", "mean err", "worst err"});
   for (int bitmaps : {64, 256, 1024}) {
     ErrorStats stats = UnionError(bitmaps, 15, rng);
+    if (bitmaps == 1024) worst_1024 = std::max(worst_1024, stats.worst);
     PrintRow({Fmt(static_cast<int64_t>(bitmaps)), Fmt("%.3f", stats.mean),
               Fmt("%.3f", stats.worst)});
   }
+  bench.SetMetric("worst_err_1024", worst_1024);
   std::printf("\n(paper reports <= 7%% worst-case error; reaching that "
               "band requires ~1024 bitmaps = 4 KiB per signature, still "
               "'a few kilobytes' as Section 4 claims)\n");
-  return 0;
+  bench.SetMetric("wall_ms", total.ElapsedMillis());
+  return bench.Finish();
 }

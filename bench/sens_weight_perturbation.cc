@@ -20,6 +20,7 @@
 #include "core/engine.h"
 #include "core/ga_evaluation.h"
 #include "util/rng.h"
+#include "util/timer.h"
 #include "workload/generator.h"
 
 using namespace ube;
@@ -86,7 +87,14 @@ std::vector<int> ConceptsCovered(const MediatedSchema& schema,
   return out;
 }
 
-void RunRegime(const BenchArgs& args, SolverKind kind, const char* label) {
+struct RegimeResult {
+  int worst_sources = 0;
+  int worst_gas = 0;
+  int worst_concepts = 0;
+};
+
+RegimeResult RunRegime(const BenchArgs& args, SolverKind kind,
+                       const char* label) {
   const std::vector<double> base = {0.25, 0.25, 0.20, 0.15, 0.15};
   ProblemSpec spec;
   spec.max_sources = 20;
@@ -95,12 +103,12 @@ void RunRegime(const BenchArgs& args, SolverKind kind, const char* label) {
   GroundTruth truth = baseline_workload.ground_truth;
   Engine baseline_engine(std::move(baseline_workload.universe),
                          ModelWithWeights(base));
-  Result<Solution> baseline =
-      baseline_engine.Solve(spec, kind, BenchSolverOptions(args.SolverSeed()));
+  Result<Solution> baseline = baseline_engine.Solve(
+      spec, kind, BenchSolverOptions(args.SolverSeed(), args.threads));
   if (!baseline.ok()) {
     std::printf("baseline failed: %s\n",
                 baseline.status().ToString().c_str());
-    return;
+    return {};
   }
 
   std::vector<int> baseline_concepts =
@@ -121,8 +129,8 @@ void RunRegime(const BenchArgs& args, SolverKind kind, const char* label) {
 
     GeneratedWorkload workload = MakeWorkload(200, args.workload_seed);
     Engine engine(std::move(workload.universe), ModelWithWeights(weights));
-    Result<Solution> solution = engine.Solve(spec, kind,
-                                             BenchSolverOptions(args.SolverSeed()));
+    Result<Solution> solution = engine.Solve(
+        spec, kind, BenchSolverOptions(args.SolverSeed(), args.threads));
     if (!solution.ok()) {
       std::printf("trial %d failed\n", trial);
       continue;
@@ -149,17 +157,26 @@ void RunRegime(const BenchArgs& args, SolverKind kind, const char* label) {
   }
   std::printf("worst case (%s): %d sources, %d GAs, %d concepts changed\n",
               label, worst_sources, worst_gas, worst_concepts);
+  return {worst_sources, worst_gas, worst_concepts};
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const BenchArgs args = ParseBenchArgs(argc, argv);
+  BenchHarness bench("sens_weight_perturbation");
+  bench.ParseOrExit(argc, argv);
+  const BenchArgs& args = bench.args();
+  WallTimer total;
   std::printf("§7.4 — robustness to ±15%% weight perturbation "
               "(choose 20 of 200; 10 trials)\n");
-  RunRegime(args, SolverKind::kGreedy, "greedy (deterministic argmax)");
+  RegimeResult greedy =
+      RunRegime(args, SolverKind::kGreedy, "greedy (deterministic argmax)");
   RunRegime(args, SolverKind::kTabu, "tabu (includes search noise)");
   std::printf("\n(paper: at most 1 GA changed, sources rarely changed — "
               "the deterministic regime is the comparable one)\n");
-  return 0;
+  bench.SetMetric("greedy_worst_sources",
+                  static_cast<int64_t>(greedy.worst_sources));
+  bench.SetMetric("greedy_worst_gas", static_cast<int64_t>(greedy.worst_gas));
+  bench.SetMetric("wall_ms", total.ElapsedMillis());
+  return bench.Finish();
 }

@@ -9,13 +9,17 @@
 #include <cstdio>
 
 #include "bench/bench_util.h"
+#include "util/timer.h"
 #include "workload/generator.h"
 
 using namespace ube;
 using namespace ube::bench;
 
 int main(int argc, char** argv) {
-  const BenchArgs args = ParseBenchArgs(argc, argv);
+  BenchHarness bench("signature_memory");
+  bench.ParseOrExit(argc, argv);
+  const BenchArgs& args = bench.args();
+  WallTimer total;
   std::printf("§7.1 — signature memory accounting (700 sources)\n\n");
   PrintRow({"signature", "bytes/source", "total MB", "note"}, 16);
 
@@ -43,5 +47,8 @@ int main(int argc, char** argv) {
   std::printf("\ntotal tuples at paper scale: %lld (~%.1f MB as raw ids, "
               "far beyond the paper's 70 MB budget without sketches)\n",
               static_cast<long long>(total_tuples), exact_mb);
-  return 0;
+  bench.SetMetric("exact_ids_mb", exact_mb);
+  bench.SetMetric("total_tuples", total_tuples);
+  bench.SetMetric("wall_ms", total.ElapsedMillis());
+  return bench.Finish();
 }

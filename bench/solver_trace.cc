@@ -6,14 +6,12 @@
 // observability job's trace artifact.
 //
 //   solver_trace [--seed N] [--solver NAME] [--golden[=PATH]]
-//                [--out trace.json] [--csv trace.csv]
+//                [--out trace.json] [--csv trace.csv] [--json[=PATH]]
 //
 // Default substrate is the paper-scale workload (choose 20 of 200); with
 // --golden the pinned small universe from tests/data is used instead (the
 // CI job runs that, so the artifact is bit-stable across machines).
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <optional>
 #include <string>
 #include <vector>
@@ -24,6 +22,7 @@
 #include "obs/obs.h"
 #include "testkit/golden.h"
 #include "util/rng.h"
+#include "util/timer.h"
 
 using namespace ube;
 using namespace ube::bench;
@@ -34,77 +33,11 @@ namespace {
 #define UBE_TEST_DATA_DIR "tests/data"
 #endif
 
-struct TraceArgs {
-  uint64_t seed = 42;
-  std::string solver = "tabu";
-  bool golden = false;
-  std::string golden_path =
-      std::string(UBE_TEST_DATA_DIR) + "/golden_small_universe.json";
-  std::string out_json = "solver_trace.json";
-  std::string out_csv = "solver_trace.csv";
-};
-
-[[noreturn]] void Usage(const char* argv0) {
-  std::fprintf(stderr,
-               "usage: %s [--seed N] [--solver "
-               "tabu|sls|annealing|pso|greedy|random|exhaustive]\n"
-               "          [--golden[=PATH]] [--out FILE.json] [--csv "
-               "FILE.csv]\n",
-               argv0);
-  std::exit(2);
-}
-
-// `--flag value` / `--flag=value` → the value, advancing *i as needed.
-const char* FlagValue(const char* flag, int argc, char** argv, int* i) {
-  const char* arg = argv[*i];
-  size_t len = std::strlen(flag);
-  if (std::strncmp(arg, flag, len) == 0 && arg[len] == '=') return arg + len + 1;
-  if (std::strcmp(arg, flag) == 0 && *i + 1 < argc) return argv[++*i];
-  return nullptr;
-}
-
-TraceArgs ParseArgs(int argc, char** argv) {
-  TraceArgs args;
-  for (int i = 1; i < argc; ++i) {
-    const char* value = nullptr;
-    if ((value = FlagValue("--seed", argc, argv, &i)) != nullptr) {
-      char* end = nullptr;
-      args.seed = std::strtoull(value, &end, 0);
-      if (end == value || *end != '\0') Usage(argv[0]);
-    } else if ((value = FlagValue("--solver", argc, argv, &i)) != nullptr) {
-      args.solver = value;
-    } else if ((value = FlagValue("--out", argc, argv, &i)) != nullptr) {
-      args.out_json = value;
-    } else if ((value = FlagValue("--csv", argc, argv, &i)) != nullptr) {
-      args.out_csv = value;
-    } else if (std::strncmp(argv[i], "--golden=", 9) == 0) {
-      args.golden = true;
-      args.golden_path = argv[i] + 9;
-    } else if (std::strcmp(argv[i], "--golden") == 0) {
-      args.golden = true;
-    } else {
-      Usage(argv[0]);
-    }
-  }
-  return args;
-}
-
 std::optional<SolverKind> KindFromName(const std::string& name) {
-  for (SolverKind kind :
-       {SolverKind::kTabu, SolverKind::kLocalSearch, SolverKind::kAnnealing,
-        SolverKind::kPso, SolverKind::kGreedy, SolverKind::kRandom,
-        SolverKind::kExhaustive}) {
+  for (SolverKind kind : AllSolverKinds()) {
     if (name == SolverKindName(kind)) return kind;
   }
   return std::nullopt;
-}
-
-bool WriteFile(const std::string& path, const std::string& content) {
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) return false;
-  bool ok = std::fwrite(content.data(), 1, content.size(), f) ==
-            content.size();
-  return std::fclose(f) == 0 && ok;
 }
 
 std::string TelemetryCsv(const SolverStats& stats) {
@@ -125,11 +58,32 @@ std::string TelemetryCsv(const SolverStats& stats) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const TraceArgs args = ParseArgs(argc, argv);
-  std::optional<SolverKind> kind = KindFromName(args.solver);
+  BenchHarness bench("solver_trace");
+  std::string solver_name = "tabu";
+  std::optional<std::string> golden_path;
+  std::string out_json = "solver_trace.json";
+  std::string out_csv = "solver_trace.csv";
+  const std::string default_golden =
+      std::string(UBE_TEST_DATA_DIR) + "/golden_small_universe.json";
+  bench.flags().AddString("--solver",
+                          "solver to trace (see SolverKindName; includes "
+                          "portfolio)",
+                          &solver_name);
+  bench.flags().AddOptionalString("--golden",
+                                  "use the pinned golden universe "
+                                  "(optionally from PATH)",
+                                  &golden_path, default_golden);
+  bench.flags().AddString("--out", "chrome-trace output path", &out_json);
+  bench.flags().AddString("--csv", "telemetry CSV output path", &out_csv);
+  bench.ParseOrExit(argc, argv);
+  const BenchArgs& args = bench.args();
+  WallTimer total;
+
+  std::optional<SolverKind> kind = KindFromName(solver_name);
   if (!kind.has_value()) {
-    std::fprintf(stderr, "unknown solver: %s\n", args.solver.c_str());
-    Usage(argv[0]);
+    std::fprintf(stderr, "unknown solver: %s\n%s", solver_name.c_str(),
+                 bench.flags().Usage(argv[0]).c_str());
+    return 2;
   }
 
   obs::ObsContext obs;
@@ -138,12 +92,12 @@ int main(int argc, char** argv) {
 
   ProblemSpec spec;
   std::optional<Engine> engine;
-  if (args.golden) {
+  if (golden_path.has_value()) {
     Result<testkit::GoldenSmallUniverse> golden =
-        testkit::LoadGoldenSmallUniverse(args.golden_path);
+        testkit::LoadGoldenSmallUniverse(*golden_path);
     if (!golden.ok()) {
       std::fprintf(stderr, "cannot load golden universe %s: %s\n",
-                   args.golden_path.c_str(),
+                   golden_path->c_str(),
                    golden.status().ToString().c_str());
       return 1;
     }
@@ -155,20 +109,24 @@ int main(int argc, char** argv) {
     engine.emplace(std::move(universe), QualityModel::MakeDefault(),
                    std::move(engine_options));
   } else {
-    GeneratedWorkload workload = MakeWorkload(200, 17);
+    GeneratedWorkload workload = MakeWorkload(200, args.workload_seed);
     spec.max_sources = 20;
     std::printf("substrate: paper workload (choose 20 of 200)\n");
     engine.emplace(std::move(workload.universe), QualityModel::MakeDefault(),
                    std::move(engine_options));
   }
 
+  // Historically --seed set the solver seed directly (default 42); under
+  // the shared parser an explicit --seed shifts workload and search seeds
+  // together via SolverSeed().
   SolverOptions options;
-  options.seed = args.seed;
+  options.seed = args.SolverSeed(42);
   options.record_trace = true;
   options.max_iterations = 400;
   options.stall_iterations = 100;
-  std::printf("solver: %s, seed %llu\n\n", args.solver.c_str(),
-              static_cast<unsigned long long>(args.seed));
+  options.num_threads = args.threads;
+  std::printf("solver: %s, seed %llu\n\n", solver_name.c_str(),
+              static_cast<unsigned long long>(options.seed));
 
   Result<Solution> solution = engine->Solve(spec, *kind, options);
   if (!solution.ok()) {
@@ -182,20 +140,26 @@ int main(int argc, char** argv) {
                           .c_str());
   std::printf("span summary:\n%s\n", obs.tracer().Summary().c_str());
 
-  if (!WriteFile(args.out_json, obs.tracer().ToChromeTraceJson())) {
-    std::fprintf(stderr, "cannot write %s\n", args.out_json.c_str());
+  if (!WriteTextFile(out_json, obs.tracer().ToChromeTraceJson())) {
+    std::fprintf(stderr, "cannot write %s\n", out_json.c_str());
     return 1;
   }
   std::printf("chrome trace: %s (%lld events; load in chrome://tracing)\n",
-              args.out_json.c_str(),
+              out_json.c_str(),
               static_cast<long long>(obs.tracer().num_events()));
 
-  if (!WriteFile(args.out_csv, TelemetryCsv(solution->stats))) {
-    std::fprintf(stderr, "cannot write %s\n", args.out_csv.c_str());
+  if (!WriteTextFile(out_csv, TelemetryCsv(solution->stats))) {
+    std::fprintf(stderr, "cannot write %s\n", out_csv.c_str());
     return 1;
   }
   std::printf("telemetry csv: %s (%zu iteration samples, %lld dropped)\n",
-              args.out_csv.c_str(), solution->stats.telemetry.size(),
+              out_csv.c_str(), solution->stats.telemetry.size(),
               static_cast<long long>(solution->stats.telemetry_dropped));
-  return 0;
+
+  bench.SetMetric("q_best", solution->quality);
+  bench.SetMetric("evals", solution->stats.evaluations);
+  bench.SetMetric("telemetry_samples",
+                  static_cast<int64_t>(solution->stats.telemetry.size()));
+  bench.SetMetric("wall_ms", total.ElapsedMillis());
+  return bench.Finish();
 }

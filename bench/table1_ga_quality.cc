@@ -9,18 +9,23 @@
 #include "bench/bench_util.h"
 #include "core/engine.h"
 #include "core/ga_evaluation.h"
+#include "util/timer.h"
 
 using namespace ube;
 using namespace ube::bench;
 
 int main(int argc, char** argv) {
-  const BenchArgs args = ParseBenchArgs(argc, argv);
+  BenchHarness bench("table1_ga_quality");
+  bench.ParseOrExit(argc, argv);
+  const BenchArgs& args = bench.args();
+  WallTimer total;
   std::printf("Table 1 — quality of GAs (|U|=200, no constraints, "
               "14 ground-truth concepts)\n\n");
   GeneratedWorkload workload = MakeWorkload(200, args.workload_seed);
   GroundTruth truth = workload.ground_truth;
   Engine engine(std::move(workload.universe), QualityModel::MakeDefault());
 
+  int64_t false_gas_total = 0;
   PrintRow({"sources", "true GAs", "attrs in", "true GAs", "false",
             "concepts"});
   PrintRow({"selected", "selected", "true GAs", "missed", "GAs",
@@ -28,14 +33,22 @@ int main(int argc, char** argv) {
   for (int m = 10; m <= 50; m += 10) {
     ProblemSpec spec;
     spec.max_sources = m;
-    Result<Solution> solution =
-        engine.Solve(spec, SolverKind::kTabu, BenchSolverOptions(args.SolverSeed()));
+    Result<Solution> solution = engine.Solve(
+        spec, SolverKind::kTabu,
+        BenchSolverOptions(args.SolverSeed(), args.threads));
     if (!solution.ok()) {
       std::printf("m=%d: %s\n", m, solution.status().ToString().c_str());
       continue;
     }
     GaQualityReport report = EvaluateGaQuality(
         solution->mediated_schema, solution->sources, truth);
+    false_gas_total += report.false_gas;
+    if (m == 50) {
+      bench.SetMetric("true_gas_m50",
+                      static_cast<int64_t>(report.true_gas_selected));
+      bench.SetMetric("true_gas_missed_m50",
+                      static_cast<int64_t>(report.true_gas_missed));
+    }
     PrintRow({Fmt(static_cast<int64_t>(report.sources_selected)),
               Fmt(static_cast<int64_t>(report.true_gas_selected)),
               Fmt(static_cast<int64_t>(report.attributes_in_true_gas)),
@@ -44,5 +57,7 @@ int main(int argc, char** argv) {
               Fmt(static_cast<int64_t>(report.concepts_available))});
   }
   std::printf("\n(the paper reports zero false GAs in all runs)\n");
-  return 0;
+  bench.SetMetric("false_gas_total", false_gas_total);
+  bench.SetMetric("wall_ms", total.ElapsedMillis());
+  return bench.Finish();
 }

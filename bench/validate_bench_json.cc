@@ -1,0 +1,83 @@
+// Validates BENCH_*.json files against the perf-trajectory schema
+// (EXPERIMENTS.md): a top-level object with string `bench`/`git_commit`,
+// numeric `seed`/`threads`/`repeat`, and a non-empty `metrics` object whose
+// values are all numbers. Exits 0 when every argument validates, 1
+// otherwise. The CI bench-smoke job runs this over the artifacts it
+// uploads.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <variant>
+
+#include "util/json.h"
+
+namespace {
+
+using ube::json::Object;
+using ube::json::Value;
+
+bool Fail(const std::string& path, const std::string& message) {
+  std::fprintf(stderr, "%s: %s\n", path.c_str(), message.c_str());
+  return false;
+}
+
+bool HasString(const Object& object, const char* key) {
+  auto it = object.find(key);
+  return it != object.end() &&
+         std::holds_alternative<std::string>(it->second.data);
+}
+
+bool HasNumber(const Object& object, const char* key) {
+  auto it = object.find(key);
+  return it != object.end() && std::holds_alternative<double>(it->second.data);
+}
+
+bool ValidateFile(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) return Fail(path, "cannot open");
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+
+  ube::Result<Value> root = ube::json::Parse(buffer.str());
+  if (!root.ok()) return Fail(path, root.status().ToString());
+  const Object* top = std::get_if<Object>(&root->data);
+  if (top == nullptr) return Fail(path, "root must be an object");
+
+  for (const char* key : {"bench", "git_commit"}) {
+    if (!HasString(*top, key)) {
+      return Fail(path, std::string("missing string key '") + key + "'");
+    }
+  }
+  for (const char* key : {"seed", "threads", "repeat"}) {
+    if (!HasNumber(*top, key)) {
+      return Fail(path, std::string("missing numeric key '") + key + "'");
+    }
+  }
+  auto metrics_it = top->find("metrics");
+  if (metrics_it == top->end()) return Fail(path, "missing 'metrics'");
+  const Object* metrics = std::get_if<Object>(&metrics_it->second.data);
+  if (metrics == nullptr) return Fail(path, "'metrics' must be an object");
+  if (metrics->empty()) return Fail(path, "'metrics' is empty");
+  for (const auto& [key, value] : *metrics) {
+    if (!std::holds_alternative<double>(value.data)) {
+      return Fail(path, "metric '" + key + "' is not a number");
+    }
+  }
+  std::printf("%s: ok (%zu metrics)\n", path.c_str(), metrics->size());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s BENCH_file.json...\n", argv[0]);
+    return 2;
+  }
+  bool ok = true;
+  for (int i = 1; i < argc; ++i) {
+    ok = ValidateFile(argv[i]) && ok;
+  }
+  return ok ? 0 : 1;
+}

@@ -30,7 +30,7 @@ constexpr int kProposalBlock = 8;
 Result<Solution> AnnealingSolver::Solve(const CandidateEvaluator& evaluator,
                                         const SolverOptions& options) const {
   UBE_RETURN_IF_ERROR(internal::CheckSolvable(evaluator));
-  WallTimer timer;
+  WallTimer timer(options.clock);
   evaluator.BeginRun();
   internal::SolveScope scope(evaluator, options, name());
   Rng rng(options.seed);
@@ -63,8 +63,7 @@ Result<Solution> AnnealingSolver::Solve(const CandidateEvaluator& evaluator,
   StopReason stop = StopReason::kMaxIterations;
   while (iterations < budget && !exhausted) {
     // Pre-dispatch deadline check (post-batch check at the bottom).
-    if (internal::TimeExpired(timer, options)) {
-      stop = StopReason::kTimeLimit;
+    if (internal::BudgetExpired(timer, evaluator, options, &stop)) {
       break;
     }
     if (stall_budget > 0 && stall >= stall_budget) {
@@ -134,8 +133,7 @@ Result<Solution> AnnealingSolver::Solve(const CandidateEvaluator& evaluator,
     }
     // Post-batch deadline check: the block already ran and its accepted
     // move is committed; stop before drafting another one.
-    if (internal::TimeExpired(timer, options)) {
-      stop = StopReason::kTimeLimit;
+    if (internal::BudgetExpired(timer, evaluator, options, &stop)) {
       break;
     }
   }

@@ -31,7 +31,7 @@ int64_t CountCandidates(int pool, int slots) {
 Result<Solution> ExhaustiveSolver::Solve(const CandidateEvaluator& evaluator,
                                          const SolverOptions& options) const {
   UBE_RETURN_IF_ERROR(internal::CheckSolvable(evaluator));
-  WallTimer timer;
+  WallTimer timer(options.clock);
   evaluator.BeginRun();
   internal::SolveScope scope(evaluator, options, name());
 
@@ -90,8 +90,7 @@ Result<Solution> ExhaustiveSolver::Solve(const CandidateEvaluator& evaluator,
     // Exact enumeration is the slowest solver per instance, so it honors
     // the wall-clock budget too (it used to ignore it entirely); a cut
     // enumeration returns the best candidate seen so far.
-    if (internal::TimeExpired(timer, options)) {
-      stop = StopReason::kTimeLimit;
+    if (internal::BudgetExpired(timer, evaluator, options, &stop)) {
       break;
     }
     if (static_cast<int>(stack.size()) < slots && next < pool.size()) {

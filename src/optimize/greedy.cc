@@ -21,7 +21,7 @@ constexpr double kEps = 1e-12;
 Result<Solution> GreedySolver::Solve(const CandidateEvaluator& evaluator,
                                      const SolverOptions& options) const {
   UBE_RETURN_IF_ERROR(internal::CheckSolvable(evaluator));
-  WallTimer timer;
+  WallTimer timer(options.clock);
   evaluator.BeginRun();
   internal::SolveScope scope(evaluator, options, name());
   std::unique_ptr<ThreadPool> pool = internal::MakeEvalPool(options);
@@ -80,8 +80,7 @@ Result<Solution> GreedySolver::Solve(const CandidateEvaluator& evaluator,
   while (static_cast<int>(current.size()) < m) {
     ++iterations;
     // Pre-dispatch deadline check (post-batch check at the bottom).
-    if (internal::TimeExpired(timer, options)) {
-      stop = StopReason::kTimeLimit;
+    if (internal::BudgetExpired(timer, evaluator, options, &stop)) {
       break;
     }
     // Score every feasible one-source extension as a single batch, then
@@ -131,8 +130,7 @@ Result<Solution> GreedySolver::Solve(const CandidateEvaluator& evaluator,
                         // if the clock also just ran out
     // Post-batch deadline check: fold the extension we just paid for, then
     // stop before scoring another round.
-    if (internal::TimeExpired(timer, options)) {
-      stop = StopReason::kTimeLimit;
+    if (internal::BudgetExpired(timer, evaluator, options, &stop)) {
       break;
     }
   }

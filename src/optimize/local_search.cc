@@ -20,7 +20,7 @@ constexpr double kEps = 1e-12;
 Result<Solution> LocalSearchSolver::Solve(const CandidateEvaluator& evaluator,
                                           const SolverOptions& options) const {
   UBE_RETURN_IF_ERROR(internal::CheckSolvable(evaluator));
-  WallTimer timer;
+  WallTimer timer(options.clock);
   evaluator.BeginRun();
   internal::SolveScope scope(evaluator, options, name());
   Rng rng(options.seed);
@@ -44,8 +44,8 @@ Result<Solution> LocalSearchSolver::Solve(const CandidateEvaluator& evaluator,
     // The deadline may only end the run once an incumbent exists: the first
     // restart must initialize and take its inner-loop checks, or a tiny
     // time limit would return an empty (infeasible) solution.
-    if (!best.empty() && internal::TimeExpired(timer, options)) {
-      stop = StopReason::kTimeLimit;
+    if (!best.empty() &&
+        internal::BudgetExpired(timer, evaluator, options, &stop)) {
       break;
     }
     SearchState state(evaluator, rng);
@@ -59,8 +59,7 @@ Result<Solution> LocalSearchSolver::Solve(const CandidateEvaluator& evaluator,
 
     for (int iter = 0; iter < iters_per_restart; ++iter) {
       // Pre-dispatch deadline check (post-batch check below).
-      if (internal::TimeExpired(timer, options)) {
-        stop = StopReason::kTimeLimit;
+      if (internal::BudgetExpired(timer, evaluator, options, &stop)) {
         break;
       }
       ++iterations;
@@ -107,8 +106,7 @@ Result<Solution> LocalSearchSolver::Solve(const CandidateEvaluator& evaluator,
       }
       // Post-batch deadline check: the batch already ran, so fold its
       // result (above) but do not dispatch another one past the budget.
-      if (internal::TimeExpired(timer, options)) {
-        stop = StopReason::kTimeLimit;
+      if (internal::BudgetExpired(timer, evaluator, options, &stop)) {
         break;
       }
       if (!improved) break;  // local optimum w.r.t. the sampled neighborhood
@@ -123,7 +121,7 @@ Result<Solution> LocalSearchSolver::Solve(const CandidateEvaluator& evaluator,
 Result<Solution> RandomSolver::Solve(const CandidateEvaluator& evaluator,
                                      const SolverOptions& options) const {
   UBE_RETURN_IF_ERROR(internal::CheckSolvable(evaluator));
-  WallTimer timer;
+  WallTimer timer(options.clock);
   evaluator.BeginRun();
   internal::SolveScope scope(evaluator, options, name());
   Rng rng(options.seed);
@@ -136,8 +134,8 @@ Result<Solution> RandomSolver::Solve(const CandidateEvaluator& evaluator,
   for (int i = 0; i < std::max(1, options.random_samples); ++i) {
     // First sample always runs so a tiny time limit still yields a feasible
     // (nonempty) incumbent.
-    if (!best.empty() && internal::TimeExpired(timer, options)) {
-      stop = StopReason::kTimeLimit;
+    if (!best.empty() &&
+        internal::BudgetExpired(timer, evaluator, options, &stop)) {
       break;
     }
     ++iterations;

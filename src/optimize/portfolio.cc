@@ -1,0 +1,220 @@
+#include "optimize/portfolio.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "obs/obs.h"
+#include "optimize/solver_internal.h"
+#include "util/timer.h"
+
+namespace ube {
+
+namespace {
+
+/// Truncated contenders within this quality gap of the truncated leader
+/// stay in the race for the finish phase.
+constexpr double kQualityMargin = 0.05;
+
+/// One contender's probe outcome.
+struct ProbeResult {
+  SolverKind kind = SolverKind::kTabu;
+  Solution solution;
+  bool truncated = false;    // stopped on the eval cap, not on its own rule
+  bool stalled_out = false;  // telemetry tail shows a long stall
+};
+
+/// The stall detector: the run's last telemetry sample spent a quarter of
+/// its iterations (at least 8) without improving the incumbent. Telemetry
+/// is recorded on the portfolio's internal context, so this is always
+/// available and always deterministic.
+bool StalledOut(const SolverStats& stats) {
+  if (stats.telemetry.empty()) return false;
+  const obs::IterationSample& last = stats.telemetry.back();
+  return last.stall >= std::max<int64_t>(8, last.iteration / 4);
+}
+
+}  // namespace
+
+Result<Solution> PortfolioSolver::Solve(const CandidateEvaluator& evaluator,
+                                        const SolverOptions& options) const {
+  UBE_RETURN_IF_ERROR(internal::CheckSolvable(evaluator));
+  WallTimer timer(options.clock);
+  obs::Tracer::Span span = obs::SpanIf(options.obs, "solve/portfolio");
+
+  // Same equalized-budget convention ablation_solvers uses: a nominal 32
+  // evaluations per outer iteration when the caller did not set an
+  // explicit evaluation budget.
+  const int64_t total_budget =
+      options.max_evaluations > 0
+          ? options.max_evaluations
+          : static_cast<int64_t>(options.max_iterations) * 32;
+
+  std::vector<SolverKind> contenders;
+  for (SolverKind kind : AllSolverKinds()) {
+    if (kind != SolverKind::kPortfolio) contenders.push_back(kind);
+  }
+
+  // Internal always-on context: its telemetry rings feed the stall
+  // detector. Instrumentation never changes a contender's result, so the
+  // race is identical with or without the caller's own context attached.
+  obs::ObsOptions internal_options;
+  internal_options.trace = false;
+  obs::ObsContext internal_obs(internal_options);
+
+  const int64_t probe_share = std::max<int64_t>(
+      1, total_budget / (2 * static_cast<int64_t>(contenders.size())));
+
+  int64_t spent = 0;
+  int64_t iterations = 0;
+  int64_t cache_hits = 0;
+  bool out_of_time = false;
+  Status last_error = Status::Ok();
+  std::vector<ProbeResult> probes;
+
+  // Runs one contender with the given per-run eval cap and the remaining
+  // wall-clock budget; accounts its effort. Returns false on solver error.
+  auto run_contender = [&](SolverKind kind, int64_t eval_cap,
+                           ProbeResult* out) {
+    SolverOptions sub = options;
+    sub.obs = &internal_obs;
+    sub.max_evaluations = eval_cap;
+    if (options.time_limit_seconds > 0.0) {
+      double remaining_time =
+          options.time_limit_seconds - timer.ElapsedSeconds();
+      if (remaining_time <= 0.0) {
+        out_of_time = true;
+        // The first contender still runs (with an already-expired budget):
+        // every solver guarantees a feasible incumbent before honoring the
+        // deadline, which keeps the portfolio anytime too.
+        if (!probes.empty()) return false;
+        remaining_time = 1e-12;
+      }
+      sub.time_limit_seconds = remaining_time;
+    }
+    Result<Solution> result = MakeSolver(kind)->Solve(evaluator, sub);
+    if (!result.ok()) {
+      // e.g. exhaustive refusing a large instance; skip, but account the
+      // evaluations the attempt burned (per-run counters: every Solve
+      // begins with BeginRun).
+      spent += evaluator.num_evaluations();
+      last_error = result.status();
+      return false;
+    }
+    spent += result->stats.evaluations;
+    iterations += result->stats.iterations;
+    cache_hits += result->stats.cache_hits;
+    out->kind = kind;
+    out->truncated = result->stats.stop_reason == StopReason::kEvalBudget;
+    out->stalled_out = StalledOut(result->stats);
+    if (result->stats.stop_reason == StopReason::kTimeLimit) {
+      out_of_time = true;
+    }
+    out->solution = std::move(*result);
+    return true;
+  };
+
+  // --- probe phase -------------------------------------------------------
+  bool exact_done = false;
+  for (SolverKind kind : contenders) {
+    const int64_t remaining = total_budget - spent;
+    if (remaining <= 0 || out_of_time) break;
+    ProbeResult probe;
+    if (!run_contender(kind, std::min(probe_share, remaining), &probe)) {
+      continue;
+    }
+    const bool exact_complete =
+        SolverTraitsFor(kind).exact &&
+        probe.solution.stats.stop_reason == StopReason::kExhausted;
+    probes.push_back(std::move(probe));
+    if (exact_complete) {
+      // The optimum is in hand; no amount of remaining budget beats it.
+      exact_done = true;
+      break;
+    }
+  }
+  if (probes.empty()) {
+    return last_error.ok()
+               ? Status::Infeasible("no portfolio contender produced a result")
+               : last_error;
+  }
+
+  // --- finish phase ------------------------------------------------------
+  // Spend what is left on the best truncated probes: the quality leader
+  // always advances; the runner-up only if it kept pace and its tail was
+  // still improving.
+  if (!exact_done && !out_of_time) {
+    std::vector<const ProbeResult*> truncated;
+    for (const ProbeResult& probe : probes) {
+      if (probe.truncated) truncated.push_back(&probe);
+    }
+    std::stable_sort(truncated.begin(), truncated.end(),
+                     [](const ProbeResult* a, const ProbeResult* b) {
+                       return a->solution.quality > b->solution.quality;
+                     });
+    std::vector<const ProbeResult*> finalists;
+    if (!truncated.empty()) finalists.push_back(truncated.front());
+    if (truncated.size() > 1 && !truncated[1]->stalled_out &&
+        truncated[1]->solution.quality >=
+            truncated[0]->solution.quality - kQualityMargin) {
+      finalists.push_back(truncated[1]);
+    }
+    const int64_t remaining = total_budget - spent;
+    if (!finalists.empty() && remaining > 0) {
+      const int64_t share =
+          remaining / static_cast<int64_t>(finalists.size());
+      for (const ProbeResult* finalist : finalists) {
+        if (out_of_time) break;
+        // Rerunning replays the probe prefix (same seed), so the rerun cap
+        // is probe + share; skip when that grants no new ground.
+        const int64_t cap = finalist->solution.stats.evaluations + share;
+        if (cap <= finalist->solution.stats.evaluations) continue;
+        ProbeResult rerun;
+        if (run_contender(finalist->kind, cap, &rerun)) {
+          probes.push_back(std::move(rerun));
+        }
+      }
+    }
+  }
+
+  // --- pick the winner ---------------------------------------------------
+  size_t winner = 0;
+  for (size_t i = 1; i < probes.size(); ++i) {
+    if (probes[i].solution.quality > probes[winner].solution.quality) {
+      winner = i;
+    }
+  }
+
+  Solution solution = std::move(probes[winner].solution);
+  solution.stats.solver_name = std::string(name());
+  solution.stats.iterations = iterations;
+  solution.stats.evaluations = spent;
+  solution.stats.cache_hits = cache_hits;
+  solution.stats.elapsed_seconds = timer.ElapsedSeconds();
+  solution.stats.stop_reason = out_of_time       ? StopReason::kTimeLimit
+                               : exact_done      ? StopReason::kExhausted
+                               : spent >= total_budget
+                                   ? StopReason::kEvalBudget
+                                   : StopReason::kConverged;
+  if (options.obs != nullptr) {
+    obs::MetricsRegistry& metrics = options.obs->metrics();
+    metrics.Add(metrics.Counter("portfolio.contenders"),
+                static_cast<int64_t>(contenders.size()));
+    metrics.Add(metrics.Counter("portfolio.runs"),
+                static_cast<int64_t>(probes.size()));
+    metrics.Add(metrics.Counter(std::string("portfolio.winner.") +
+                                std::string(SolverKindName(
+                                    probes[winner].kind))));
+    metrics.Add(metrics.Counter(std::string("solver.stop.") +
+                                std::string(StopReasonName(
+                                    solution.stats.stop_reason))));
+    solution.stats.metrics = std::make_shared<const obs::MetricsSnapshot>(
+        metrics.Snapshot());
+  } else {
+    solution.stats.metrics = nullptr;
+  }
+  return solution;
+}
+
+}  // namespace ube

@@ -1,0 +1,39 @@
+#ifndef UBE_OPTIMIZE_PORTFOLIO_H_
+#define UBE_OPTIMIZE_PORTFOLIO_H_
+
+#include "optimize/solver.h"
+
+namespace ube {
+
+/// Algorithm portfolio: races every other SolverKind on one shared
+/// evaluation budget instead of betting the whole budget on a single
+/// heuristic.
+///
+/// The race has two phases. A *probe* phase gives each contender an equal
+/// slice (half the budget split evenly); contenders that finish inside
+/// their slice (converged / exhausted / stalled) are done — rerunning them
+/// with more budget would replay the identical trajectory, because every
+/// stop rule except the eval cap is iteration-based. A *finish* phase
+/// spends the remaining budget on the most promising truncated contenders:
+/// the quality leader always advances, the runner-up only if it is within
+/// a small quality margin and its telemetry does not show a stalled-out
+/// tail (the PR-5 TelemetryRing stall counter doubles as the race's
+/// early-stopping signal). An exact contender that completes (exhaustive
+/// on small instances) short-circuits the race — its result is the
+/// optimum.
+///
+/// Deterministic: contenders run sequentially in a fixed order with the
+/// caller's seed, every budget split is integer arithmetic, and the stall
+/// telemetry that steers the finish phase is recorded on an internal
+/// always-on context — so the returned Solution is identical whether or
+/// not SolverOptions::obs is attached, like every other solver.
+class PortfolioSolver final : public Solver {
+ public:
+  Result<Solution> Solve(const CandidateEvaluator& evaluator,
+                         const SolverOptions& options) const override;
+  std::string_view name() const override { return "portfolio"; }
+};
+
+}  // namespace ube
+
+#endif  // UBE_OPTIMIZE_PORTFOLIO_H_

@@ -56,6 +56,7 @@ enum class StopReason {
   kMaxIterations,  ///< iteration/sample budget exhausted
   kStalled,        ///< stall_iterations without an incumbent improvement
   kTimeLimit,      ///< wall-clock budget (time_limit_seconds) reached
+  kEvalBudget,     ///< evaluation budget (max_evaluations) reached
   kConverged,      ///< search converged (no admissible improving move left)
   kExhausted,      ///< whole feasible space enumerated / no move exists
 };

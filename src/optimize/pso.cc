@@ -76,7 +76,7 @@ struct Particle {
 Result<Solution> PsoSolver::Solve(const CandidateEvaluator& evaluator,
                                   const SolverOptions& options) const {
   UBE_RETURN_IF_ERROR(internal::CheckSolvable(evaluator));
-  WallTimer timer;
+  WallTimer timer(options.clock);
   evaluator.BeginRun();
   internal::SolveScope scope(evaluator, options, name());
   Rng rng(options.seed);
@@ -146,8 +146,7 @@ Result<Solution> PsoSolver::Solve(const CandidateEvaluator& evaluator,
 
   for (int iter = 0; iter < pso_iterations; ++iter) {
     // Pre-dispatch deadline check (post-batch check at the bottom).
-    if (internal::TimeExpired(timer, options)) {
-      stop = StopReason::kTimeLimit;
+    if (internal::BudgetExpired(timer, evaluator, options, &stop)) {
       break;
     }
     if (pso_stall > 0 && stall >= pso_stall) {
@@ -213,8 +212,7 @@ Result<Solution> PsoSolver::Solve(const CandidateEvaluator& evaluator,
     }
     // Post-batch deadline check: this swarm step already ran and its bests
     // are folded in; stop before scoring another one.
-    if (internal::TimeExpired(timer, options)) {
-      stop = StopReason::kTimeLimit;
+    if (internal::BudgetExpired(timer, evaluator, options, &stop)) {
       break;
     }
   }

@@ -1,5 +1,6 @@
 #include "optimize/solver.h"
 
+#include "optimize/portfolio.h"
 #include "optimize/solvers.h"
 #include "util/check.h"
 
@@ -21,6 +22,8 @@ std::unique_ptr<Solver> MakeSolver(SolverKind kind) {
       return std::make_unique<RandomSolver>();
     case SolverKind::kExhaustive:
       return std::make_unique<ExhaustiveSolver>();
+    case SolverKind::kPortfolio:
+      return std::make_unique<PortfolioSolver>();
   }
   UBE_CHECK(false, "unknown SolverKind");
   return nullptr;
@@ -36,6 +39,8 @@ std::string_view StopReasonName(StopReason reason) {
       return "stalled";
     case StopReason::kTimeLimit:
       return "time-limit";
+    case StopReason::kEvalBudget:
+      return "eval-budget";
     case StopReason::kConverged:
       return "converged";
     case StopReason::kExhausted:
@@ -60,8 +65,62 @@ std::string_view SolverKindName(SolverKind kind) {
       return "random";
     case SolverKind::kExhaustive:
       return "exhaustive";
+    case SolverKind::kPortfolio:
+      return "portfolio";
   }
   return "unknown";
+}
+
+SolverTraits SolverTraitsFor(SolverKind kind) {
+  SolverTraits traits;
+  traits.kind = kind;
+  switch (kind) {
+    case SolverKind::kTabu:
+      traits.quality_epsilon = 0.02;
+      break;
+    case SolverKind::kLocalSearch:
+      traits.quality_epsilon = 0.05;
+      break;
+    case SolverKind::kAnnealing:
+      traits.quality_epsilon = 0.10;
+      break;
+    case SolverKind::kPso:
+      traits.quality_epsilon = 0.10;
+      break;
+    case SolverKind::kGreedy:
+      // Deterministic single construction pass; cheap but can lock into a
+      // local optimum, hence the loose epsilon.
+      traits.randomized = false;
+      traits.anytime = false;
+      traits.default_eval_budget = 2'000;
+      traits.quality_epsilon = 0.15;
+      break;
+    case SolverKind::kRandom:
+      traits.quality_epsilon = 0.30;
+      break;
+    case SolverKind::kExhaustive:
+      traits.randomized = false;
+      traits.exact = true;
+      traits.monotonic_trace = true;
+      traits.quality_epsilon = 0.0;
+      break;
+    case SolverKind::kPortfolio:
+      // Races the rest; on small instances the exhaustive contender
+      // finishes inside its probe share, so the portfolio is exact there —
+      // but not in general.
+      traits.quality_epsilon = 0.02;
+      break;
+  }
+  return traits;
+}
+
+const std::vector<SolverKind>& AllSolverKinds() {
+  static const std::vector<SolverKind> kinds = {
+      SolverKind::kTabu,   SolverKind::kLocalSearch, SolverKind::kAnnealing,
+      SolverKind::kPso,    SolverKind::kGreedy,      SolverKind::kRandom,
+      SolverKind::kExhaustive, SolverKind::kPortfolio,
+  };
+  return kinds;
 }
 
 }  // namespace ube

@@ -5,10 +5,12 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "optimize/evaluator.h"
 #include "optimize/problem.h"
 #include "util/result.h"
+#include "util/timer.h"
 
 namespace ube {
 
@@ -27,6 +29,15 @@ struct SolverOptions {
   int stall_iterations = 80;
   /// Wall-clock budget in seconds (<= 0 disables).
   double time_limit_seconds = 0.0;
+  /// Time source behind time_limit_seconds and elapsed_seconds. Null (the
+  /// default) reads the real steady clock; tests inject a ManualClock so
+  /// time-limit stops are deterministic. Not owned; must outlive Solve.
+  const Clock* clock = nullptr;
+  /// Hard cap on *computed* candidate evaluations (<= 0 disables). Checked
+  /// at the same points as time_limit_seconds, so a run can overshoot by
+  /// at most one neighborhood batch. This is the budget the portfolio
+  /// solver divides among its contenders.
+  int64_t max_evaluations = 0;
   /// Record a TracePoint in SolverStats::trace every time the incumbent
   /// improves (for convergence analysis; small overhead).
   bool record_trace = false;
@@ -93,6 +104,7 @@ enum class SolverKind {
   kGreedy,      ///< greedy constructive baseline
   kRandom,      ///< uniform random sampling baseline
   kExhaustive,  ///< exact enumeration (tiny instances / tests only)
+  kPortfolio,   ///< races the other solvers on a shared eval budget
 };
 
 /// Factory for any solver kind.
@@ -100,6 +112,40 @@ std::unique_ptr<Solver> MakeSolver(SolverKind kind);
 
 /// Display name ("tabu", "sls", ...).
 std::string_view SolverKindName(SolverKind kind);
+
+/// Capability descriptor of one solver — the unified fixture contract that
+/// bench/ablation_solvers and tests/test_solver_fixture.cc check every
+/// implementation against (one description per solver, checked cross-solver
+/// on the same spec).
+struct SolverTraits {
+  SolverKind kind = SolverKind::kTabu;
+  /// Incumbent trace is non-decreasing in quality (all current solvers
+  /// report best-so-far traces, so this is true across the board — the
+  /// fixture keeps asserting it).
+  bool monotonic_trace = true;
+  /// Result depends on SolverOptions::seed (false: deterministic
+  /// construction/enumeration, every seed returns the same solution).
+  bool randomized = true;
+  /// Returns the global optimum whenever it completes (exhaustive only).
+  bool exact = false;
+  /// Can be truncated by time/eval budgets and still return a feasible
+  /// incumbent (anytime behavior). False only for greedy, whose result is
+  /// all-or-nothing per construction pass.
+  bool anytime = true;
+  /// Evaluation budget at which the solver reaches its typical quality on
+  /// the bench workloads (the equalized budget ablation_solvers uses).
+  int64_t default_eval_budget = 12'800;
+  /// Worst acceptable quality gap to the exhaustive optimum on the golden
+  /// small universe at default_eval_budget (fixture tolerance, not a
+  /// performance promise).
+  double quality_epsilon = 0.05;
+};
+
+/// The descriptor for one solver kind.
+SolverTraits SolverTraitsFor(SolverKind kind);
+
+/// Every SolverKind, portfolio last (it composes the rest).
+const std::vector<SolverKind>& AllSolverKinds();
 
 }  // namespace ube
 

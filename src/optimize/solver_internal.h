@@ -50,13 +50,26 @@ class SolveScope {
   obs::Tracer::Span span_;
 };
 
-/// True when the wall-clock budget is set and spent. Solvers must consult
-/// this both before dispatching a QualityBatch and right after it returns:
-/// checking only at the top of the outer loop lets one large batch
-/// overshoot time_limit_seconds by an unbounded amount.
-inline bool TimeExpired(const WallTimer& timer, const SolverOptions& options) {
-  return options.time_limit_seconds > 0.0 &&
-         timer.ElapsedSeconds() >= options.time_limit_seconds;
+/// True when the wall-clock or evaluation budget is set and spent, setting
+/// `*stop` to the matching reason (time wins when both expired, so tiny
+/// time-limit tests keep seeing kTimeLimit). Solvers must consult this both
+/// before dispatching a QualityBatch and right after it returns: checking
+/// only at the top of the outer loop lets one large batch overshoot either
+/// budget by an unbounded amount.
+inline bool BudgetExpired(const WallTimer& timer,
+                          const CandidateEvaluator& evaluator,
+                          const SolverOptions& options, StopReason* stop) {
+  if (options.time_limit_seconds > 0.0 &&
+      timer.ElapsedSeconds() >= options.time_limit_seconds) {
+    *stop = StopReason::kTimeLimit;
+    return true;
+  }
+  if (options.max_evaluations > 0 &&
+      evaluator.num_evaluations() >= options.max_evaluations) {
+    *stop = StopReason::kEvalBudget;
+    return true;
+  }
+  return false;
 }
 
 /// Fully evaluates `best` and packages it (plus effort counters and the

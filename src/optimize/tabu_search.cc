@@ -29,7 +29,7 @@ constexpr int kMaxUnproductiveRestarts = 3;
 Result<Solution> TabuSearchSolver::Solve(const CandidateEvaluator& evaluator,
                                          const SolverOptions& options) const {
   UBE_RETURN_IF_ERROR(internal::CheckSolvable(evaluator));
-  WallTimer timer;
+  WallTimer timer(options.clock);
   evaluator.BeginRun();
   internal::SolveScope scope(evaluator, options, name());
   Rng rng(options.seed);
@@ -90,8 +90,7 @@ Result<Solution> TabuSearchSolver::Solve(const CandidateEvaluator& evaluator,
   };
   for (int iter = 0; iter < options.max_iterations; ++iter) {
     // Pre-dispatch deadline check (see also the post-batch check below).
-    if (internal::TimeExpired(timer, options)) {
-      stop = StopReason::kTimeLimit;
+    if (internal::BudgetExpired(timer, evaluator, options, &stop)) {
       break;
     }
     if (options.stall_iterations > 0 && stall >= options.stall_iterations) {
@@ -160,8 +159,7 @@ Result<Solution> TabuSearchSolver::Solve(const CandidateEvaluator& evaluator,
       record_iteration(iter, candidates.size());
       // Post-batch deadline check: the batch we just paid for may have
       // overshot the budget; stop now instead of sampling another one.
-      if (internal::TimeExpired(timer, options)) {
-        stop = StopReason::kTimeLimit;
+      if (internal::BudgetExpired(timer, evaluator, options, &stop)) {
         break;
       }
       continue;
@@ -194,8 +192,7 @@ Result<Solution> TabuSearchSolver::Solve(const CandidateEvaluator& evaluator,
     record_iteration(iter, candidates.size());
     // Post-batch deadline check: fold the batch's result (above), then stop
     // before dispatching another batch past the budget.
-    if (internal::TimeExpired(timer, options)) {
-      stop = StopReason::kTimeLimit;
+    if (internal::BudgetExpired(timer, evaluator, options, &stop)) {
       break;
     }
   }

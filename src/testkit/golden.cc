@@ -1,186 +1,23 @@
 #include "testkit/golden.h"
 
-#include <cctype>
-#include <cstdlib>
 #include <fstream>
-#include <map>
-#include <memory>
 #include <sstream>
 #include <utility>
 #include <variant>
+
+#include "util/json.h"
 
 namespace ube::testkit {
 
 namespace {
 
-// ---------------------------------------------------------------------------
-// Minimal JSON reader — just the subset the golden files use. No external
-// dependency is available in the container, and the golden schema is tiny,
-// so a ~100-line recursive-descent parser beats gating the suite on one.
-// ---------------------------------------------------------------------------
-
-struct JsonValue;
-using JsonObject = std::map<std::string, JsonValue>;
-using JsonArray = std::vector<JsonValue>;
-
-struct JsonValue {
-  std::variant<std::nullptr_t, bool, double, std::string, JsonArray,
-               JsonObject>
-      data = nullptr;
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(std::string_view text) : text_(text) {}
-
-  Result<JsonValue> Parse() {
-    Result<JsonValue> value = ParseValue();
-    if (!value.ok()) return value;
-    SkipWhitespace();
-    if (pos_ != text_.size()) {
-      return Error("trailing characters after JSON document");
-    }
-    return value;
-  }
-
- private:
-  Status Error(const std::string& message) const {
-    return Status::InvalidArgument("JSON parse error at offset " +
-                                   std::to_string(pos_) + ": " + message);
-  }
-
-  void SkipWhitespace() {
-    while (pos_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
-      ++pos_;
-    }
-  }
-
-  bool Consume(char c) {
-    SkipWhitespace();
-    if (pos_ < text_.size() && text_[pos_] == c) {
-      ++pos_;
-      return true;
-    }
-    return false;
-  }
-
-  Result<JsonValue> ParseValue() {
-    SkipWhitespace();
-    if (pos_ >= text_.size()) return Error("unexpected end of input");
-    char c = text_[pos_];
-    if (c == '{') return ParseObject();
-    if (c == '[') return ParseArray();
-    if (c == '"') return ParseString();
-    if (c == 't' || c == 'f') return ParseBool();
-    if (c == 'n') return ParseNull();
-    return ParseNumber();
-  }
-
-  Result<JsonValue> ParseObject() {
-    ++pos_;  // '{'
-    JsonObject object;
-    if (Consume('}')) return JsonValue{std::move(object)};
-    while (true) {
-      SkipWhitespace();
-      Result<JsonValue> key = ParseString();
-      if (!key.ok()) return key;
-      if (!Consume(':')) return Error("expected ':' after object key");
-      Result<JsonValue> value = ParseValue();
-      if (!value.ok()) return value;
-      object[std::get<std::string>(key->data)] = std::move(*value);
-      if (Consume(',')) continue;
-      if (Consume('}')) return JsonValue{std::move(object)};
-      return Error("expected ',' or '}' in object");
-    }
-  }
-
-  Result<JsonValue> ParseArray() {
-    ++pos_;  // '['
-    JsonArray array;
-    if (Consume(']')) return JsonValue{std::move(array)};
-    while (true) {
-      Result<JsonValue> value = ParseValue();
-      if (!value.ok()) return value;
-      array.push_back(std::move(*value));
-      if (Consume(',')) continue;
-      if (Consume(']')) return JsonValue{std::move(array)};
-      return Error("expected ',' or ']' in array");
-    }
-  }
-
-  Result<JsonValue> ParseString() {
-    SkipWhitespace();
-    if (pos_ >= text_.size() || text_[pos_] != '"') {
-      return Error("expected string");
-    }
-    ++pos_;
-    std::string out;
-    while (pos_ < text_.size() && text_[pos_] != '"') {
-      char c = text_[pos_++];
-      if (c == '\\') {
-        if (pos_ >= text_.size()) return Error("bad escape");
-        char esc = text_[pos_++];
-        switch (esc) {
-          case '"': out.push_back('"'); break;
-          case '\\': out.push_back('\\'); break;
-          case '/': out.push_back('/'); break;
-          case 'n': out.push_back('\n'); break;
-          case 't': out.push_back('\t'); break;
-          default: return Error("unsupported escape sequence");
-        }
-      } else {
-        out.push_back(c);
-      }
-    }
-    if (pos_ >= text_.size()) return Error("unterminated string");
-    ++pos_;  // closing quote
-    return JsonValue{std::move(out)};
-  }
-
-  Result<JsonValue> ParseBool() {
-    if (text_.substr(pos_, 4) == "true") {
-      pos_ += 4;
-      return JsonValue{true};
-    }
-    if (text_.substr(pos_, 5) == "false") {
-      pos_ += 5;
-      return JsonValue{false};
-    }
-    return Error("expected boolean");
-  }
-
-  Result<JsonValue> ParseNull() {
-    if (text_.substr(pos_, 4) == "null") {
-      pos_ += 4;
-      return JsonValue{nullptr};
-    }
-    return Error("expected null");
-  }
-
-  Result<JsonValue> ParseNumber() {
-    size_t start = pos_;
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
-            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
-            text_[pos_] == 'e' || text_[pos_] == 'E')) {
-      ++pos_;
-    }
-    if (pos_ == start) return Error("expected number");
-    std::string token(text_.substr(start, pos_ - start));
-    char* end = nullptr;
-    double value = std::strtod(token.c_str(), &end);
-    if (end == nullptr || *end != '\0') return Error("malformed number");
-    return JsonValue{value};
-  }
-
-  std::string_view text_;
-  size_t pos_ = 0;
-};
+using JsonObject = json::Object;
+using JsonArray = json::Array;
+using JsonValue = json::Value;
 
 // ---------------------------------------------------------------------------
-// Mapping JSON onto GoldenSmallUniverse. Every key must be known; numeric
-// fields are fetched through one typed accessor.
+// Mapping JSON (parsed by util/json) onto GoldenSmallUniverse. Every key
+// must be known; numeric fields are fetched through one typed accessor.
 // ---------------------------------------------------------------------------
 
 Status UnknownKeys(const JsonObject& object,
@@ -219,7 +56,7 @@ Result<GoldenSmallUniverse> LoadGoldenSmallUniverse(const std::string& path) {
   buffer << file.rdbuf();
   const std::string text = buffer.str();
 
-  Result<JsonValue> root = JsonParser(text).Parse();
+  Result<JsonValue> root = json::Parse(text);
   if (!root.ok()) return root.status();
   const JsonObject* top = std::get_if<JsonObject>(&root->data);
   if (top == nullptr) {

@@ -1,0 +1,70 @@
+#ifndef UBE_UTIL_JSON_H_
+#define UBE_UTIL_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "util/result.h"
+
+namespace ube::json {
+
+/// A parsed JSON value. Objects use std::map, so iteration order is sorted
+/// by key — stable across platforms, which the golden files and the
+/// BENCH_*.json comparisons both rely on.
+struct Value;
+using Object = std::map<std::string, Value>;
+using Array = std::vector<Value>;
+
+struct Value {
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object>
+      data = nullptr;
+};
+
+/// Parses one JSON document (objects, arrays, numbers, strings, bools,
+/// null — the subset the repo's files use). Trailing characters after the
+/// document are an error.
+Result<Value> Parse(std::string_view text);
+
+/// Shortest round-trippable rendering of a double: `%.17g` with the locale
+/// decimal separator normalized to '.', non-finite values become `null`
+/// (JSON has no inf/nan).
+std::string FormatDouble(double value);
+
+/// Renders `text` as a JSON string literal, quotes included.
+std::string EscapeString(std::string_view text);
+
+/// Streaming emitter with insertion-order keys (stable output: keys appear
+/// exactly in the order the caller wrote them). The caller is responsible
+/// for structural validity; commas and colons are managed automatically.
+class Writer {
+ public:
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+  /// Writes an object key; the next call must write its value.
+  void Key(std::string_view key);
+  void String(std::string_view value);
+  void Number(double value);
+  void Number(int64_t value);
+  void Bool(bool value);
+  void Null();
+
+  const std::string& str() const { return out_; }
+
+ private:
+  /// Emits the separating comma (if needed) before a key or array element.
+  void Prefix();
+
+  std::string out_;
+  std::vector<bool> first_;   // per open container: is the next entry first?
+  bool after_key_ = false;    // value immediately follows a Key()
+};
+
+}  // namespace ube::json
+
+#endif  // UBE_UTIL_JSON_H_

@@ -5,26 +5,79 @@
 
 namespace ube {
 
-/// Monotonic wall-clock stopwatch used by solvers (time limits) and by the
-/// benchmark harnesses (Figures 5 and 6 report execution time).
+/// Time source abstraction. Production code leaves it null and reads the
+/// real steady clock; tests inject a ManualClock so time-limit stops are
+/// deterministic — the same simulated-clock idiom the acquisition layer's
+/// BackoffPolicy uses (all durations virtual, nothing sleeps).
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  /// Current time in seconds from an arbitrary fixed origin.
+  virtual double NowSeconds() const = 0;
+};
+
+/// Deterministic virtual clock. Time advances only when told to — either
+/// explicitly (AdvanceMs) or by a fixed amount per reading
+/// (set_auto_advance_ms), which models "every clock query costs X ms" and
+/// lets a tiny time limit expire after an exact number of checks.
+class ManualClock final : public Clock {
+ public:
+  double NowSeconds() const override {
+    double now = now_seconds_;
+    now_seconds_ += auto_advance_seconds_;
+    return now;
+  }
+
+  void AdvanceMs(double ms) { now_seconds_ += ms * 1e-3; }
+  void set_auto_advance_ms(double ms) { auto_advance_seconds_ = ms * 1e-3; }
+
+  double now_seconds() const { return now_seconds_; }
+
+ private:
+  mutable double now_seconds_ = 0.0;
+  double auto_advance_seconds_ = 0.0;
+};
+
+/// Monotonic stopwatch used by solvers (time limits) and by the benchmark
+/// harnesses (Figures 5 and 6 report execution time). Reads the real
+/// steady clock unless constructed with an injected Clock.
 class WallTimer {
  public:
-  WallTimer() : start_(Clock::now()) {}
+  WallTimer() : start_(Steady::now()) {}
+
+  /// Stopwatch over an injected time source (nullptr = real clock, so
+  /// call sites can pass through an optional clock unconditionally).
+  explicit WallTimer(const Clock* clock) : clock_(clock) {
+    if (clock_ != nullptr) {
+      start_seconds_ = clock_->NowSeconds();
+    } else {
+      start_ = Steady::now();
+    }
+  }
 
   /// Restarts the stopwatch.
-  void Reset() { start_ = Clock::now(); }
+  void Reset() {
+    if (clock_ != nullptr) {
+      start_seconds_ = clock_->NowSeconds();
+    } else {
+      start_ = Steady::now();
+    }
+  }
 
   /// Seconds elapsed since construction or the last Reset().
   double ElapsedSeconds() const {
-    return std::chrono::duration<double>(Clock::now() - start_).count();
+    if (clock_ != nullptr) return clock_->NowSeconds() - start_seconds_;
+    return std::chrono::duration<double>(Steady::now() - start_).count();
   }
 
   /// Milliseconds elapsed since construction or the last Reset().
   double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
 
  private:
-  using Clock = std::chrono::steady_clock;
-  Clock::time_point start_;
+  using Steady = std::chrono::steady_clock;
+  const Clock* clock_ = nullptr;
+  Steady::time_point start_{};
+  double start_seconds_ = 0.0;
 };
 
 }  // namespace ube

@@ -70,6 +70,38 @@ TEST(MetricsRegistryTest, CountersGaugesHistogramsBasics) {
   EXPECT_EQ(h->counts[3], 1);
 }
 
+// Regression: values exactly ON a bucket's upper edge land in that bucket
+// (edges are inclusive), edge + 1 lands in the next one, and values below
+// the first edge — including negatives — land in the first bucket. A
+// off-by-one here silently skews every latency distribution we export.
+TEST(MetricsRegistryTest, HistogramBucketBoundariesAreInclusive) {
+  obs::MetricsRegistry registry;
+  auto h = registry.Histogram("edges", {0, 10, 100});
+
+  registry.Observe(h, -5);   // below first edge -> bucket 0
+  registry.Observe(h, 0);    // exactly on edge 0 -> bucket 0
+  registry.Observe(h, 1);    // just above edge 0 -> bucket 1
+  registry.Observe(h, 10);   // exactly on edge 10 -> bucket 1
+  registry.Observe(h, 11);   // just above edge 10 -> bucket 2
+  registry.Observe(h, 100);  // exactly on last edge -> bucket 2
+  registry.Observe(h, 101);  // just above last edge -> overflow
+
+  obs::MetricsSnapshot snap = registry.Snapshot();
+  const obs::HistogramSnapshot* hs = snap.FindHistogram("edges");
+  ASSERT_NE(hs, nullptr);
+  ASSERT_EQ(hs->counts.size(), 4u);
+  EXPECT_EQ(hs->counts[0], 2);
+  EXPECT_EQ(hs->counts[1], 2);
+  EXPECT_EQ(hs->counts[2], 2);
+  EXPECT_EQ(hs->counts[3], 1);
+  EXPECT_EQ(hs->count, 7);
+  EXPECT_EQ(hs->min, -5);
+  EXPECT_EQ(hs->max, 101);
+  ASSERT_EQ(hs->bounds.size(), 3u);
+  EXPECT_EQ(hs->bounds[0], 0);
+  EXPECT_EQ(hs->bounds[2], 100);
+}
+
 TEST(MetricsRegistryTest, DisabledRegistryRecordsNothing) {
   obs::MetricsRegistry registry(/*enabled=*/false);
   auto c = registry.Counter("x");

@@ -1,0 +1,256 @@
+// Unified solver fixture (ISSUE 6): every SolverKind is described by a
+// SolverTraits descriptor (monotonic? randomized? exact? anytime? budget?
+// epsilon?) and this suite checks each implementation against its own
+// descriptor on the pinned golden small universe — plus the portfolio
+// acceptance bar: never worse than the best single solver at an equal
+// evaluation budget.
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "optimize/solver.h"
+#include "testkit/golden.h"
+#include "testkit/oracles.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace ube {
+namespace {
+
+using testkit::SolutionIsFeasible;
+using testkit::SolutionsBitIdentical;
+
+#ifndef UBE_TEST_DATA_DIR
+#define UBE_TEST_DATA_DIR "tests/data"
+#endif
+
+// The pinned golden case (generator seed + options + recorded exhaustive
+// optimum), loaded once; every fixture case below runs on this exact
+// instance. Universe is move-only, so each engine regenerates it from the
+// pinned seed — bit-identical by the golden file's contract.
+const testkit::GoldenSmallUniverse& Golden() {
+  static const testkit::GoldenSmallUniverse* instance = [] {
+    const std::string path =
+        std::string(UBE_TEST_DATA_DIR) + "/golden_small_universe.json";
+    Result<testkit::GoldenSmallUniverse> golden =
+        testkit::LoadGoldenSmallUniverse(path);
+    if (!golden.ok()) {
+      ADD_FAILURE() << "cannot load golden universe: " << golden.status();
+      std::abort();
+    }
+    return new testkit::GoldenSmallUniverse(std::move(*golden));
+  }();
+  return *instance;
+}
+
+Engine MakeGoldenEngine() {
+  const testkit::GoldenSmallUniverse& golden = Golden();
+  Rng rng(golden.universe_seed);
+  return Engine(testkit::GenerateUniverse(rng, golden.universe),
+                QualityModel::MakeDefault());
+}
+
+SolverOptions FixtureOptions(uint64_t seed = 42) {
+  SolverOptions options;
+  options.seed = seed;
+  options.max_iterations = 80;
+  options.stall_iterations = 25;
+  options.restarts = 3;
+  options.swarm_size = 10;
+  options.random_samples = 120;
+  return options;
+}
+
+// --- the descriptor table itself ----------------------------------------
+
+TEST(SolverTraitsTest, CoversEveryKindExactlyOnce) {
+  const std::vector<SolverKind>& kinds = AllSolverKinds();
+  std::set<std::string> names;
+  for (SolverKind kind : kinds) {
+    SolverTraits traits = SolverTraitsFor(kind);
+    EXPECT_EQ(traits.kind, kind);
+    EXPECT_GT(traits.default_eval_budget, 0);
+    EXPECT_GE(traits.quality_epsilon, 0.0);
+    names.insert(std::string(SolverKindName(kind)));
+  }
+  EXPECT_EQ(names.size(), kinds.size()) << "duplicate solver display name";
+  EXPECT_EQ(kinds.back(), SolverKind::kPortfolio)
+      << "portfolio must come last: it composes the others";
+  // Exactly one exact solver (the enumeration anchor of every oracle).
+  int exact = 0;
+  for (SolverKind kind : kinds) exact += SolverTraitsFor(kind).exact;
+  EXPECT_EQ(exact, 1);
+}
+
+// --- per-solver fixture, driven by the descriptor -----------------------
+
+class SolverFixtureTest : public ::testing::TestWithParam<SolverKind> {};
+
+TEST_P(SolverFixtureTest, MatchesItsDescriptorOnGoldenUniverse) {
+  const SolverKind kind = GetParam();
+  const SolverTraits traits = SolverTraitsFor(kind);
+  const testkit::GoldenSmallUniverse& golden = Golden();
+  Engine engine = MakeGoldenEngine();
+
+  SolverOptions options = FixtureOptions();
+  options.record_trace = true;
+  Result<Solution> solution = engine.Solve(golden.spec, kind, options);
+  ASSERT_TRUE(solution.ok()) << solution.status();
+  EXPECT_TRUE(SolutionIsFeasible(*solution, engine.universe(), golden.spec));
+
+  // Quality lands within the descriptor's epsilon of the recorded optimum
+  // and never above it.
+  EXPECT_LE(solution->quality, golden.optimal_quality + 1e-9);
+  EXPECT_GE(solution->quality,
+            golden.optimal_quality - traits.quality_epsilon)
+      << "quality gap exceeds the descriptor's epsilon";
+  if (traits.exact) {
+    EXPECT_NEAR(solution->quality, golden.optimal_quality, 1e-9);
+  }
+
+  // Monotonic incumbent trace.
+  if (traits.monotonic_trace) {
+    for (size_t i = 1; i < solution->stats.trace.size(); ++i) {
+      EXPECT_GE(solution->stats.trace[i].best_quality,
+                solution->stats.trace[i - 1].best_quality)
+          << "trace not monotonic at point " << i;
+      EXPECT_GE(solution->stats.trace[i].evaluations,
+                solution->stats.trace[i - 1].evaluations);
+    }
+  }
+
+  // Same seed replays bit-identically; non-randomized solvers must also be
+  // seed-independent.
+  Result<Solution> replay = engine.Solve(golden.spec, kind, options);
+  ASSERT_TRUE(replay.ok()) << replay.status();
+  EXPECT_TRUE(SolutionsBitIdentical(*solution, *replay));
+  if (!traits.randomized) {
+    SolverOptions other_seed = options;
+    other_seed.seed = options.seed + 101;
+    Result<Solution> reseeded = engine.Solve(golden.spec, kind, other_seed);
+    ASSERT_TRUE(reseeded.ok()) << reseeded.status();
+    EXPECT_EQ(solution->sources, reseeded->sources)
+        << "descriptor says deterministic, but the seed changed the result";
+  }
+}
+
+TEST_P(SolverFixtureTest, HonorsEvaluationBudget) {
+  const SolverKind kind = GetParam();
+  const SolverTraits traits = SolverTraitsFor(kind);
+  if (!traits.anytime) {
+    GTEST_SKIP() << "not an anytime solver; budget truncation not promised";
+  }
+  const testkit::GoldenSmallUniverse& golden = Golden();
+  Engine engine = MakeGoldenEngine();
+
+  SolverOptions options = FixtureOptions();
+  options.max_evaluations = 40;
+  Result<Solution> solution = engine.Solve(golden.spec, kind, options);
+  ASSERT_TRUE(solution.ok()) << solution.status();
+  EXPECT_TRUE(SolutionIsFeasible(*solution, engine.universe(), golden.spec));
+  // The budget is checked between neighborhood batches, so a run may
+  // overshoot by at most one batch (bounded here by the options above).
+  EXPECT_LE(solution->stats.evaluations, 40 + 256)
+      << "evaluation budget ignored";
+  if (solution->stats.stop_reason != StopReason::kEvalBudget) {
+    // Legitimate only when the solver finished before the cap.
+    EXPECT_LT(solution->stats.evaluations, 40 + 256);
+    EXPECT_NE(solution->stats.stop_reason, StopReason::kUnknown);
+  }
+}
+
+TEST_P(SolverFixtureTest, TimeLimitStopsDeterministicallyUnderManualClock) {
+  const SolverKind kind = GetParam();
+  const SolverTraits traits = SolverTraitsFor(kind);
+  if (!traits.anytime) {
+    GTEST_SKIP() << "not an anytime solver; deadline truncation not promised";
+  }
+  const testkit::GoldenSmallUniverse& golden = Golden();
+  Engine engine = MakeGoldenEngine();
+
+  // Every elapsed-time reading costs 5 simulated ms, so a 20 ms limit
+  // expires after exactly four checks — no real clock, no flakiness.
+  auto run = [&] {
+    ManualClock clock;
+    clock.set_auto_advance_ms(5.0);
+    SolverOptions options = FixtureOptions();
+    options.clock = &clock;
+    options.time_limit_seconds = 0.020;
+    return engine.Solve(golden.spec, kind, options);
+  };
+  Result<Solution> first = run();
+  ASSERT_TRUE(first.ok()) << first.status();
+  EXPECT_TRUE(SolutionIsFeasible(*first, engine.universe(), golden.spec));
+  EXPECT_EQ(first->stats.stop_reason, StopReason::kTimeLimit);
+
+  // The simulated deadline is part of the deterministic state, so the
+  // truncated run replays bit-identically — the property a real clock can
+  // never give.
+  Result<Solution> second = run();
+  ASSERT_TRUE(second.ok()) << second.status();
+  EXPECT_TRUE(SolutionsBitIdentical(*first, *second));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kinds, SolverFixtureTest, ::testing::ValuesIn(AllSolverKinds()),
+    [](const ::testing::TestParamInfo<SolverKind>& info) {
+      return std::string(SolverKindName(info.param));
+    });
+
+// --- portfolio acceptance bar -------------------------------------------
+
+TEST(PortfolioTest, NeverWorseThanBestSingleSolverAtEqualBudget) {
+  const testkit::GoldenSmallUniverse& golden = Golden();
+  Engine engine = MakeGoldenEngine();
+  const int64_t budget = 2'000;
+
+  double best_single = 0.0;
+  for (SolverKind kind : AllSolverKinds()) {
+    if (kind == SolverKind::kPortfolio) continue;
+    SolverOptions options = FixtureOptions();
+    options.max_evaluations = budget;
+    Result<Solution> solution = engine.Solve(golden.spec, kind, options);
+    if (!solution.ok()) continue;  // e.g. a solver refusing the instance
+    best_single = std::max(best_single, solution->quality);
+  }
+  ASSERT_GT(best_single, 0.0);
+
+  SolverOptions options = FixtureOptions();
+  options.max_evaluations = budget;
+  Result<Solution> portfolio =
+      engine.Solve(golden.spec, SolverKind::kPortfolio, options);
+  ASSERT_TRUE(portfolio.ok()) << portfolio.status();
+  EXPECT_TRUE(SolutionIsFeasible(*portfolio, engine.universe(), golden.spec));
+  EXPECT_GE(portfolio->quality, best_single - 1e-9)
+      << "portfolio lost to a single solver on the same budget";
+  // On the golden instance the exhaustive contender completes within its
+  // probe share, so the portfolio must return the recorded optimum.
+  EXPECT_NEAR(portfolio->quality, golden.optimal_quality, 1e-9);
+  EXPECT_EQ(portfolio->stats.stop_reason, StopReason::kExhausted);
+}
+
+TEST(PortfolioTest, ReplaysBitIdenticallyAndAccountsEffort) {
+  const testkit::GoldenSmallUniverse& golden = Golden();
+  Engine engine = MakeGoldenEngine();
+  SolverOptions options = FixtureOptions();
+  options.max_evaluations = 1'000;
+
+  Result<Solution> first =
+      engine.Solve(golden.spec, SolverKind::kPortfolio, options);
+  Result<Solution> second =
+      engine.Solve(golden.spec, SolverKind::kPortfolio, options);
+  ASSERT_TRUE(first.ok()) << first.status();
+  ASSERT_TRUE(second.ok()) << second.status();
+  EXPECT_TRUE(SolutionsBitIdentical(*first, *second));
+  EXPECT_EQ(first->stats.solver_name, "portfolio");
+  EXPECT_GT(first->stats.evaluations, 0);
+}
+
+}  // namespace
+}  // namespace ube

@@ -1,13 +1,17 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <limits>
 #include <set>
 #include <stdexcept>
+#include <string>
+#include <variant>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "util/distributions.h"
+#include "util/json.h"
 #include "util/result.h"
 #include "util/rng.h"
 #include "util/status.h"
@@ -419,6 +423,91 @@ TEST(ThreadPoolTest, PoolSurvivesExceptionsAcrossBatches) {
     sum.fetch_add(static_cast<int64_t>(i), std::memory_order_relaxed);
   });
   EXPECT_EQ(sum.load(), 63 * 64 / 2);
+}
+
+// ------------------------------- JSON ----------------------------------
+// Regression coverage for the shared emitter behind BENCH_*.json and the
+// golden loader: stable key order, locale-independent doubles that
+// round-trip exactly through the parser, and correct escaping.
+
+TEST(JsonWriterTest, KeysKeepInsertionOrder) {
+  json::Writer writer;
+  writer.BeginObject();
+  writer.Key("zeta");
+  writer.Number(static_cast<int64_t>(1));
+  writer.Key("alpha");
+  writer.Number(static_cast<int64_t>(2));
+  writer.Key("mid");
+  writer.BeginArray();
+  writer.Bool(true);
+  writer.Null();
+  writer.EndArray();
+  writer.EndObject();
+  EXPECT_EQ(writer.str(), R"({"zeta":1,"alpha":2,"mid":[true,null]})");
+}
+
+TEST(JsonFormatDoubleTest, LocaleIndependentAndNonFiniteIsNull) {
+  EXPECT_EQ(json::FormatDouble(0.5), "0.5");
+  // %.17g under a comma-decimal locale must still emit '.', never ','.
+  EXPECT_EQ(json::FormatDouble(1.5).find(','), std::string::npos);
+  EXPECT_EQ(json::FormatDouble(std::numeric_limits<double>::infinity()),
+            "null");
+  EXPECT_EQ(json::FormatDouble(-std::numeric_limits<double>::infinity()),
+            "null");
+  EXPECT_EQ(json::FormatDouble(std::nan("")), "null");
+}
+
+TEST(JsonFormatDoubleTest, SeventeenDigitsRoundTripExactly) {
+  // Values with no short decimal representation: %.17g must carry enough
+  // digits that parsing the text recovers the identical bit pattern.
+  for (double value : {0.1, 1.0 / 3.0, 0.72493860138457189, 1e-300,
+                       123456789.123456789, -2.2250738585072014e-308}) {
+    Result<json::Value> parsed = json::Parse(json::FormatDouble(value));
+    ASSERT_TRUE(parsed.ok()) << parsed.status();
+    ASSERT_TRUE(std::holds_alternative<double>(parsed->data));
+    EXPECT_EQ(std::get<double>(parsed->data), value)
+        << "round-trip drift for " << json::FormatDouble(value);
+  }
+}
+
+TEST(JsonEscapeStringTest, EscapesQuotesBackslashesAndControls) {
+  EXPECT_EQ(json::EscapeString("plain"), "\"plain\"");
+  EXPECT_EQ(json::EscapeString("a\"b"), "\"a\\\"b\"");
+  EXPECT_EQ(json::EscapeString("a\\b"), "\"a\\\\b\"");
+  EXPECT_EQ(json::EscapeString("a\nb\tc"), "\"a\\nb\\tc\"");
+  EXPECT_EQ(json::EscapeString(std::string("a\x01z")), "\"a\\u0001z\"");
+}
+
+TEST(JsonParseTest, DocumentRoundTripsThroughWriter) {
+  json::Writer writer;
+  writer.BeginObject();
+  writer.Key("bench");
+  writer.String("demo \"quoted\"");
+  writer.Key("metrics");
+  writer.BeginObject();
+  writer.Key("wall_ms");
+  writer.Number(12.375);
+  writer.Key("evals");
+  writer.Number(static_cast<int64_t>(12800));
+  writer.EndObject();
+  writer.EndObject();
+
+  Result<json::Value> parsed = json::Parse(writer.str());
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  const auto* top = std::get_if<json::Object>(&parsed->data);
+  ASSERT_NE(top, nullptr);
+  EXPECT_EQ(std::get<std::string>(top->at("bench").data), "demo \"quoted\"");
+  const auto* metrics = std::get_if<json::Object>(&top->at("metrics").data);
+  ASSERT_NE(metrics, nullptr);
+  EXPECT_EQ(std::get<double>(metrics->at("wall_ms").data), 12.375);
+  EXPECT_EQ(std::get<double>(metrics->at("evals").data), 12800.0);
+}
+
+TEST(JsonParseTest, RejectsTrailingGarbageAndBadDocuments) {
+  EXPECT_FALSE(json::Parse("{} trailing").ok());
+  EXPECT_FALSE(json::Parse("{\"a\":}").ok());
+  EXPECT_FALSE(json::Parse("[1,").ok());
+  EXPECT_FALSE(json::Parse("").ok());
 }
 
 }  // namespace
