@@ -102,6 +102,10 @@ struct PendingSource {
   int64_t cardinality = 0;
   std::vector<std::pair<std::string, double>> characteristics;
   std::unique_ptr<DistinctSignature> signature;
+  bool has_state = false;
+  bool dropped = false;
+  StatsState stats_state = StatsState::kFresh;
+  double staleness = 0.0;
 };
 
 Result<std::unique_ptr<DistinctSignature>> ParseSignature(
@@ -158,7 +162,10 @@ Status Finish(PendingSource& pending, Universe* universe) {
   if (!pending.has_name) {
     return ParseError(pending.start_line, "[source] block is missing 'name'");
   }
-  if (!pending.has_attributes || pending.attributes.empty()) {
+  // A dropped source is the prober's unavailable-shell: its schema may be
+  // (and normally is) empty, so 'attributes' is optional for it only.
+  if (!pending.dropped &&
+      (!pending.has_attributes || pending.attributes.empty())) {
     return ParseError(pending.start_line,
                       "[source] block '" + pending.name +
                           "' is missing 'attributes'");
@@ -171,6 +178,8 @@ Status Finish(PendingSource& pending, Universe* universe) {
   if (pending.signature != nullptr) {
     source.set_signature(std::move(pending.signature));
   }
+  source.set_available(!pending.dropped);
+  source.set_stats_state(pending.stats_state, pending.staleness);
   universe->AddSource(std::move(source));
   return Status::Ok();
 }
@@ -259,6 +268,53 @@ Result<Universe> ParseCatalog(std::string_view text) {
                                            "' must be a number");
       }
       pending.characteristics.emplace_back(characteristic, parsed);
+    } else if (key == "state") {
+      if (pending.has_state) {
+        return ParseError(line_number, "duplicate 'state'");
+      }
+      pending.has_state = true;
+      bool saw_stats = false;
+      int tokens = 0;
+      for (const std::string& raw : SplitTokens(value, ",")) {
+        std::string token(TrimWhitespace(raw));
+        if (token.empty()) continue;
+        ++tokens;
+        if (token == "dropped") {
+          if (pending.dropped) {
+            return ParseError(line_number, "duplicate 'dropped' token");
+          }
+          pending.dropped = true;
+          continue;
+        }
+        if (saw_stats) {
+          return ParseError(line_number,
+                            "'state' lists more than one statistics token");
+        }
+        saw_stats = true;
+        if (token == "fresh") {
+          pending.stats_state = StatsState::kFresh;
+        } else if (token == "partial") {
+          pending.stats_state = StatsState::kPartial;
+        } else if (token == "missing") {
+          pending.stats_state = StatsState::kMissing;
+        } else if (token.rfind("stale:", 0) == 0) {
+          double staleness = 0.0;
+          if (!ParseDouble(token.substr(6), &staleness) || staleness <= 0.0 ||
+              staleness > 1.0) {
+            return ParseError(line_number,
+                              "stale staleness must be a number in (0, 1]");
+          }
+          pending.stats_state = StatsState::kStale;
+          pending.staleness = staleness;
+        } else {
+          return ParseError(line_number,
+                            "unknown 'state' token '" + token + "'");
+        }
+      }
+      if (tokens == 0) {
+        return ParseError(line_number,
+                          "'state' must list at least one token");
+      }
     } else if (key == "signature") {
       if (pending.signature != nullptr) {
         return ParseError(line_number, "duplicate 'signature'");
@@ -296,8 +352,38 @@ std::string WriteCatalog(const Universe& universe) {
     const DataSource& source = universe.source(s);
     out += "\n[source]\n";
     out += "name        = " + source.name() + "\n";
-    out += "attributes  = " + Join(source.schema().names(), " | ") + "\n";
+    // A dropped shell has an empty schema; the parser accepts a missing
+    // 'attributes' key for dropped sources only.
+    if (!source.schema().names().empty()) {
+      out += "attributes  = " + Join(source.schema().names(), " | ") + "\n";
+    }
     out += "cardinality = " + std::to_string(source.cardinality()) + "\n";
+    if (!source.available() || source.stats_state() != StatsState::kFresh) {
+      std::string state;
+      if (!source.available()) state = "dropped";
+      auto append = [&state](const std::string& token) {
+        if (!state.empty()) state += ",";
+        state += token;
+      };
+      switch (source.stats_state()) {
+        case StatsState::kFresh:
+          break;
+        case StatsState::kStale: {
+          char staleness[64];
+          std::snprintf(staleness, sizeof(staleness), "stale:%.17g",
+                        source.staleness());
+          append(staleness);
+          break;
+        }
+        case StatsState::kPartial:
+          append("partial");
+          break;
+        case StatsState::kMissing:
+          append("missing");
+          break;
+      }
+      out += "state       = " + state + "\n";
+    }
     for (const auto& [name, value] : source.characteristics()) {
       char buffer[64];
       std::snprintf(buffer, sizeof(buffer), "%.17g", value);

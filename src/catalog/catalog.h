@@ -26,14 +26,21 @@ namespace ube {
 ///   signature   = pcsa:64:00000007f3a1...
 ///   # or, for tiny sources / tests, an explicit id set:
 ///   signature   = exact:17,42,99
+///   # optional acquisition state: 'dropped' and/or one statistics token
+///   # (fresh | stale:<staleness> | partial | missing), comma separated.
+///   # Omitted = available with fresh statistics.
+///   state       = dropped,missing
 ///
-/// Every `[source]` block requires `name` and `attributes`; everything
-/// else is optional. Unknown keys are errors (catching typos beats
-/// silently ignoring a misspelled characteristic).
+/// Every `[source]` block requires `name` and `attributes` — except that a
+/// `dropped` source (the prober's unavailable shell, whose schema is empty)
+/// may omit `attributes`. Everything else is optional. Unknown keys and
+/// unknown `state` tokens are errors (catching typos beats silently
+/// ignoring a misspelled characteristic).
 ///
 /// The writer emits the same format, so catalogs round-trip:
 /// ParseCatalog(WriteCatalog(u)) reproduces u exactly (including PCSA
-/// bitmaps; exact signatures round-trip as sorted id lists).
+/// bitmaps, availability and statistics state; exact signatures round-trip
+/// as sorted id lists).
 
 /// Parses a catalog from text. Errors carry 1-based line numbers.
 Result<Universe> ParseCatalog(std::string_view text);

@@ -1,0 +1,172 @@
+#include "catalog/change_feed.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <string>
+#include <utility>
+
+#include "util/rng.h"
+
+namespace ube {
+
+namespace {
+
+/// A brand-new source discovered by the feed: a perturbed clone of one of
+/// the initial universe's alive sources (subset of its attributes, scaled
+/// cardinality, copied characteristics). New sources arrive uncooperative —
+/// no signature until a full probe, which keeps adds conservative for the
+/// coverage QEF. Falls back to a tiny generic schema when the initial
+/// universe had nothing alive to clone.
+std::unique_ptr<DataSource> SynthesizeSource(
+    Rng& rng, const Universe& universe,
+    const std::vector<SourceId>& template_pool, int ordinal) {
+  const std::string name = "feed-" + std::to_string(ordinal);
+  if (template_pool.empty()) {
+    auto source = std::make_unique<DataSource>(
+        name, SourceSchema({"title", "author"}));
+    source->set_cardinality(100);
+    return source;
+  }
+  const DataSource& tmpl = universe.source(
+      template_pool[rng.UniformInt(template_pool.size())]);
+  std::vector<std::string> attributes;
+  for (const std::string& attr : tmpl.schema().names()) {
+    if (attributes.empty() || !rng.Bernoulli(0.2)) attributes.push_back(attr);
+  }
+  auto source =
+      std::make_unique<DataSource>(name, SourceSchema(std::move(attributes)));
+  source->set_cardinality(std::max<int64_t>(
+      1, static_cast<int64_t>(static_cast<double>(tmpl.cardinality()) *
+                              rng.UniformDouble(0.5, 2.0))));
+  for (const auto& [key, value] : tmpl.characteristics()) {
+    source->SetCharacteristic(key, value);
+  }
+  return source;
+}
+
+uint64_t DoubleBits(double v) { return std::bit_cast<uint64_t>(v); }
+
+uint64_t HashString(const std::string& s) {
+  uint64_t h = 1469598103934665603ull;
+  for (char c : s) h = (h ^ static_cast<uint8_t>(c)) * 1099511628211ull;
+  return h;
+}
+
+}  // namespace
+
+std::string_view ChurnEventKindName(ChurnEventKind kind) {
+  switch (kind) {
+    case ChurnEventKind::kAdd:
+      return "add";
+    case ChurnEventKind::kRemove:
+      return "remove";
+    case ChurnEventKind::kStaleRefresh:
+      return "stale-refresh";
+    case ChurnEventKind::kDrift:
+      return "drift";
+  }
+  return "unknown";
+}
+
+ChurnTrace GenerateChurnTrace(const Universe& universe,
+                              const ChurnFeedConfig& config) {
+  ChurnTrace trace;
+  trace.config = config;
+  if (config.events_per_sec <= 0.0 || config.horizon_ms <= 0.0) return trace;
+
+  Rng rng(SplitMix64(config.seed ^ 0xc4a7a106feedull));
+  std::vector<SourceId> alive;
+  std::vector<SourceId> dead;  // oldest first; revives pop the front
+  for (SourceId s = 0; s < universe.num_sources(); ++s) {
+    (universe.source(s).available() ? alive : dead).push_back(s);
+  }
+  // New-source templates come from the initial universe only (generation
+  // never materializes the evolving universe).
+  const std::vector<SourceId> template_pool = alive;
+  SourceId next_new = universe.num_sources();
+  int synthesized = 0;
+
+  const double mean_gap_ms = 1000.0 / config.events_per_sec;
+  double t = 0.0;
+  while (true) {
+    t += -mean_gap_ms * std::log1p(-rng.UniformDouble());
+    if (t > config.horizon_ms) break;
+
+    const double wa = std::max(0.0, config.add_weight);
+    const double wr =
+        static_cast<int>(alive.size()) > std::max(0, config.min_alive)
+            ? std::max(0.0, config.remove_weight)
+            : 0.0;
+    const double ws = alive.empty() ? 0.0 : std::max(0.0, config.stale_weight);
+    const double wd = alive.empty() ? 0.0 : std::max(0.0, config.drift_weight);
+    const double total = wa + wr + ws + wd;
+    if (total <= 0.0) continue;
+    const double draw = rng.UniformDouble() * total;
+
+    ChurnEvent event;
+    event.time_ms = t;
+    if (draw < wa) {
+      event.kind = ChurnEventKind::kAdd;
+      if (!dead.empty() && rng.Bernoulli(config.revive_fraction)) {
+        event.revive = true;
+        event.source = dead.front();
+        dead.erase(dead.begin());
+      } else {
+        event.source = next_new++;
+        event.added =
+            SynthesizeSource(rng, universe, template_pool, synthesized++);
+      }
+      alive.push_back(event.source);
+    } else if (draw < wa + wr) {
+      event.kind = ChurnEventKind::kRemove;
+      const size_t pick = rng.UniformInt(alive.size());
+      event.source = alive[pick];
+      alive.erase(alive.begin() + static_cast<long>(pick));
+      dead.push_back(event.source);
+    } else if (draw < wa + wr + ws) {
+      event.kind = ChurnEventKind::kStaleRefresh;
+      event.source = alive[rng.UniformInt(alive.size())];
+      event.staleness = rng.Bernoulli(config.refresh_success)
+                            ? 0.0
+                            : rng.UniformDouble(0.1, 0.9);
+    } else {
+      event.kind = ChurnEventKind::kDrift;
+      event.source = alive[rng.UniformInt(alive.size())];
+      event.cardinality_factor = rng.UniformDouble(0.6, 1.5);
+      event.characteristic_factor = rng.UniformDouble(0.8, 1.25);
+    }
+    trace.events.push_back(std::move(event));
+  }
+  return trace;
+}
+
+uint64_t ChurnTraceFingerprint(const ChurnTrace& trace) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  auto mix = [&h](uint64_t v) { h = SplitMix64(h ^ v); };
+  mix(trace.events.size());
+  for (const ChurnEvent& event : trace.events) {
+    mix(DoubleBits(event.time_ms));
+    mix(static_cast<uint64_t>(event.kind));
+    mix(static_cast<uint64_t>(static_cast<uint32_t>(event.source)));
+    mix(event.revive ? 1 : 0);
+    mix(DoubleBits(event.staleness));
+    mix(DoubleBits(event.cardinality_factor));
+    mix(DoubleBits(event.characteristic_factor));
+    if (event.added != nullptr) {
+      mix(HashString(event.added->name()));
+      mix(static_cast<uint64_t>(event.added->cardinality()));
+      for (const std::string& attr : event.added->schema().names()) {
+        mix(HashString(attr));
+      }
+      for (const auto& [key, value] : event.added->characteristics()) {
+        mix(HashString(key));
+        mix(DoubleBits(value));
+      }
+      mix(event.added->has_signature() ? 1 : 0);
+    }
+  }
+  return h;
+}
+
+}  // namespace ube

@@ -1,0 +1,102 @@
+#ifndef UBE_CATALOG_CHANGE_FEED_H_
+#define UBE_CATALOG_CHANGE_FEED_H_
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "source/data_source.h"
+#include "source/universe.h"
+
+namespace ube {
+
+/// What happened to the catalog at one instant of simulated time.
+enum class ChurnEventKind {
+  kAdd,           ///< a source appeared (brand new, or a dead one revived)
+  kRemove,        ///< a source died (becomes an unavailable shell)
+  kStaleRefresh,  ///< a statistics re-probe completed (fresh or aged)
+  kDrift,         ///< data characteristics drifted (cardinality, char.*)
+};
+
+std::string_view ChurnEventKindName(ChurnEventKind kind);
+
+/// One catalog change on the simulated-ms clock. Events carry their full
+/// payload, so applying a trace needs no randomness: the generator draws
+/// everything up front and replay is bit-identical from the config alone.
+/// Move-only (a brand-new source owns its description).
+struct ChurnEvent {
+  double time_ms = 0.0;
+  ChurnEventKind kind = ChurnEventKind::kAdd;
+  /// Target id. For kRemove / kStaleRefresh / kDrift and a revive-kAdd this
+  /// names an existing source; for a brand-new kAdd it is the id the source
+  /// will receive (always one past the current maximum, so ids stay dense
+  /// and a patched similarity graph matches a rebuild's layout).
+  SourceId source = -1;
+  /// Description of a brand-new source (kAdd with revive == false).
+  std::unique_ptr<DataSource> added;
+  /// kAdd: true = restore the tombstoned description of `source` instead
+  /// of adding a new one.
+  bool revive = false;
+  /// kStaleRefresh: 0 = the re-probe succeeded (statistics fresh again);
+  /// > 0 = it failed and the last-known-good snapshot aged to this value.
+  double staleness = 0.0;
+  /// kDrift: the source's cardinality is scaled by this factor.
+  double cardinality_factor = 1.0;
+  /// kDrift: every named characteristic is scaled by this factor.
+  double characteristic_factor = 1.0;
+
+  ChurnEvent() = default;
+  ChurnEvent(ChurnEvent&&) = default;
+  ChurnEvent& operator=(ChurnEvent&&) = default;
+  ChurnEvent(const ChurnEvent&) = delete;
+  ChurnEvent& operator=(const ChurnEvent&) = delete;
+};
+
+/// Knobs of the deterministic feed. The replay contract mirrors PR-4's
+/// FaultPlan: the same (seed, events_per_sec, horizon_ms) over the same
+/// universe always yields the same trace, checkable via
+/// ChurnTraceFingerprint.
+struct ChurnFeedConfig {
+  uint64_t seed = 7;
+  /// Mean event rate; inter-arrival gaps are exponential with mean
+  /// 1000 / events_per_sec milliseconds. <= 0 yields an empty trace.
+  double events_per_sec = 1.0;
+  /// Events are scheduled in (0, horizon_ms].
+  double horizon_ms = 10'000.0;
+  /// Relative weights of the four event kinds. Kinds with no valid target
+  /// at draw time (e.g. kRemove at the alive floor) drop out of the draw.
+  double add_weight = 1.0;
+  double remove_weight = 1.0;
+  double stale_weight = 2.0;
+  double drift_weight = 2.0;
+  /// Fraction of kAdd events that revive the oldest dead source when one
+  /// exists; the rest synthesize brand-new sources ("feed-<n>").
+  double revive_fraction = 0.5;
+  /// Probability that a kStaleRefresh re-probe succeeds (staleness 0).
+  double refresh_success = 0.5;
+  /// kRemove never shrinks the alive set below this.
+  int min_alive = 2;
+};
+
+/// A complete, replayable schedule of catalog churn: events in
+/// nondecreasing time order, all payloads materialized.
+struct ChurnTrace {
+  ChurnFeedConfig config;
+  std::vector<ChurnEvent> events;
+};
+
+/// Generates the full schedule for `config` against the current state of
+/// `universe` (alive/dead sets and new-source templates are derived from
+/// it; the universe itself is not modified). Deterministic: a pure function
+/// of the universe's content and the config.
+ChurnTrace GenerateChurnTrace(const Universe& universe,
+                              const ChurnFeedConfig& config);
+
+/// Order-sensitive structural hash over the whole trace — times, kinds,
+/// targets and full payloads. The bit-identity oracle for replay tests.
+uint64_t ChurnTraceFingerprint(const ChurnTrace& trace);
+
+}  // namespace ube
+
+#endif  // UBE_CATALOG_CHANGE_FEED_H_

@@ -1,8 +1,10 @@
 #include "matching/similarity_graph.h"
 
 #include <algorithm>
+#include <bit>
 
 #include "util/check.h"
+#include "util/rng.h"
 #include "util/strings.h"
 
 namespace ube {
@@ -98,6 +100,140 @@ const std::vector<SimilarityGraph::Edge>& SimilarityGraph::EdgesOf(
   UBE_CHECK(dense_index >= 0 && dense_index < num_attributes(),
             "dense index out of range");
   return adjacency_[static_cast<size_t>(dense_index)];
+}
+
+void SimilarityGraph::PatchSourceRemoved(SourceId source) {
+  UBE_CHECK(source >= 0 && source < num_source_slots(),
+            "PatchSourceRemoved: source out of range");
+  const int first = source_offsets_[static_cast<size_t>(source)];
+  const int last = source_offsets_[static_cast<size_t>(source) + 1];
+  const int count = last - first;
+  if (count == 0) return;
+
+  // Every edge of a removed row has its other endpoint outside the removed
+  // block (same-source pairs never get edges), so each removed edge shows
+  // up exactly once across the removed rows.
+  for (int i = first; i < last; ++i) {
+    num_edges_ -= adjacency_[static_cast<size_t>(i)].size();
+  }
+  adjacency_.erase(adjacency_.begin() + first, adjacency_.begin() + last);
+  attr_ids_.erase(attr_ids_.begin() + first, attr_ids_.begin() + last);
+  names_.erase(names_.begin() + first, names_.begin() + last);
+  if (ngram_n_ > 0) {
+    ngram_sets_.erase(ngram_sets_.begin() + first, ngram_sets_.begin() + last);
+  }
+  // Surviving rows: drop edges into the removed block, shift indexes past
+  // it. The index mapping is monotonic, so rows stay sorted by neighbor.
+  for (auto& edges : adjacency_) {
+    size_t keep = 0;
+    for (Edge edge : edges) {
+      if (edge.neighbor >= first && edge.neighbor < last) continue;
+      if (edge.neighbor >= last) edge.neighbor -= count;
+      edges[keep++] = edge;
+    }
+    edges.resize(keep);
+  }
+  for (size_t t = static_cast<size_t>(source) + 1; t < source_offsets_.size();
+       ++t) {
+    source_offsets_[t] -= count;
+  }
+}
+
+void SimilarityGraph::PatchSourceAdded(const Universe& universe,
+                                       SourceId source) {
+  UBE_CHECK(source >= 0 && source <= num_source_slots(),
+            "PatchSourceAdded: source out of range");
+  if (source == num_source_slots()) {
+    // Brand-new source: append a zero-width slot at the tail — exactly
+    // where a rebuild over the grown universe puts it.
+    source_offsets_.push_back(source_offsets_.back());
+  }
+  UBE_CHECK(source_offsets_[static_cast<size_t>(source)] ==
+                source_offsets_[static_cast<size_t>(source) + 1],
+            "PatchSourceAdded: source still has attributes; remove it first");
+  const SourceSchema& schema = universe.source(source).schema();
+  const int add = schema.num_attributes();
+  if (add == 0) return;
+  const int first = source_offsets_[static_cast<size_t>(source)];
+
+  // Renumber existing rows past the insertion point, then splice in the new
+  // block. The shift is monotonic, so rows stay sorted.
+  for (auto& edges : adjacency_) {
+    for (Edge& edge : edges) {
+      if (edge.neighbor >= first) edge.neighbor += add;
+    }
+  }
+  for (size_t t = static_cast<size_t>(source) + 1; t < source_offsets_.size();
+       ++t) {
+    source_offsets_[t] += add;
+  }
+  attr_ids_.insert(attr_ids_.begin() + first, static_cast<size_t>(add),
+                   AttributeId{});
+  names_.insert(names_.begin() + first, static_cast<size_t>(add),
+                std::string());
+  adjacency_.insert(adjacency_.begin() + first, static_cast<size_t>(add),
+                    std::vector<Edge>());
+  if (ngram_n_ > 0) {
+    ngram_sets_.insert(ngram_sets_.begin() + first, static_cast<size_t>(add),
+                       NgramSet());
+  }
+  for (int a = 0; a < add; ++a) {
+    const size_t dense = static_cast<size_t>(first + a);
+    attr_ids_[dense] = AttributeId{source, a};
+    names_[dense] = schema.attribute_name(a);
+    if (ngram_n_ > 0) {
+      ngram_sets_[dense] =
+          NgramSet::Build(NormalizeAttributeName(names_[dense]), ngram_n_);
+    }
+  }
+
+  // Only edges incident to the new block are computed; PairSimilarity is
+  // the same code path construction uses (and every measure is exactly
+  // symmetric), so the floats match a from-scratch rebuild bit for bit.
+  const int n = num_attributes();
+  for (int a = first; a < first + add; ++a) {
+    auto& row = adjacency_[static_cast<size_t>(a)];
+    for (int b = 0; b < n; ++b) {
+      if (b >= first && b < first + add) continue;  // same-source block
+      double sim = PairSimilarity(a, b);
+      if (sim >= floor_ && sim > 0.0) {
+        row.push_back(Edge{b, static_cast<float>(sim)});
+        auto& other = adjacency_[static_cast<size_t>(b)];
+        other.insert(std::lower_bound(other.begin(), other.end(), a,
+                                      [](const Edge& e, int idx) {
+                                        return e.neighbor < idx;
+                                      }),
+                     Edge{a, static_cast<float>(sim)});
+        ++num_edges_;
+      }
+    }
+    // b ran ascending, so the new row is already sorted by neighbor.
+  }
+}
+
+uint64_t SimilarityGraph::Fingerprint() const {
+  uint64_t h = 0xcbf29ce484222325ull;
+  auto mix = [&h](uint64_t v) { h = SplitMix64(h ^ v); };
+  mix(static_cast<uint64_t>(attr_ids_.size()));
+  mix(static_cast<uint64_t>(num_edges_));
+  for (int offset : source_offsets_) mix(static_cast<uint64_t>(offset));
+  for (const AttributeId& id : attr_ids_) {
+    mix((static_cast<uint64_t>(static_cast<uint32_t>(id.source)) << 32) |
+        static_cast<uint32_t>(id.attr_index));
+  }
+  for (const std::string& name : names_) {
+    uint64_t inner = 1469598103934665603ull;
+    for (char c : name) inner = (inner ^ static_cast<uint8_t>(c)) * 1099511628211ull;
+    mix(inner);
+  }
+  for (const auto& edges : adjacency_) {
+    mix(static_cast<uint64_t>(edges.size()));
+    for (const Edge& edge : edges) {
+      mix((static_cast<uint64_t>(static_cast<uint32_t>(edge.neighbor)) << 32) |
+          std::bit_cast<uint32_t>(edge.similarity));
+    }
+  }
+  return h;
 }
 
 double SimilarityGraph::PairSimilarity(int a, int b) const {

@@ -65,6 +65,39 @@ class SimilarityGraph {
   /// Total number of stored undirected edges.
   size_t num_edges() const { return num_edges_; }
 
+  // --- incremental maintenance (live universe, src/source/live_universe.h) --
+  //
+  // The patch operations keep the graph byte-identical to a from-scratch
+  // rebuild over the mutated universe (Fingerprint() is the oracle the
+  // property suite checks): only edges incident to the changed source are
+  // recomputed, every other row is renumbered in place.
+
+  /// Removes every attribute of `source` from the graph (the source's slot
+  /// stays — it just becomes zero-width, exactly as rebuilding over a
+  /// universe where the source is an empty-schema shell would). No-op when
+  /// the source already has no attributes.
+  void PatchSourceRemoved(SourceId source);
+
+  /// Adds the attributes of `universe.source(source)` to the graph. The
+  /// source must currently be zero-width in the graph: either a removed
+  /// shell being revived, or `source == S` (one past the last indexed
+  /// source), which appends a new slot — the layout a rebuild over the
+  /// grown universe produces, because new sources get the highest id.
+  /// Similarities are computed with the same code path as construction, so
+  /// edge floats match a rebuild bit for bit.
+  void PatchSourceAdded(const Universe& universe, SourceId source);
+
+  /// Order-sensitive structural hash over (offsets, attribute ids, names,
+  /// adjacency including similarity float bits, edge count). Two graphs
+  /// with equal fingerprints are byte-identical for every query above.
+  uint64_t Fingerprint() const;
+
+  /// Number of source slots the graph indexes (a live universe grows this
+  /// via PatchSourceAdded).
+  int num_source_slots() const {
+    return static_cast<int>(source_offsets_.size()) - 1;
+  }
+
  private:
   double floor_;
   std::unique_ptr<AttributeSimilarity> measure_;

@@ -1,0 +1,68 @@
+#ifndef UBE_OPTIMIZE_REPAIR_H_
+#define UBE_OPTIMIZE_REPAIR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "optimize/evaluator.h"
+#include "optimize/problem.h"
+#include "util/timer.h"
+
+namespace ube {
+
+namespace obs {
+class ObsContext;
+}  // namespace obs
+
+/// Knobs for the bounded incumbent-repair search. Deliberately a fraction
+/// of a full solve's budget: repair exists so that per-event maintenance is
+/// cheap, with escalation to a full re-solve as the quality backstop
+/// (Engine::RunContinuous owns that policy).
+struct RepairOptions {
+  uint64_t seed = 42;
+  /// Steepest-ascent iterations from the damaged incumbent.
+  int max_iterations = 40;
+  /// Hard cap on computed evaluations (<= 0 disables).
+  int64_t eval_budget = 2'000;
+  /// Moves sampled per iteration (0 = auto, same rule as local search).
+  int candidate_moves = 0;
+  /// QualityBatch threads (1 = inline); the result is identical for any
+  /// value, per the evaluator's bit-identity contract.
+  int num_threads = 1;
+  /// Injectable clock (tests); null = real steady clock.
+  const Clock* clock = nullptr;
+  /// Optional observability context (solve/repair span, solver metrics).
+  obs::ObsContext* obs = nullptr;
+};
+
+/// Outcome of one repair attempt.
+struct RepairResult {
+  /// False when sanitizing left nothing to seed the search with (the whole
+  /// incumbent was evicted) — the caller must fall back to a full solve;
+  /// `solution` is meaningless then.
+  bool seeded = false;
+  /// Incumbent members evicted as dead / banned / out of range.
+  int evicted = 0;
+  /// Q of the sanitized seed before any search (diagnostics: how much the
+  /// churn batch actually hurt).
+  double seed_quality = 0.0;
+  /// The repaired incumbent (solver_name "repair" in its stats).
+  Solution solution;
+};
+
+/// Repairs a damaged incumbent against the evaluator's current spec and
+/// universe: evicts banned/out-of-range members, re-adds newly required
+/// sources, then runs a bounded steepest-ascent local search seeded from
+/// what survived (adds, drops and swaps — so newly appeared sources are
+/// adoptable). Deterministic for a fixed seed and any thread count.
+///
+/// The evaluator must be built over the *current* (post-churn) universe;
+/// RepairIncumbent calls BeginRun, so reported evaluation counts are
+/// per-repair and cache state never leaks across batches.
+RepairResult RepairIncumbent(const CandidateEvaluator& evaluator,
+                             const std::vector<SourceId>& incumbent,
+                             const RepairOptions& options);
+
+}  // namespace ube
+
+#endif  // UBE_OPTIMIZE_REPAIR_H_

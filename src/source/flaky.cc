@@ -20,6 +20,14 @@ DataSource CloneSource(const DataSource& source) {
   return copy;
 }
 
+Universe CloneUniverse(const Universe& universe) {
+  Universe copy;
+  for (SourceId s = 0; s < universe.num_sources(); ++s) {
+    copy.AddSource(CloneSource(universe.source(s)));
+  }
+  return copy;
+}
+
 ProbeResponse InMemoryProbeTarget::Probe(int attempt) {
   (void)attempt;
   ProbeResponse response{ProbedSource{CloneSource(source_)}, 0.0};

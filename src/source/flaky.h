@@ -5,6 +5,7 @@
 #include <string>
 
 #include "source/data_source.h"
+#include "source/universe.h"
 #include "util/fault_injection.h"
 #include "util/result.h"
 
@@ -51,6 +52,11 @@ class ProbeTarget {
 /// Deep copy of a DataSource (which is move-only by design): schema,
 /// cardinality, cloned signature, characteristics, stats state.
 DataSource CloneSource(const DataSource& source);
+
+/// Deep copy of a Universe (move-only as well), source by source with
+/// SourceIds preserved. Benchmarks use this to run competing maintenance
+/// policies over identical starting universes.
+Universe CloneUniverse(const Universe& universe);
 
 /// Probe target over a fully materialized in-memory source: every probe
 /// succeeds instantly with fresh statistics. The building block tests and

@@ -1,0 +1,153 @@
+#include "source/live_universe.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "source/flaky.h"
+#include "util/check.h"
+
+namespace ube {
+
+LiveUniverse::LiveUniverse(Universe universe)
+    : LiveUniverse(std::move(universe), Options{}) {}
+
+LiveUniverse::LiveUniverse(Universe universe, Options options)
+    : universe_(std::make_unique<Universe>(std::move(universe))),
+      health_(options.breaker),
+      refresh_retry_cost_ms_(options.refresh_retry_cost_ms) {
+  std::unique_ptr<AttributeSimilarity> measure =
+      options.similarity != nullptr ? std::move(options.similarity)
+                                    : MakeDefaultSimilarity();
+  graph_ = std::make_unique<SimilarityGraph>(*universe_, std::move(measure),
+                                             options.similarity_floor);
+  matcher_ = std::make_unique<ClusterMatcher>(*universe_, *graph_);
+}
+
+Status LiveUniverse::Apply(const ChurnEvent& event) {
+  if (event.time_ms + 1e-9 < last_event_ms_) {
+    return Status::InvalidArgument(
+        "churn event at " + std::to_string(event.time_ms) +
+        "ms arrived after " + std::to_string(last_event_ms_) +
+        "ms (events must be nondecreasing in time)");
+  }
+  Status status;
+  switch (event.kind) {
+    case ChurnEventKind::kAdd:
+      status = ApplyAdd(event);
+      break;
+    case ChurnEventKind::kRemove:
+      status = ApplyRemove(event);
+      break;
+    case ChurnEventKind::kStaleRefresh:
+      status = ApplyStaleRefresh(event);
+      break;
+    case ChurnEventKind::kDrift:
+      status = ApplyDrift(event);
+      break;
+  }
+  if (!status.ok()) return status;
+  last_event_ms_ = event.time_ms;
+  ++version_;
+  return Status::Ok();
+}
+
+Status LiveUniverse::ApplyAll(const ChurnTrace& trace) {
+  for (const ChurnEvent& event : trace.events) {
+    UBE_RETURN_IF_ERROR(Apply(event));
+  }
+  return Status::Ok();
+}
+
+Status LiveUniverse::ApplyAdd(const ChurnEvent& event) {
+  if (event.revive) {
+    auto it = tombstones_.find(event.source);
+    if (it == tombstones_.end()) {
+      return Status::InvalidArgument(
+          "revive of source " + std::to_string(event.source) +
+          " which has no tombstone");
+    }
+    *universe_->mutable_source(event.source) = std::move(it->second);
+    tombstones_.erase(it);
+    graph_->PatchSourceAdded(*universe_, event.source);
+    // A revived source is a fresh occupant of its id slot: it must not
+    // inherit the breaker state or backoff budget its previous life
+    // accumulated (tests/test_acquisition.cc pins this).
+    health_.Reset(event.source);
+    return Status::Ok();
+  }
+  if (event.added == nullptr) {
+    return Status::InvalidArgument("add event carries no source description");
+  }
+  if (event.source != universe_->num_sources()) {
+    return Status::InvalidArgument(
+        "new source must take the next id " +
+        std::to_string(universe_->num_sources()) + ", got " +
+        std::to_string(event.source));
+  }
+  universe_->AddSource(CloneSource(*event.added));
+  graph_->PatchSourceAdded(*universe_, event.source);
+  health_.Reset(event.source);
+  return Status::Ok();
+}
+
+Status LiveUniverse::ApplyRemove(const ChurnEvent& event) {
+  UBE_RETURN_IF_ERROR(universe_->ValidateId(event.source));
+  DataSource* victim = universe_->mutable_source(event.source);
+  if (!victim->available()) {
+    return Status::InvalidArgument("remove of source " +
+                                   std::to_string(event.source) +
+                                   " which is already unavailable");
+  }
+  // Stash the full description for a later revive, then collapse the slot
+  // to the prober's unavailable-shell convention: name kept, empty schema,
+  // no statistics, unavailable — SourceIds stay stable.
+  tombstones_.insert_or_assign(event.source, CloneSource(*victim));
+  DataSource shell(victim->name(), SourceSchema());
+  shell.set_available(false);
+  shell.set_stats_state(StatsState::kMissing);
+  *victim = std::move(shell);
+  graph_->PatchSourceRemoved(event.source);
+  health_.RecordFailure(event.source, event.time_ms);
+  return Status::Ok();
+}
+
+Status LiveUniverse::ApplyStaleRefresh(const ChurnEvent& event) {
+  UBE_RETURN_IF_ERROR(universe_->ValidateId(event.source));
+  DataSource* source = universe_->mutable_source(event.source);
+  if (!source->available()) {
+    return Status::InvalidArgument("stale-refresh of unavailable source " +
+                                   std::to_string(event.source));
+  }
+  if (event.staleness <= 0.0) {
+    source->set_stats_state(StatsState::kFresh);
+    health_.RecordSuccess(event.source);
+  } else {
+    source->set_stats_state(StatsState::kStale, event.staleness);
+    health_.RecordFailure(event.source, event.time_ms);
+    health_.AddBackoffSpent(event.source, refresh_retry_cost_ms_);
+  }
+  return Status::Ok();
+}
+
+Status LiveUniverse::ApplyDrift(const ChurnEvent& event) {
+  UBE_RETURN_IF_ERROR(universe_->ValidateId(event.source));
+  DataSource* source = universe_->mutable_source(event.source);
+  if (!source->available()) {
+    return Status::InvalidArgument("drift of unavailable source " +
+                                   std::to_string(event.source));
+  }
+  if (event.cardinality_factor <= 0.0 || event.characteristic_factor <= 0.0) {
+    return Status::InvalidArgument("drift factors must be positive");
+  }
+  source->set_cardinality(std::max<int64_t>(
+      1, static_cast<int64_t>(static_cast<double>(source->cardinality()) *
+                              event.cardinality_factor)));
+  std::vector<std::pair<std::string, double>> scaled(
+      source->characteristics().begin(), source->characteristics().end());
+  for (const auto& [name, value] : scaled) {
+    source->SetCharacteristic(name, value * event.characteristic_factor);
+  }
+  return Status::Ok();
+}
+
+}  // namespace ube

@@ -73,6 +73,51 @@ void CircuitBreaker::Trip(double now_ms) {
   ++num_trips_;
 }
 
+// --- SourceHealthRegistry --------------------------------------------------
+
+CircuitBreaker& SourceHealthRegistry::BreakerFor(SourceId id) {
+  auto it = slots_.find(id);
+  if (it == slots_.end()) {
+    it = slots_.emplace(id, Slot(breaker_options_)).first;
+  }
+  return it->second.breaker;
+}
+
+const CircuitBreaker* SourceHealthRegistry::FindBreaker(SourceId id) const {
+  auto it = slots_.find(id);
+  return it == slots_.end() ? nullptr : &it->second.breaker;
+}
+
+void SourceHealthRegistry::AddBackoffSpent(SourceId id, double ms) {
+  auto it = slots_.find(id);
+  if (it == slots_.end()) {
+    it = slots_.emplace(id, Slot(breaker_options_)).first;
+  }
+  it->second.backoff_spent_ms += ms;
+}
+
+double SourceHealthRegistry::backoff_spent_ms(SourceId id) const {
+  auto it = slots_.find(id);
+  return it == slots_.end() ? 0.0 : it->second.backoff_spent_ms;
+}
+
+void SourceHealthRegistry::Reset(SourceId id) { slots_.erase(id); }
+
+bool SourceHealthRegistry::IsBlocked(SourceId id, double now_ms) const {
+  auto it = slots_.find(id);
+  if (it == slots_.end()) return false;
+  const CircuitBreaker& breaker = it->second.breaker;
+  return breaker.state() == CircuitBreaker::State::kOpen &&
+         now_ms + 1e-9 < breaker.open_until_ms();
+}
+
+std::vector<SourceId> SourceHealthRegistry::TrackedIds() const {
+  std::vector<SourceId> ids;
+  ids.reserve(slots_.size());
+  for (const auto& [id, slot] : slots_) ids.push_back(id);
+  return ids;
+}
+
 // --- AcquisitionReport -----------------------------------------------------
 
 std::string_view AcquisitionOutcomeName(AcquisitionOutcome outcome) {

@@ -1,6 +1,7 @@
 #ifndef UBE_SOURCE_PROBER_H_
 #define UBE_SOURCE_PROBER_H_
 
+#include <map>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -64,6 +65,63 @@ class CircuitBreaker {
 };
 
 std::string_view CircuitBreakerStateName(CircuitBreaker::State state);
+
+/// Persistent per-source acquisition health for the continuous (live
+/// universe) mode: a circuit breaker plus the cumulative simulated backoff
+/// budget spent on each SourceId, surviving across event batches.
+///
+/// SourceIds are slots: when the catalog feed removes a source and later
+/// re-adds one under the same id (a revive, or a brand-new source reusing
+/// the id space), the new occupant must NOT inherit the previous occupant's
+/// breaker state or spent backoff budget — Reset(id) wipes the slot and the
+/// live universe calls it on every re-add.
+class SourceHealthRegistry {
+ public:
+  explicit SourceHealthRegistry(
+      const CircuitBreaker::Options& breaker = CircuitBreaker::Options()) {
+    breaker_options_ = breaker;
+  }
+
+  /// The breaker for `id` (created closed on first touch).
+  CircuitBreaker& BreakerFor(SourceId id);
+  /// Read-only view; null when the slot has never been touched.
+  const CircuitBreaker* FindBreaker(SourceId id) const;
+
+  void RecordSuccess(SourceId id) { BreakerFor(id).RecordSuccess(); }
+  void RecordFailure(SourceId id, double now_ms) {
+    BreakerFor(id).RecordFailure(now_ms);
+  }
+
+  /// Adds simulated backoff milliseconds spent retrying `id`.
+  void AddBackoffSpent(SourceId id, double ms);
+  /// Cumulative simulated backoff spent on `id` since its last Reset.
+  double backoff_spent_ms(SourceId id) const;
+
+  /// Forgets everything about `id`: breaker back to closed, backoff budget
+  /// back to zero. Call on re-add so a fresh occupant starts clean.
+  void Reset(SourceId id);
+
+  /// True when `id`'s breaker blocks requests at simulated time `now_ms`
+  /// (open with an unexpired cool-down). Const: unlike AllowRequest this
+  /// never transitions the breaker to half-open, so it is safe for "should
+  /// repair consider this source" queries that must not consume the
+  /// half-open probe.
+  bool IsBlocked(SourceId id, double now_ms) const;
+
+  /// Ids with any recorded state, ascending (diagnostics / tests).
+  std::vector<SourceId> TrackedIds() const;
+
+ private:
+  struct Slot {
+    CircuitBreaker breaker;
+    double backoff_spent_ms = 0.0;
+    explicit Slot(const CircuitBreaker::Options& options)
+        : breaker(options) {}
+  };
+
+  CircuitBreaker::Options breaker_options_;
+  std::map<SourceId, Slot> slots_;
+};
 
 /// How one source came out of acquisition.
 enum class AcquisitionOutcome {

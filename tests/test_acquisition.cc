@@ -10,9 +10,11 @@
 
 #include <gtest/gtest.h>
 
+#include "catalog/change_feed.h"
 #include "core/engine.h"
 #include "core/report.h"
 #include "core/session.h"
+#include "source/live_universe.h"
 #include "qef/qef.h"
 #include "qef/quality_model.h"
 #include "sketch/distinct_estimator.h"
@@ -611,6 +613,82 @@ TEST(EngineAcquisitionTest, EngineIdValidationReportsInsteadOfAborting) {
   Result<MatchResult> match = engine.MatchSources(spec, {-2});
   ASSERT_FALSE(match.ok());
   EXPECT_EQ(match.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SourceHealthRegistryTest, TripsAndBlocksWithoutConsumingHalfOpenProbe) {
+  SourceHealthRegistry health;
+  for (int i = 0; i < 3; ++i) health.RecordFailure(7, /*now_ms=*/0.0);
+  const CircuitBreaker* breaker = health.FindBreaker(7);
+  ASSERT_NE(breaker, nullptr);
+  EXPECT_EQ(breaker->state(), CircuitBreaker::State::kOpen);
+  EXPECT_TRUE(health.IsBlocked(7, 100.0));
+  // After the cool-down IsBlocked answers false but, being const, must NOT
+  // consume the half-open probe: the breaker stays open until someone
+  // actually sends a request through AllowRequest.
+  EXPECT_FALSE(health.IsBlocked(7, 5'000.0));
+  EXPECT_EQ(breaker->state(), CircuitBreaker::State::kOpen);
+  EXPECT_TRUE(health.BreakerFor(7).AllowRequest(5'000.0));
+  EXPECT_EQ(breaker->state(), CircuitBreaker::State::kHalfOpen);
+  // An untouched id is never blocked (and stays untracked).
+  EXPECT_FALSE(health.IsBlocked(8, 0.0));
+  EXPECT_EQ(health.TrackedIds(), std::vector<SourceId>{7});
+}
+
+TEST(SourceHealthRegistryTest, ResetWipesBreakerStateAndBackoffBudget) {
+  SourceHealthRegistry health;
+  for (int i = 0; i < 3; ++i) health.RecordFailure(2, 0.0);
+  health.AddBackoffSpent(2, 123.0);
+  EXPECT_EQ(health.backoff_spent_ms(2), 123.0);
+  EXPECT_TRUE(health.IsBlocked(2, 10.0));
+
+  health.Reset(2);
+  EXPECT_EQ(health.FindBreaker(2), nullptr);
+  EXPECT_EQ(health.backoff_spent_ms(2), 0.0);
+  EXPECT_FALSE(health.IsBlocked(2, 10.0));
+  EXPECT_TRUE(health.TrackedIds().empty());
+}
+
+TEST(SourceHealthRegistryTest, TrackedIdsAscending) {
+  SourceHealthRegistry health;
+  health.RecordSuccess(5);
+  health.AddBackoffSpent(1, 1.0);
+  health.RecordFailure(3, 0.0);
+  EXPECT_EQ(health.TrackedIds(), (std::vector<SourceId>{1, 3, 5}));
+}
+
+// The satellite fix this PR pins: a source re-added under an existing id —
+// revive or brand-new occupant — must not inherit the breaker state or
+// backoff budget its predecessor accumulated.
+TEST(LiveUniverseHealthTest, ReAddedSourceStartsWithCleanHealth) {
+  Universe universe;
+  universe.AddSource(DataSource("a", SourceSchema({"title", "author"})));
+  universe.AddSource(DataSource("b", SourceSchema({"title", "isbn"})));
+  universe.AddSource(DataSource("c", SourceSchema({"author", "price"})));
+  LiveUniverse live(std::move(universe));
+
+  // Accumulate bad history on source 1, enough to trip its breaker.
+  for (int i = 0; i < 3; ++i) live.health().RecordFailure(1, 0.0);
+  live.health().AddBackoffSpent(1, 500.0);
+  EXPECT_TRUE(live.health().IsBlocked(1, 1.0));
+
+  ChurnEvent remove;
+  remove.time_ms = 10.0;
+  remove.kind = ChurnEventKind::kRemove;
+  remove.source = 1;
+  ASSERT_TRUE(live.Apply(remove).ok());
+  EXPECT_FALSE(live.universe().source(1).available());
+
+  ChurnEvent revive;
+  revive.time_ms = 20.0;
+  revive.kind = ChurnEventKind::kAdd;
+  revive.source = 1;
+  revive.revive = true;
+  ASSERT_TRUE(live.Apply(revive).ok());
+
+  EXPECT_TRUE(live.universe().source(1).available());
+  EXPECT_EQ(live.health().FindBreaker(1), nullptr);
+  EXPECT_EQ(live.health().backoff_spent_ms(1), 0.0);
+  EXPECT_FALSE(live.health().IsBlocked(1, 20.0));
 }
 
 // The issue's acceptance scenario: 200 sources, 30% transient fault rate —

@@ -204,6 +204,106 @@ TEST(CatalogErrorTest, ErrorReportsCorrectLineNumber) {
   EXPECT_NE(universe.status().message().find("line 5"), std::string::npos);
 }
 
+TEST(CatalogStateTest, FreshSourceEmitsNoStateKey) {
+  Universe universe;
+  universe.AddSource(DataSource("s", SourceSchema({"a"})));
+  EXPECT_EQ(WriteCatalog(universe).find("state"), std::string::npos);
+}
+
+TEST(CatalogStateTest, StateRoundTripsEveryCombination) {
+  Universe original;
+  {
+    DataSource dropped("gone.com", SourceSchema());
+    dropped.set_available(false);
+    dropped.set_stats_state(StatsState::kMissing);
+    original.AddSource(std::move(dropped));
+  }
+  {
+    DataSource stale("stale.com", SourceSchema({"title", "author"}));
+    stale.set_cardinality(123);
+    stale.set_stats_state(StatsState::kStale, 0.375);
+    original.AddSource(std::move(stale));
+  }
+  {
+    DataSource partial("partial.com", SourceSchema({"title"}));
+    partial.set_stats_state(StatsState::kPartial);
+    original.AddSource(std::move(partial));
+  }
+  {
+    DataSource fresh("fresh.com", SourceSchema({"isbn"}));
+    original.AddSource(std::move(fresh));
+  }
+
+  std::string text = WriteCatalog(original);
+  Result<Universe> parsed = ParseCatalog(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  ASSERT_EQ(parsed->num_sources(), 4);
+  for (SourceId s = 0; s < 4; ++s) {
+    const DataSource& a = original.source(s);
+    const DataSource& b = parsed->source(s);
+    EXPECT_EQ(a.name(), b.name());
+    EXPECT_EQ(a.schema(), b.schema());
+    EXPECT_EQ(a.available(), b.available()) << a.name();
+    EXPECT_EQ(a.stats_state(), b.stats_state()) << a.name();
+    EXPECT_EQ(a.staleness(), b.staleness()) << a.name();  // bit-exact %.17g
+  }
+  // Second round trip is byte-identical (canonical form).
+  EXPECT_EQ(WriteCatalog(*parsed), text);
+}
+
+TEST(CatalogStateTest, DroppedShellMayOmitAttributes) {
+  Result<Universe> parsed = ParseCatalog(
+      "[source]\nname = ghost\ncardinality = 0\nstate = dropped,missing\n");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  ASSERT_EQ(parsed->num_sources(), 1);
+  EXPECT_FALSE(parsed->source(0).available());
+  EXPECT_EQ(parsed->source(0).stats_state(), StatsState::kMissing);
+  EXPECT_TRUE(parsed->source(0).schema().names().empty());
+}
+
+TEST(CatalogStateTest, ExplicitFreshTokenAccepted) {
+  Result<Universe> parsed =
+      ParseCatalog("[source]\nname = x\nattributes = a\nstate = fresh\n");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_TRUE(parsed->source(0).stats_fresh());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    StateCases, CatalogErrorTest,
+    ::testing::Values(
+        BadCatalogCase{"unknown_state_token",
+                       "[source]\nname = x\nattributes = a\nstate = zombie\n",
+                       "unknown 'state' token"},
+        BadCatalogCase{"duplicate_state_key",
+                       "[source]\nname = x\nattributes = a\n"
+                       "state = missing\nstate = partial\n",
+                       "duplicate 'state'"},
+        BadCatalogCase{"duplicate_dropped_token",
+                       "[source]\nname = x\nattributes = a\n"
+                       "state = dropped,dropped\n",
+                       "duplicate 'dropped'"},
+        BadCatalogCase{"two_stats_tokens",
+                       "[source]\nname = x\nattributes = a\n"
+                       "state = missing,partial\n",
+                       "more than one statistics token"},
+        BadCatalogCase{"empty_state",
+                       "[source]\nname = x\nattributes = a\nstate =  ,\n",
+                       "at least one token"},
+        BadCatalogCase{"stale_out_of_range",
+                       "[source]\nname = x\nattributes = a\n"
+                       "state = stale:1.5\n",
+                       "(0, 1]"},
+        BadCatalogCase{"stale_not_numeric",
+                       "[source]\nname = x\nattributes = a\n"
+                       "state = stale:very\n",
+                       "(0, 1]"},
+        BadCatalogCase{"missing_attributes_still_errors_when_not_dropped",
+                       "[source]\nname = x\nstate = missing\n",
+                       "missing 'attributes'"}),
+    [](const ::testing::TestParamInfo<BadCatalogCase>& info) {
+      return info.param.label;
+    });
+
 TEST(CatalogFileTest, SaveAndLoadRoundTrip) {
   WorkloadConfig config;
   config.num_sources = 8;

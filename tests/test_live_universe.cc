@@ -1,0 +1,328 @@
+// The live-universe layer: deterministic churn feeds, incremental universe
+// and similarity-graph maintenance, tombstone/revive semantics, and
+// aggregate consistency under churn. The breadth version of the
+// patched-vs-rebuilt graph check lives in test_property_similarity.cc; here
+// the semantics of each event kind are pinned one by one.
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+#include "catalog/change_feed.h"
+#include "matching/similarity_graph.h"
+#include "source/compound.h"
+#include "source/flaky.h"
+#include "source/live_universe.h"
+#include "text/similarity.h"
+#include "workload/generator.h"
+
+namespace ube {
+namespace {
+
+Universe SmallUniverse(int num_sources = 20) {
+  WorkloadConfig config;
+  config.num_sources = num_sources;
+  config.scale = 0.001;
+  return GenerateWorkload(config).universe;
+}
+
+ChurnFeedConfig BusyFeed(uint64_t seed = 7) {
+  ChurnFeedConfig config;
+  config.seed = seed;
+  config.events_per_sec = 3.0;
+  config.horizon_ms = 10'000.0;  // ~30 events
+  return config;
+}
+
+uint64_t RebuildFingerprint(const Universe& universe) {
+  return SimilarityGraph(universe, MakeDefaultSimilarity(), 0.25)
+      .Fingerprint();
+}
+
+TEST(ChurnFeedTest, ReplaysBitIdenticallyFromSeedRateHorizon) {
+  Universe universe = SmallUniverse();
+  ChurnTrace a = GenerateChurnTrace(universe, BusyFeed(123));
+  ChurnTrace b = GenerateChurnTrace(universe, BusyFeed(123));
+  ASSERT_FALSE(a.events.empty());
+  ASSERT_EQ(a.events.size(), b.events.size());
+  EXPECT_EQ(ChurnTraceFingerprint(a), ChurnTraceFingerprint(b));
+  // A different seed produces a different stream.
+  ChurnTrace c = GenerateChurnTrace(universe, BusyFeed(124));
+  EXPECT_NE(ChurnTraceFingerprint(a), ChurnTraceFingerprint(c));
+}
+
+TEST(ChurnFeedTest, EventsAreOrderedInsideHorizonAndApplyCleanly) {
+  Universe universe = SmallUniverse();
+  ChurnFeedConfig config = BusyFeed(99);
+  ChurnTrace trace = GenerateChurnTrace(universe, config);
+  ASSERT_FALSE(trace.events.empty());
+  double last = 0.0;
+  int kinds_seen[4] = {0, 0, 0, 0};
+  for (const ChurnEvent& event : trace.events) {
+    EXPECT_GE(event.time_ms, last);
+    EXPECT_LE(event.time_ms, config.horizon_ms);
+    last = event.time_ms;
+    ++kinds_seen[static_cast<int>(event.kind)];
+  }
+  // With uniform-ish weights over ~30 events, every kind shows up.
+  EXPECT_GT(kinds_seen[static_cast<int>(ChurnEventKind::kStaleRefresh)] +
+                kinds_seen[static_cast<int>(ChurnEventKind::kDrift)],
+            0);
+  // The generator mirrors the applier's state machine: a generated trace
+  // always applies without error.
+  LiveUniverse live(std::move(universe));
+  EXPECT_TRUE(live.ApplyAll(trace).ok());
+  EXPECT_EQ(live.version(), static_cast<int64_t>(trace.events.size()));
+}
+
+TEST(ChurnFeedTest, NeverRemovesBelowMinAlive) {
+  Universe universe = SmallUniverse(6);
+  ChurnFeedConfig config = BusyFeed(5);
+  config.remove_weight = 50.0;  // removal-hungry feed
+  config.add_weight = 0.5;
+  config.min_alive = 3;
+  ChurnTrace trace = GenerateChurnTrace(universe, config);
+  LiveUniverse live(std::move(universe));
+  for (const ChurnEvent& event : trace.events) {
+    ASSERT_TRUE(live.Apply(event).ok());
+    EXPECT_GE(live.universe().num_available(), config.min_alive);
+  }
+}
+
+TEST(LiveUniverseTest, RemoveCollapsesToShellWithStableIds) {
+  Universe universe = SmallUniverse(8);
+  const int n = universe.num_sources();
+  const std::string name = universe.source(3).name();
+  LiveUniverse live(std::move(universe));
+
+  ChurnEvent remove;
+  remove.time_ms = 5.0;
+  remove.kind = ChurnEventKind::kRemove;
+  remove.source = 3;
+  ASSERT_TRUE(live.Apply(remove).ok());
+
+  EXPECT_EQ(live.universe().num_sources(), n);  // ids stable
+  const DataSource& shell = live.universe().source(3);
+  EXPECT_EQ(shell.name(), name);
+  EXPECT_FALSE(shell.available());
+  EXPECT_TRUE(shell.schema().names().empty());
+  EXPECT_EQ(shell.stats_state(), StatsState::kMissing);
+  EXPECT_EQ(live.universe().UnavailableIds(), std::vector<SourceId>{3});
+  EXPECT_EQ(live.graph().Fingerprint(), RebuildFingerprint(live.universe()));
+}
+
+TEST(LiveUniverseTest, ReviveRestoresByteIdenticalDescription) {
+  Universe universe = SmallUniverse(8);
+  LiveUniverse live(std::move(universe));
+  const std::string before = WriteCatalog(live.universe());
+  const uint64_t graph_before = live.graph().Fingerprint();
+
+  ChurnEvent remove;
+  remove.time_ms = 5.0;
+  remove.kind = ChurnEventKind::kRemove;
+  remove.source = 2;
+  ASSERT_TRUE(live.Apply(remove).ok());
+  EXPECT_NE(WriteCatalog(live.universe()), before);
+
+  ChurnEvent revive;
+  revive.time_ms = 9.0;
+  revive.kind = ChurnEventKind::kAdd;
+  revive.source = 2;
+  revive.revive = true;
+  ASSERT_TRUE(live.Apply(revive).ok());
+
+  // Byte-identical catalog text: schema, cardinality, characteristics,
+  // signature bits and state all came back.
+  EXPECT_EQ(WriteCatalog(live.universe()), before);
+  EXPECT_EQ(live.graph().Fingerprint(), graph_before);
+}
+
+TEST(LiveUniverseTest, BrandNewSourceTakesNextIdAndJoinsGraph) {
+  Universe universe = SmallUniverse(6);
+  const int n = universe.num_sources();
+  LiveUniverse live(std::move(universe));
+
+  ChurnEvent add;
+  add.time_ms = 1.0;
+  add.kind = ChurnEventKind::kAdd;
+  add.source = n;
+  add.added =
+      std::make_unique<DataSource>("newcomer", SourceSchema({"title", "price"}));
+  add.added->set_cardinality(777);
+  ASSERT_TRUE(live.Apply(add).ok());
+
+  ASSERT_EQ(live.universe().num_sources(), n + 1);
+  EXPECT_EQ(live.universe().source(n).name(), "newcomer");
+  EXPECT_TRUE(live.universe().source(n).available());
+  EXPECT_EQ(live.graph().Fingerprint(), RebuildFingerprint(live.universe()));
+  EXPECT_EQ(live.health().FindBreaker(n), nullptr);
+}
+
+TEST(LiveUniverseTest, InvalidEventsFailCleanlyAndLeaveStateUntouched) {
+  Universe universe = SmallUniverse(6);
+  LiveUniverse live(std::move(universe));
+  const std::string snapshot = WriteCatalog(live.universe());
+
+  ChurnEvent event;
+  event.time_ms = 10.0;
+  event.kind = ChurnEventKind::kStaleRefresh;
+  event.source = 1;
+  event.staleness = 0.4;
+  ASSERT_TRUE(live.Apply(event).ok());
+  const int64_t version = live.version();
+
+  // Out-of-order time.
+  ChurnEvent stale;
+  stale.time_ms = 5.0;
+  stale.kind = ChurnEventKind::kDrift;
+  stale.source = 1;
+  EXPECT_FALSE(live.Apply(stale).ok());
+
+  // Revive without a tombstone.
+  ChurnEvent revive;
+  revive.time_ms = 11.0;
+  revive.kind = ChurnEventKind::kAdd;
+  revive.source = 2;
+  revive.revive = true;
+  EXPECT_FALSE(live.Apply(revive).ok());
+
+  // Brand-new add must take the next id.
+  ChurnEvent add;
+  add.time_ms = 11.0;
+  add.kind = ChurnEventKind::kAdd;
+  add.source = 99;
+  add.added = std::make_unique<DataSource>("x", SourceSchema({"a"}));
+  EXPECT_FALSE(live.Apply(add).ok());
+
+  // Add with no payload.
+  ChurnEvent empty_add;
+  empty_add.time_ms = 11.0;
+  empty_add.kind = ChurnEventKind::kAdd;
+  empty_add.source = live.universe().num_sources();
+  EXPECT_FALSE(live.Apply(empty_add).ok());
+
+  // Remove of an already-removed source.
+  ChurnEvent remove;
+  remove.time_ms = 12.0;
+  remove.kind = ChurnEventKind::kRemove;
+  remove.source = 3;
+  ASSERT_TRUE(live.Apply(remove).ok());
+  ChurnEvent again = std::move(remove);
+  again.time_ms = 13.0;
+  EXPECT_FALSE(live.Apply(again).ok());
+
+  // Drift with a non-positive factor, and on an unavailable source.
+  ChurnEvent drift;
+  drift.time_ms = 14.0;
+  drift.kind = ChurnEventKind::kDrift;
+  drift.source = 1;
+  drift.cardinality_factor = 0.0;
+  EXPECT_FALSE(live.Apply(drift).ok());
+  drift.cardinality_factor = 1.2;
+  drift.source = 3;
+  EXPECT_FALSE(live.Apply(drift).ok());
+
+  // Only the valid events advanced the version.
+  EXPECT_EQ(live.version(), version + 1);
+}
+
+TEST(LiveUniverseTest, StaleRefreshAndDriftUpdateStatistics) {
+  Universe universe = SmallUniverse(6);
+  const int64_t cardinality = universe.source(0).cardinality();
+  LiveUniverse live(std::move(universe));
+
+  ChurnEvent stale;
+  stale.time_ms = 1.0;
+  stale.kind = ChurnEventKind::kStaleRefresh;
+  stale.source = 0;
+  stale.staleness = 0.6;
+  ASSERT_TRUE(live.Apply(stale).ok());
+  EXPECT_EQ(live.universe().source(0).stats_state(), StatsState::kStale);
+  EXPECT_EQ(live.universe().source(0).staleness(), 0.6);
+
+  ChurnEvent refresh;
+  refresh.time_ms = 2.0;
+  refresh.kind = ChurnEventKind::kStaleRefresh;
+  refresh.source = 0;
+  refresh.staleness = 0.0;  // successful refresh
+  ASSERT_TRUE(live.Apply(refresh).ok());
+  EXPECT_TRUE(live.universe().source(0).stats_fresh());
+
+  ChurnEvent drift;
+  drift.time_ms = 3.0;
+  drift.kind = ChurnEventKind::kDrift;
+  drift.source = 0;
+  drift.cardinality_factor = 2.0;
+  drift.characteristic_factor = 1.0;
+  ASSERT_TRUE(live.Apply(drift).ok());
+  EXPECT_EQ(live.universe().source(0).cardinality(), 2 * cardinality);
+}
+
+// Fresh*/union aggregates are lazily cached in Universe; every mutation
+// path LiveUniverse uses must dirty them. Compare against a cold clone
+// whose caches were never warm.
+TEST(LiveUniverseTest, AggregatesStayConsistentUnderChurn) {
+  Universe universe = SmallUniverse();
+  LiveUniverse live(std::move(universe));
+  // Warm the caches before churning so stale caches would be caught.
+  (void)live.universe().FreshUnionCardinalityEstimate();
+  (void)live.universe().UnionCardinalityEstimate();
+  (void)live.universe().TotalCardinality();
+
+  ChurnTrace trace = GenerateChurnTrace(live.universe(), BusyFeed(31));
+  ASSERT_TRUE(live.ApplyAll(trace).ok());
+
+  Universe cold = CloneUniverse(live.universe());
+  EXPECT_EQ(live.universe().TotalCardinality(), cold.TotalCardinality());
+  EXPECT_EQ(live.universe().FreshCardinality(), cold.FreshCardinality());
+  EXPECT_EQ(live.universe().UnionCardinalityEstimate(),
+            cold.UnionCardinalityEstimate());
+  EXPECT_EQ(live.universe().FreshUnionCardinalityEstimate(),
+            cold.FreshUnionCardinalityEstimate());
+  EXPECT_EQ(live.universe().num_available(), cold.num_available());
+}
+
+TEST(LiveUniverseTest, ApplyAllIsDeterministicAcrossInstances) {
+  Universe universe = SmallUniverse();
+  ChurnTrace trace = GenerateChurnTrace(universe, BusyFeed(77));
+  LiveUniverse a(CloneUniverse(universe));
+  LiveUniverse b(std::move(universe));
+  ASSERT_TRUE(a.ApplyAll(trace).ok());
+  ASSERT_TRUE(b.ApplyAll(trace).ok());
+  EXPECT_EQ(a.graph().Fingerprint(), b.graph().Fingerprint());
+  EXPECT_EQ(WriteCatalog(a.universe()), WriteCatalog(b.universe()));
+}
+
+TEST(LiveUniverseTest, CompoundUniverseBuildsOverChurnedUniverse) {
+  Universe universe = SmallUniverse();
+  LiveUniverse live(std::move(universe));
+  ChurnTrace trace = GenerateChurnTrace(live.universe(), BusyFeed(13));
+  ASSERT_TRUE(live.ApplyAll(trace).ok());
+
+  // Fuse the first two attributes of the first available source with a
+  // schema of >= 2 attributes.
+  SourceId target = -1;
+  for (SourceId s = 0; s < live.universe().num_sources(); ++s) {
+    const DataSource& source = live.universe().source(s);
+    if (source.available() && source.schema().num_attributes() >= 2) {
+      target = s;
+      break;
+    }
+  }
+  ASSERT_GE(target, 0);
+  CompoundGroup group;
+  group.source = target;
+  group.attr_indices = {0, 1};
+  Result<std::pair<Universe, CompoundMapping>> compound =
+      BuildCompoundUniverse(live.universe(), {group});
+  ASSERT_TRUE(compound.ok()) << compound.status();
+  EXPECT_EQ(compound->first.num_sources(), live.universe().num_sources());
+  EXPECT_EQ(compound->first.source(target).schema().num_attributes(),
+            live.universe().source(target).schema().num_attributes() - 1);
+}
+
+}  // namespace
+}  // namespace ube
