@@ -2,6 +2,7 @@
 // similarity, PCSA operations, Match(S) clustering, and full candidate
 // evaluation. These are the per-call costs that the figure benches
 // aggregate.
+#include <cstdio>
 #include <memory>
 #include <string>
 #include <vector>
@@ -12,7 +13,10 @@
 #include "core/engine.h"
 #include "matching/cluster_matcher.h"
 #include "matching/similarity_graph.h"
+#include "optimize/delta_evaluator.h"
 #include "optimize/evaluator.h"
+#include "optimize/search_state.h"
+#include "qef/qef.h"
 #include "sketch/pcsa.h"
 #include "text/ngram.h"
 #include "text/similarity.h"
@@ -152,6 +156,80 @@ void BM_WorkloadGeneration(benchmark::State& state) {
 BENCHMARK(BM_WorkloadGeneration)->Arg(100)->Arg(400)
     ->Unit(benchmark::kMillisecond);
 
+// The delta path only engages on models without a matching QEF (Match(S)
+// is not incrementally maintainable), so the flip sweep scores the four
+// data QEFs — the same model shape the delta oracle tests use.
+ube::QualityModel DataOnlyModel() {
+  ube::QualityModel model;
+  model.AddQef(std::make_unique<ube::CardinalityQef>(), 0.4);
+  model.AddQef(std::make_unique<ube::CoverageQef>(), 0.3);
+  model.AddQef(std::make_unique<ube::RedundancyQef>(), 0.2);
+  model.AddQef(std::make_unique<ube::CharacteristicQef>(
+                   "mttf", ube::Aggregation::kWeightedSum),
+               0.1);
+  return model;
+}
+
+// Single-flip evaluation throughput: one seeded tabu-style move stream over
+// a paper-scale 1000-source universe, each flip scored as a one-move
+// neighborhood — through DeltaEvaluator's incremental path and (unless
+// --delta restricts the sweep) through the full QualityBatch path. The full
+// path pays O(|universe|) per evaluation (characteristic normalization
+// rescans) while the delta path's per-flip cost is independent of universe
+// size, which is the quantity this sweep tracks. Identical rng streams give
+// identical candidate sequences, cache behavior included, so the ratio is a
+// pure per-flip-cost comparison. Emits flip_delta_per_s and, on the default
+// two-sided run, flip_full_per_s + delta_flip_speedup.
+void RunFlipSweep(ube::bench::BenchHarness& bench, bool delta_only) {
+  ube::WorkloadConfig config;
+  config.num_sources = 1000;
+  config.scale = 0.01;
+  ube::GeneratedWorkload workload = ube::GenerateWorkload(config);
+  ube::SimilarityGraph graph =
+      ube::SimilarityGraph::WithDefaults(workload.universe, 0.25);
+  ube::ClusterMatcher matcher(workload.universe, graph);
+  ube::QualityModel model = DataOnlyModel();
+  ube::ProblemSpec spec;
+  spec.max_sources = 20;
+  ube::CandidateEvaluator evaluator(workload.universe, matcher, model, spec);
+
+  constexpr int kFlips = 4000;
+  auto sweep = [&](bool use_delta) {
+    ube::DeltaEvaluator delta(evaluator, use_delta);
+    evaluator.BeginRun();
+    ube::Rng rng(bench.args().SolverSeed(913));
+    ube::SearchState state(evaluator, rng);
+    std::vector<ube::SearchState::Move> moves(1);
+    std::vector<std::vector<ube::SourceId>> candidates(1);
+    double sink = 0.0;
+    for (int i = 0; i < kFlips; ++i) {
+      if (!state.RandomMove(rng, &moves[0])) break;
+      candidates[0] = state.Apply(moves[0]);
+      sink += delta.ScoreNeighborhood(state.sources(), moves, candidates,
+                                      /*pool=*/nullptr)[0];
+      // Commit occasionally so the sweep pays realistic rebase costs.
+      if (i % 8 == 7) state.Commit(moves[0]);
+    }
+    benchmark::DoNotOptimize(sink);
+  };
+
+  const double delta_ms = bench.TimeMs("flip_delta", [&] { sweep(true); });
+  const double delta_per_s = delta_ms > 0.0 ? kFlips / (delta_ms / 1e3) : 0.0;
+  bench.SetMetric("flip_delta_per_s", delta_per_s);
+  std::printf("flip sweep (delta): %d flips in %.2f ms (%.0f flips/s)\n",
+              kFlips, delta_ms, delta_per_s);
+  if (delta_only) return;
+  const double full_ms = bench.TimeMs("flip_full", [&] { sweep(false); });
+  const double full_per_s = full_ms > 0.0 ? kFlips / (full_ms / 1e3) : 0.0;
+  bench.SetMetric("flip_full_per_s", full_per_s);
+  const double speedup = delta_ms > 0.0 ? full_ms / delta_ms : 0.0;
+  bench.SetMetric("delta_flip_speedup", speedup);
+  std::printf(
+      "flip sweep (full):  %d flips in %.2f ms (%.0f flips/s) — "
+      "delta speedup %.1fx\n",
+      kFlips, full_ms, full_per_s, speedup);
+}
+
 // Console output as usual, plus every benchmark's per-iteration real time
 // harvested into the harness as `<name>_ns` for BENCH_micro_ube.json.
 class MetricReporter : public benchmark::ConsoleReporter {
@@ -181,6 +259,12 @@ class MetricReporter : public benchmark::ConsoleReporter {
 
 int main(int argc, char** argv) {
   ube::bench::BenchHarness bench("micro_ube");
+  bool delta_only = false;
+  bench.flags().AddBool(
+      "--delta",
+      "flip sweep: time the incremental delta path only (default times "
+      "both paths and records delta_flip_speedup)",
+      &delta_only);
   // Harness flags first; --benchmark_* (and anything else) passes through
   // to google-benchmark's own parser.
   bench.ParseKnownOrExit(&argc, argv);
@@ -189,5 +273,6 @@ int main(int argc, char** argv) {
   MetricReporter reporter(&bench);
   benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
+  RunFlipSweep(bench, delta_only);
   return bench.Finish();
 }

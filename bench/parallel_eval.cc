@@ -13,7 +13,9 @@
 
 #include "bench/bench_util.h"
 #include "core/engine.h"
+#include "optimize/delta_evaluator.h"
 #include "optimize/search_state.h"
+#include "qef/qef.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
@@ -61,10 +63,53 @@ double MeasureThroughput(const CandidateEvaluator& evaluator, int threads,
   return seconds > 0.0 ? static_cast<double>(scored) / seconds : 0.0;
 }
 
+// Same sweep through DeltaEvaluator (the solvers' flip-scoring front end).
+// With use_delta the one-move neighborhoods take the incremental path; off,
+// every call forwards to QualityBatch — scores are bit-identical either way.
+double MeasureDeltaThroughput(const CandidateEvaluator& evaluator,
+                              bool use_delta, int batches, int sample,
+                              std::vector<double>* qualities_out) {
+  evaluator.BeginRun();
+  DeltaEvaluator delta(evaluator, use_delta);
+  Rng rng(123);
+  SearchState state(evaluator, rng);
+  qualities_out->clear();
+  int64_t scored = 0;
+  WallTimer timer;
+  for (int b = 0; b < batches; ++b) {
+    std::vector<SearchState::Move> moves;
+    std::vector<std::vector<SourceId>> candidates;
+    for (int k = 0; k < sample; ++k) {
+      SearchState::Move move;
+      if (!state.RandomMove(rng, &move)) break;
+      moves.push_back(move);
+      candidates.push_back(state.Apply(move));
+    }
+    std::vector<double> qualities =
+        delta.ScoreNeighborhood(state.sources(), moves, candidates, nullptr);
+    scored += static_cast<int64_t>(qualities.size());
+    qualities_out->insert(qualities_out->end(), qualities.begin(),
+                          qualities.end());
+    size_t best = 0;
+    for (size_t k = 1; k < qualities.size(); ++k) {
+      if (qualities[k] > qualities[best]) best = k;
+    }
+    if (!moves.empty()) state.Commit(moves[best]);
+  }
+  double seconds = timer.ElapsedSeconds();
+  return seconds > 0.0 ? static_cast<double>(scored) / seconds : 0.0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   BenchHarness bench("parallel_eval");
+  bool delta_only = false;
+  bench.flags().AddBool(
+      "--delta",
+      "delta section: time the incremental path only (default times both "
+      "paths and cross-checks bit-identity)",
+      &delta_only);
   bench.ParseOrExit(argc, argv);
   const BenchArgs& args = bench.args();
   WallTimer total;
@@ -101,6 +146,45 @@ int main(int argc, char** argv) {
               identical ? "yes" : "NO"});
   }
   bench.SetMetric("batch_identical", static_cast<int64_t>(all_identical));
+
+  // Delta axis: single-flip neighborhoods on a data-only model (a matching
+  // QEF needs Match(S) and turns the delta path off by design).
+  std::printf("\nSingle-flip scoring, data-only model (--delta axis):\n");
+  QualityModel data_model;
+  data_model.AddQef(std::make_unique<CardinalityQef>(), 0.4);
+  data_model.AddQef(std::make_unique<CoverageQef>(), 0.3);
+  data_model.AddQef(std::make_unique<RedundancyQef>(), 0.2);
+  data_model.AddQef(std::make_unique<CharacteristicQef>(
+                        "mttf", Aggregation::kWeightedSum),
+                    0.1);
+  CandidateEvaluator flip_evaluator(engine.universe(), engine.matcher(),
+                                    data_model, spec);
+  PrintRow({"path", "cand/s", "speedup", "identical"});
+  std::vector<double> delta_scores;
+  double delta_rate = MeasureDeltaThroughput(flip_evaluator, true, kBatches,
+                                             kSample, &delta_scores);
+  bench.SetMetric("delta_cand_per_s", delta_rate);
+  if (delta_only) {
+    PrintRow({"delta", Fmt("%.1f", delta_rate), "-", "-"});
+  } else {
+    std::vector<double> full_scores;
+    double full_rate = MeasureDeltaThroughput(flip_evaluator, false, kBatches,
+                                              kSample, &full_scores);
+    bool delta_identical = delta_scores == full_scores;
+    bench.SetMetric("delta_off_cand_per_s", full_rate);
+    bench.SetMetric("delta_speedup",
+                    full_rate > 0.0 ? delta_rate / full_rate : 0.0);
+    bench.SetMetric("delta_identical", static_cast<int64_t>(delta_identical));
+    PrintRow({"full", Fmt("%.1f", full_rate), "1.00x", "ref"});
+    PrintRow({"delta", Fmt("%.1f", delta_rate),
+              Fmt("%.2f", full_rate > 0.0 ? delta_rate / full_rate : 0.0) +
+                  "x",
+              delta_identical ? "yes" : "NO"});
+    if (!delta_identical) {
+      std::printf("ERROR: delta scores diverged from the full path\n");
+      return 1;
+    }
+  }
 
   std::printf("\nEnd-to-end tabu search (seed 1), same instance:\n");
   PrintRow({"threads", "time(s)", "quality", "evals"});

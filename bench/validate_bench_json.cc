@@ -1,14 +1,18 @@
 // Validates BENCH_*.json files against the perf-trajectory schema
 // (EXPERIMENTS.md): a top-level object with string `bench`/`git_commit`,
 // numeric `seed`/`threads`/`repeat`, and a non-empty `metrics` object whose
-// values are all numbers. Exits 0 when every argument validates, 1
-// otherwise. The CI bench-smoke job runs this over the artifacts it
-// uploads.
+// values are all numbers. `--require <bench>:<metric>[,<metric>...]`
+// additionally pins named metrics for files whose `bench` field matches —
+// the CI bench-smoke job uses it to fail when a binary silently stops
+// emitting a tracked metric (e.g. micro_ube's delta_flip_speedup). Exits 0
+// when every argument validates, 1 otherwise.
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <variant>
+#include <vector>
 
 #include "util/json.h"
 
@@ -33,7 +37,31 @@ bool HasNumber(const Object& object, const char* key) {
   return it != object.end() && std::holds_alternative<double>(it->second.data);
 }
 
-bool ValidateFile(const std::string& path) {
+/// One --require clause: metrics that must exist when `bench` matches.
+struct Requirement {
+  std::string bench;
+  std::vector<std::string> metrics;
+};
+
+bool ParseRequirement(const std::string& spec, Requirement* out) {
+  size_t colon = spec.find(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 >= spec.size()) {
+    return false;
+  }
+  out->bench = spec.substr(0, colon);
+  out->metrics.clear();
+  size_t start = colon + 1;
+  while (start <= spec.size()) {
+    size_t comma = spec.find(',', start);
+    if (comma == std::string::npos) comma = spec.size();
+    if (comma > start) out->metrics.push_back(spec.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return !out->metrics.empty();
+}
+
+bool ValidateFile(const std::string& path,
+                  const std::vector<Requirement>& requirements) {
   std::ifstream file(path);
   if (!file) return Fail(path, "cannot open");
   std::ostringstream buffer;
@@ -64,6 +92,17 @@ bool ValidateFile(const std::string& path) {
       return Fail(path, "metric '" + key + "' is not a number");
     }
   }
+  const std::string& bench_name =
+      std::get<std::string>(top->find("bench")->second.data);
+  for (const Requirement& req : requirements) {
+    if (req.bench != bench_name) continue;
+    for (const std::string& metric : req.metrics) {
+      if (!HasNumber(*metrics, metric.c_str())) {
+        return Fail(path, "required metric '" + metric + "' missing for bench '" +
+                              bench_name + "'");
+      }
+    }
+  }
   std::printf("%s: ok (%zu metrics)\n", path.c_str(), metrics->size());
   return true;
 }
@@ -71,13 +110,31 @@ bool ValidateFile(const std::string& path) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) {
-    std::fprintf(stderr, "usage: %s BENCH_file.json...\n", argv[0]);
+  std::vector<Requirement> requirements;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--require") {
+      Requirement req;
+      if (i + 1 >= argc || !ParseRequirement(argv[++i], &req)) {
+        std::fprintf(stderr, "--require wants <bench>:<metric>[,<metric>...]\n");
+        return 2;
+      }
+      requirements.push_back(std::move(req));
+      continue;
+    }
+    paths.push_back(std::move(arg));
+  }
+  if (paths.empty()) {
+    std::fprintf(stderr,
+                 "usage: %s [--require bench:metric[,metric...]]... "
+                 "BENCH_file.json...\n",
+                 argv[0]);
     return 2;
   }
   bool ok = true;
-  for (int i = 1; i < argc; ++i) {
-    ok = ValidateFile(argv[i]) && ok;
+  for (const std::string& path : paths) {
+    ok = ValidateFile(path, requirements) && ok;
   }
   return ok ? 0 : 1;
 }

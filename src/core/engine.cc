@@ -215,6 +215,7 @@ Result<ContinuousReport> Engine::RunContinuous(
       repair.seed =
           SplitMix64(options.repair.seed ^ (0x9e3779b97f4a7c15ull * batch_index));
       repair.num_threads = options.solver_options.num_threads;
+      repair.delta_eval = options.solver_options.delta_eval;
       repair.clock = options.solver_options.clock;
       if (repair.obs == nullptr) repair.obs = obs_;
       RepairResult repaired = RepairIncumbent(evaluator, incumbent, repair);

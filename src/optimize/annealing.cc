@@ -35,9 +35,10 @@ Result<Solution> AnnealingSolver::Solve(const CandidateEvaluator& evaluator,
   internal::SolveScope scope(evaluator, options, name());
   Rng rng(options.seed);
   std::unique_ptr<ThreadPool> pool = internal::MakeEvalPool(options);
+  DeltaEvaluator scorer = internal::MakeDeltaEvaluator(evaluator, options);
 
   SearchState state(evaluator, rng);
-  double current = evaluator.Quality(state.sources());
+  double current = scorer.Quality(state.sources());
   std::vector<SourceId> best = state.sources();
   double best_quality = current;
   std::vector<TracePoint> trace;
@@ -88,8 +89,8 @@ Result<Solution> AnnealingSolver::Solve(const CandidateEvaluator& evaluator,
       stop = StopReason::kExhausted;
       break;
     }
-    std::vector<double> qualities =
-        evaluator.QualityBatch(candidates, pool.get());
+    std::vector<double> qualities = scorer.ScoreNeighborhood(
+        state.sources(), moves, candidates, pool.get());
 
     for (size_t k = 0; k < moves.size(); ++k) {
       ++iterations;

@@ -22,6 +22,8 @@ namespace obs {
 class ObsContext;
 }  // namespace obs
 
+class DeltaEvaluator;
+
 /// Scores candidate source sets for one optimization problem: runs
 /// Match(S, C, G) when the model needs it, builds the QEF context and
 /// returns Q(S). Infeasible candidates (Match invalid on C) score 0.
@@ -141,6 +143,11 @@ class CandidateEvaluator {
   }
 
  private:
+  /// The delta path (optimize/delta_evaluator.h) shares this evaluator's
+  /// quality cache, counters and obs hooks so budgets and metrics stay
+  /// identical with delta scoring on or off.
+  friend class DeltaEvaluator;
+
   static uint64_t HashCandidate(const std::vector<SourceId>& candidate);
 
   struct CacheEntry {

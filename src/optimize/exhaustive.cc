@@ -34,6 +34,7 @@ Result<Solution> ExhaustiveSolver::Solve(const CandidateEvaluator& evaluator,
   WallTimer timer(options.clock);
   evaluator.BeginRun();
   internal::SolveScope scope(evaluator, options, name());
+  DeltaEvaluator delta = internal::MakeDeltaEvaluator(evaluator, options);
 
   const int n = evaluator.universe().num_sources();
   const int m = evaluator.spec().max_sources;
@@ -65,7 +66,7 @@ Result<Solution> ExhaustiveSolver::Solve(const CandidateEvaluator& evaluator,
     std::sort(candidate.begin(), candidate.end());
     if (candidate.empty()) return;  // |S| >= 1 required
     ++iterations;
-    double quality = evaluator.Quality(candidate);
+    double quality = delta.Quality(candidate);
     if (quality > best_quality) {
       best_quality = quality;
       best = std::move(candidate);

@@ -25,6 +25,7 @@ Result<Solution> GreedySolver::Solve(const CandidateEvaluator& evaluator,
   evaluator.BeginRun();
   internal::SolveScope scope(evaluator, options, name());
   std::unique_ptr<ThreadPool> pool = internal::MakeEvalPool(options);
+  DeltaEvaluator delta = internal::MakeDeltaEvaluator(evaluator, options);
 
   const int n = evaluator.universe().num_sources();
   const int m = evaluator.spec().max_sources;
@@ -54,7 +55,7 @@ Result<Solution> GreedySolver::Solve(const CandidateEvaluator& evaluator,
       candidates.push_back({s});
     }
     std::vector<double> qualities =
-        evaluator.QualityBatch(candidates, pool.get());
+        delta.ScoreCandidates(candidates, pool.get());
     SourceId best_seed = -1;
     double best_quality = -1.0;
     for (size_t i = 0; i < seeds.size(); ++i) {
@@ -67,7 +68,7 @@ Result<Solution> GreedySolver::Solve(const CandidateEvaluator& evaluator,
     current.push_back(best_seed);
     member[static_cast<size_t>(best_seed)] = 1;
   }
-  double current_quality = evaluator.Quality(current);
+  double current_quality = delta.Quality(current);
 
   // Greedy augmentation: always add the best marginal source. Additions are
   // accepted even when the marginal gain is non-positive as long as *some*
@@ -86,6 +87,7 @@ Result<Solution> GreedySolver::Solve(const CandidateEvaluator& evaluator,
     // Score every feasible one-source extension as a single batch, then
     // replay the sequential lowest-id-first selection over the results.
     std::vector<SourceId> adds;
+    std::vector<SearchState::Move> moves;
     std::vector<std::vector<SourceId>> candidates;
     for (SourceId s = 0; s < n; ++s) {
       if (member[static_cast<size_t>(s)] || excluded[static_cast<size_t>(s)]) {
@@ -95,10 +97,12 @@ Result<Solution> GreedySolver::Solve(const CandidateEvaluator& evaluator,
       candidate.insert(
           std::lower_bound(candidate.begin(), candidate.end(), s), s);
       adds.push_back(s);
+      moves.push_back(
+          SearchState::Move{SearchState::Move::Kind::kAdd, s, -1});
       candidates.push_back(std::move(candidate));
     }
     std::vector<double> qualities =
-        evaluator.QualityBatch(candidates, pool.get());
+        delta.ScoreNeighborhood(current, moves, candidates, pool.get());
     bool found = false;
     SourceId best_add = -1;
     double best_quality = current_quality;

@@ -25,6 +25,7 @@ Result<Solution> LocalSearchSolver::Solve(const CandidateEvaluator& evaluator,
   internal::SolveScope scope(evaluator, options, name());
   Rng rng(options.seed);
   std::unique_ptr<ThreadPool> pool = internal::MakeEvalPool(options);
+  DeltaEvaluator delta = internal::MakeDeltaEvaluator(evaluator, options);
 
   const int n = evaluator.universe().num_sources();
   const int sample = options.candidate_moves > 0
@@ -49,7 +50,7 @@ Result<Solution> LocalSearchSolver::Solve(const CandidateEvaluator& evaluator,
       break;
     }
     SearchState state(evaluator, rng);
-    double current = evaluator.Quality(state.sources());
+    double current = delta.Quality(state.sources());
     if (current > best_quality) {
       best_quality = current;
       best = state.sources();
@@ -74,8 +75,8 @@ Result<Solution> LocalSearchSolver::Solve(const CandidateEvaluator& evaluator,
         moves.push_back(move);
         candidates.push_back(state.Apply(move));
       }
-      std::vector<double> qualities =
-          evaluator.QualityBatch(candidates, pool.get());
+      std::vector<double> qualities = delta.ScoreNeighborhood(
+          state.sources(), moves, candidates, pool.get());
       bool improved = false;
       SearchState::Move chosen;
       double chosen_quality = current;
@@ -125,6 +126,7 @@ Result<Solution> RandomSolver::Solve(const CandidateEvaluator& evaluator,
   evaluator.BeginRun();
   internal::SolveScope scope(evaluator, options, name());
   Rng rng(options.seed);
+  DeltaEvaluator delta = internal::MakeDeltaEvaluator(evaluator, options);
 
   std::vector<SourceId> best;
   double best_quality = -1.0;
@@ -140,7 +142,7 @@ Result<Solution> RandomSolver::Solve(const CandidateEvaluator& evaluator,
     }
     ++iterations;
     std::vector<SourceId> candidate = RandomFeasibleCandidate(evaluator, rng);
-    double quality = evaluator.Quality(candidate);
+    double quality = delta.Quality(candidate);
     if (quality > best_quality) {
       best_quality = quality;
       best = std::move(candidate);

@@ -81,6 +81,7 @@ Result<Solution> PsoSolver::Solve(const CandidateEvaluator& evaluator,
   internal::SolveScope scope(evaluator, options, name());
   Rng rng(options.seed);
   std::unique_ptr<ThreadPool> pool = internal::MakeEvalPool(options);
+  DeltaEvaluator delta = internal::MakeDeltaEvaluator(evaluator, options);
 
   const int n = evaluator.universe().num_sources();
   const int m = evaluator.spec().max_sources;
@@ -115,7 +116,7 @@ Result<Solution> PsoSolver::Solve(const CandidateEvaluator& evaluator,
     p.position = Repair(p.bits, p.velocity, required, banned, m);
     positions.push_back(p.position);
   }
-  std::vector<double> qualities = evaluator.QualityBatch(positions, pool.get());
+  std::vector<double> qualities = delta.ScoreCandidates(positions, pool.get());
   for (size_t i = 0; i < swarm.size(); ++i) {
     Particle& p = swarm[i];
     double quality = qualities[i];
@@ -178,7 +179,7 @@ Result<Solution> PsoSolver::Solve(const CandidateEvaluator& evaluator,
       p.position = Repair(p.bits, p.velocity, required, banned, m);
       positions.push_back(p.position);
     }
-    qualities = evaluator.QualityBatch(positions, pool.get());
+    qualities = delta.ScoreCandidates(positions, pool.get());
     for (size_t i = 0; i < swarm.size(); ++i) {
       Particle& p = swarm[i];
       double quality = qualities[i];

@@ -26,6 +26,7 @@ SolverOptions AsSolverOptions(const RepairOptions& options) {
   solver.max_evaluations = options.eval_budget;
   solver.candidate_moves = options.candidate_moves;
   solver.num_threads = options.num_threads;
+  solver.delta_eval = options.delta_eval;
   solver.clock = options.clock;
   solver.obs = options.obs;
   solver.stall_iterations = 0;  // convergence is the natural stop
@@ -82,9 +83,11 @@ RepairResult RepairIncumbent(const CandidateEvaluator& evaluator,
   internal::SolveScope scope(evaluator, solver_options, "repair");
   Rng rng(solver_options.seed);
   std::unique_ptr<ThreadPool> pool = internal::MakeEvalPool(solver_options);
+  DeltaEvaluator delta =
+      internal::MakeDeltaEvaluator(evaluator, solver_options);
 
   SearchState state(evaluator, damaged);
-  double current = evaluator.Quality(state.sources());
+  double current = delta.Quality(state.sources());
   result.seed_quality = current;
   std::vector<SourceId> best = state.sources();
   double best_quality = current;
@@ -116,7 +119,7 @@ RepairResult RepairIncumbent(const CandidateEvaluator& evaluator,
       break;
     }
     std::vector<double> qualities =
-        evaluator.QualityBatch(candidates, pool.get());
+        delta.ScoreNeighborhood(state.sources(), moves, candidates, pool.get());
     bool improved = false;
     SearchState::Move chosen;
     double chosen_quality = current;

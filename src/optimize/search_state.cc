@@ -47,16 +47,13 @@ SearchState::SearchState(const CandidateEvaluator& evaluator,
     : evaluator_(&evaluator),
       universe_size_(evaluator.universe().num_sources()),
       max_sources_(evaluator.spec().max_sources) {
-  required_.assign(static_cast<size_t>(universe_size_), 0);
-  for (SourceId s : evaluator.required_sources()) {
-    required_[static_cast<size_t>(s)] = 1;
-  }
+  required_ = SourceBitset(universe_size_);
+  for (SourceId s : evaluator.required_sources()) required_.set(s);
   num_required_ = static_cast<int>(evaluator.required_sources().size());
-  banned_.assign(static_cast<size_t>(universe_size_), 0);
-  for (SourceId s : evaluator.banned_sources()) {
-    banned_[static_cast<size_t>(s)] = 1;
-  }
+  banned_ = SourceBitset(universe_size_);
+  for (SourceId s : evaluator.banned_sources()) banned_.set(s);
   num_banned_ = static_cast<int>(evaluator.banned_sources().size());
+  member_ = SourceBitset(universe_size_);
   Reset(std::move(candidate));
 }
 
@@ -69,27 +66,25 @@ void SearchState::Reset(std::vector<SourceId> candidate) {
   sources_ = std::move(candidate);
   RebuildMembership();
   for (SourceId s = 0; s < universe_size_; ++s) {
-    if (required_[static_cast<size_t>(s)]) {
-      UBE_CHECK(member_[static_cast<size_t>(s)],
-                "candidate is missing a required source");
+    if (required_.test(s)) {
+      UBE_CHECK(member_.test(s), "candidate is missing a required source");
     }
-    if (banned_[static_cast<size_t>(s)]) {
-      UBE_CHECK(!member_[static_cast<size_t>(s)],
-                "candidate contains a banned source");
+    if (banned_.test(s)) {
+      UBE_CHECK(!member_.test(s), "candidate contains a banned source");
     }
   }
 }
 
 void SearchState::RebuildMembership() {
-  member_.assign(static_cast<size_t>(universe_size_), 0);
+  member_.clear();
   for (SourceId s : sources_) {
     UBE_CHECK(s >= 0 && s < universe_size_, "source id out of range");
-    member_[static_cast<size_t>(s)] = 1;
+    member_.set(s);
   }
 }
 
 bool SearchState::Droppable(SourceId s) const {
-  return Contains(s) && !required_[static_cast<size_t>(s)] && size() > 1;
+  return Contains(s) && !required_.test(s) && size() > 1;
 }
 
 bool SearchState::RandomMove(Rng& rng, Move* move) const {
@@ -127,8 +122,8 @@ bool SearchState::RandomMove(Rng& rng, Move* move) const {
         in = static_cast<SourceId>(
             rng.UniformInt(static_cast<uint64_t>(universe_size_)));
         if (++in_tries > 512) break;
-      } while (Contains(in) || banned_[static_cast<size_t>(in)]);
-      if (Contains(in) || banned_[static_cast<size_t>(in)]) continue;
+      } while (Contains(in) || banned_.test(in));
+      if (Contains(in) || banned_.test(in)) continue;
     }
     if (kind == Move::Kind::kDrop || kind == Move::Kind::kSwap) {
       // Rejection-sample a droppable member.
@@ -165,10 +160,10 @@ std::vector<SourceId> SearchState::Apply(const Move& move) const {
 void SearchState::Commit(const Move& move) {
   sources_ = Apply(move);
   if (move.kind == Move::Kind::kDrop || move.kind == Move::Kind::kSwap) {
-    member_[static_cast<size_t>(move.out)] = 0;
+    member_.reset(move.out);
   }
   if (move.kind == Move::Kind::kAdd || move.kind == Move::Kind::kSwap) {
-    member_[static_cast<size_t>(move.in)] = 1;
+    member_.set(move.in);
   }
 }
 
@@ -176,7 +171,7 @@ std::vector<SourceId> SearchState::NonMembers() const {
   std::vector<SourceId> out;
   out.reserve(static_cast<size_t>(universe_size_ - size()));
   for (SourceId s = 0; s < universe_size_; ++s) {
-    if (!member_[static_cast<size_t>(s)]) out.push_back(s);
+    if (!member_.test(s)) out.push_back(s);
   }
   return out;
 }

@@ -1,13 +1,63 @@
 #ifndef UBE_OPTIMIZE_SEARCH_STATE_H_
 #define UBE_OPTIMIZE_SEARCH_STATE_H_
 
+#include <bit>
+#include <cstdint>
 #include <vector>
 
 #include "optimize/evaluator.h"
 #include "optimize/problem.h"
+#include "util/check.h"
 #include "util/rng.h"
 
 namespace ube {
+
+/// Fixed-width bitmask over SourceIds, 64 ids per word. The width is sized
+/// once — at universe build, when the owning SearchState is constructed —
+/// and never grows: a universe that can grow during a run (LiveUniverse)
+/// must reject add-events past its declared capacity *before* any downstream
+/// bitmask indexes out of range (see LiveUniverse::Options::max_sources),
+/// instead of letting an oversized id become UB here.
+class SourceBitset {
+ public:
+  SourceBitset() = default;
+  explicit SourceBitset(int num_sources)
+      : size_(num_sources),
+        words_(static_cast<size_t>(num_sources + 63) / 64, 0) {
+    UBE_CHECK(num_sources >= 0, "bitset width must be non-negative");
+  }
+
+  /// Width in source ids (fixed at construction).
+  int size() const { return size_; }
+
+  bool test(SourceId s) const {
+    UBE_DCHECK(s >= 0 && s < size_, "source id out of bitset range");
+    return (words_[Word(s)] >> Bit(s)) & uint64_t{1};
+  }
+  void set(SourceId s) {
+    UBE_DCHECK(s >= 0 && s < size_, "source id out of bitset range");
+    words_[Word(s)] |= uint64_t{1} << Bit(s);
+  }
+  void reset(SourceId s) {
+    UBE_DCHECK(s >= 0 && s < size_, "source id out of bitset range");
+    words_[Word(s)] &= ~(uint64_t{1} << Bit(s));
+  }
+  void clear() { std::fill(words_.begin(), words_.end(), 0); }
+
+  /// Number of set bits.
+  int count() const {
+    int total = 0;
+    for (uint64_t word : words_) total += std::popcount(word);
+    return total;
+  }
+
+ private:
+  static size_t Word(SourceId s) { return static_cast<size_t>(s) >> 6; }
+  static unsigned Bit(SourceId s) { return static_cast<unsigned>(s) & 63u; }
+
+  int size_ = 0;
+  std::vector<uint64_t> words_;
+};
 
 /// Mutable candidate representation shared by the local-move solvers:
 /// a sorted source list plus an O(1) membership table, with the move set
@@ -35,7 +85,7 @@ class SearchState {
 
   const std::vector<SourceId>& sources() const { return sources_; }
   int size() const { return static_cast<int>(sources_.size()); }
-  bool Contains(SourceId s) const { return member_[static_cast<size_t>(s)]; }
+  bool Contains(SourceId s) const { return member_.test(s); }
   /// True if `s` may be dropped (present and not required).
   bool Droppable(SourceId s) const;
 
@@ -62,9 +112,10 @@ class SearchState {
   int universe_size_;
   int max_sources_;
   std::vector<SourceId> sources_;  // sorted
-  std::vector<char> member_;       // universe-sized bitmap
-  std::vector<char> required_;     // universe-sized bitmap
-  std::vector<char> banned_;       // universe-sized bitmap
+  // Bit-packed, universe-width masks (width fixed at construction).
+  SourceBitset member_;
+  SourceBitset required_;
+  SourceBitset banned_;
   int num_required_;
   int num_banned_;
 };

@@ -51,6 +51,13 @@ struct SolverOptions {
   /// disables all instrumentation — the deterministic parts of the
   /// returned Solution are byte-identical either way.
   obs::ObsContext* obs = nullptr;
+  /// Score candidates through the incremental delta path
+  /// (optimize/delta_evaluator.h) when the quality model supports it
+  /// (every QEF provides a delta scorer; matching models fall back to the
+  /// full path automatically). Results, counters and traces are
+  /// bit-identical on or off — this knob exists for A/B benchmarking
+  /// (bench/micro_ube --delta) and as an escape hatch.
+  bool delta_eval = true;
 
   // --- tabu search -----------------------------------------------------
   /// Moves sampled per iteration (0 = auto: scales with |U| and m).

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "obs/obs.h"
+#include "optimize/delta_evaluator.h"
 #include "optimize/evaluator.h"
 #include "optimize/problem.h"
 #include "optimize/solver.h"
@@ -92,6 +93,15 @@ inline void MaybeTrace(bool enabled, const CandidateEvaluator& evaluator,
 
 /// Common entry checks: non-empty universe. Returns OK or kInfeasible.
 Status CheckSolvable(const CandidateEvaluator& evaluator);
+
+/// Delta scoring front-end per SolverOptions::delta_eval. Inactive (pure
+/// pass-through to the full path) when the flag is off or the model has a
+/// QEF without a delta scorer; either way solvers call the same
+/// Quality/ScoreCandidates/ScoreNeighborhood API.
+inline DeltaEvaluator MakeDeltaEvaluator(const CandidateEvaluator& evaluator,
+                                         const SolverOptions& options) {
+  return DeltaEvaluator(evaluator, options.delta_eval);
+}
 
 /// Thread pool for QualityBatch per SolverOptions::num_threads, or null
 /// when the resolved count is 1 (QualityBatch then evaluates inline).

@@ -34,6 +34,7 @@ Result<Solution> TabuSearchSolver::Solve(const CandidateEvaluator& evaluator,
   internal::SolveScope scope(evaluator, options, name());
   Rng rng(options.seed);
   std::unique_ptr<ThreadPool> pool = internal::MakeEvalPool(options);
+  DeltaEvaluator delta = internal::MakeDeltaEvaluator(evaluator, options);
 
   const int n = evaluator.universe().num_sources();
   const int tenure =
@@ -43,7 +44,7 @@ Result<Solution> TabuSearchSolver::Solve(const CandidateEvaluator& evaluator,
                          : std::min(64, std::max(24, n / 8));
 
   SearchState state(evaluator, rng);
-  double current_quality = evaluator.Quality(state.sources());
+  double current_quality = delta.Quality(state.sources());
   std::vector<SourceId> best = state.sources();
   double best_quality = current_quality;
   std::vector<TracePoint> trace;
@@ -127,7 +128,7 @@ Result<Solution> TabuSearchSolver::Solve(const CandidateEvaluator& evaluator,
       candidates.push_back(state.Apply(move));
     }
     std::vector<double> qualities =
-        evaluator.QualityBatch(candidates, pool.get());
+        delta.ScoreNeighborhood(state.sources(), moves, candidates, pool.get());
 
     bool have_move = false;
     SearchState::Move chosen;

@@ -11,6 +11,82 @@ namespace {
 
 double Clamp01(double x) { return std::clamp(x, 0.0, 1.0); }
 
+/// Card / Coverage / Redundancy read only the aggregates the context
+/// already carries, so given a prepared context their Evaluate is O(1);
+/// the delta scorer simply forwards to it (one implementation, no drift).
+class ForwardingDeltaScorer final : public QefDeltaScorer {
+ public:
+  explicit ForwardingDeltaScorer(const Qef* qef) : qef_(qef) {}
+  double Score(const EvalContext& ctx) const override {
+    return qef_->Evaluate(ctx);
+  }
+
+ private:
+  const Qef* qef_;
+};
+
+/// CharacteristicQef's Evaluate rescans the universe (min/max) and hits the
+/// per-source characteristic map for every candidate. This scorer freezes
+/// both into per-source tables at construction and replays Evaluate's exact
+/// aggregation arithmetic over them, in candidate order — identical
+/// operands, identical order, identical bits.
+class CharacteristicDeltaScorer final : public QefDeltaScorer {
+ public:
+  CharacteristicDeltaScorer(Aggregation aggregation, bool any,
+                            std::vector<double> normalized,
+                            std::vector<double> cardinality)
+      : aggregation_(aggregation),
+        any_(any),
+        normalized_(std::move(normalized)),
+        cardinality_(std::move(cardinality)) {}
+
+  double Score(const EvalContext& ctx) const override {
+    const std::vector<SourceId>& sources = *ctx.sources;
+    if (sources.empty()) return 0.0;
+    if (!any_) return 0.0;
+    switch (aggregation_) {
+      case Aggregation::kWeightedSum: {
+        double weighted = 0.0;
+        double total_card = 0.0;
+        for (SourceId s : sources) {
+          double card = cardinality_[static_cast<size_t>(s)];
+          weighted += normalized_[static_cast<size_t>(s)] * card;
+          total_card += card;
+        }
+        if (total_card <= 0.0) return 0.0;
+        return Clamp01(weighted / total_card);
+      }
+      case Aggregation::kMean: {
+        double sum = 0.0;
+        for (SourceId s : sources) sum += normalized_[static_cast<size_t>(s)];
+        return Clamp01(sum / static_cast<double>(sources.size()));
+      }
+      case Aggregation::kMin: {
+        double best = 1.0;
+        for (SourceId s : sources) {
+          best = std::min(best, normalized_[static_cast<size_t>(s)]);
+        }
+        return best;
+      }
+      case Aggregation::kMax: {
+        double best = 0.0;
+        for (SourceId s : sources) {
+          best = std::max(best, normalized_[static_cast<size_t>(s)]);
+        }
+        return best;
+      }
+    }
+    UBE_CHECK(false, "unknown aggregation");
+    return 0.0;
+  }
+
+ private:
+  Aggregation aggregation_;
+  bool any_;
+  std::vector<double> normalized_;
+  std::vector<double> cardinality_;
+};
+
 }  // namespace
 
 std::string_view DegradationPolicyName(DegradationPolicy policy) {
@@ -30,6 +106,50 @@ double MatchingQualityQef::Evaluate(const EvalContext& ctx) const {
             "MatchingQualityQef requires a Match(S) result in the context");
   if (!ctx.match->valid) return 0.0;
   return Clamp01(ctx.match->matching_quality);
+}
+
+std::unique_ptr<QefDeltaScorer> CardinalityQef::MakeDeltaScorer(
+    const Universe& universe) const {
+  (void)universe;
+  return std::make_unique<ForwardingDeltaScorer>(this);
+}
+
+std::unique_ptr<QefDeltaScorer> CoverageQef::MakeDeltaScorer(
+    const Universe& universe) const {
+  (void)universe;
+  return std::make_unique<ForwardingDeltaScorer>(this);
+}
+
+std::unique_ptr<QefDeltaScorer> RedundancyQef::MakeDeltaScorer(
+    const Universe& universe) const {
+  (void)universe;
+  return std::make_unique<ForwardingDeltaScorer>(this);
+}
+
+std::unique_ptr<QefDeltaScorer> CharacteristicQef::MakeDeltaScorer(
+    const Universe& universe) const {
+  // The same universe-wide min/max scan Evaluate performs per candidate.
+  double min_u = std::numeric_limits<double>::infinity();
+  double max_u = -std::numeric_limits<double>::infinity();
+  bool any = false;
+  for (SourceId s = 0; s < universe.num_sources(); ++s) {
+    std::optional<double> value =
+        universe.source(s).GetCharacteristic(characteristic_);
+    if (!value.has_value()) continue;
+    any = true;
+    min_u = std::min(min_u, *value);
+    max_u = std::max(max_u, *value);
+  }
+  const size_t n = static_cast<size_t>(universe.num_sources());
+  std::vector<double> normalized(n, 0.0);
+  std::vector<double> cardinality(n, 0.0);
+  for (SourceId s = 0; s < universe.num_sources(); ++s) {
+    normalized[static_cast<size_t>(s)] = Normalized(universe, s, min_u, max_u);
+    cardinality[static_cast<size_t>(s)] =
+        static_cast<double>(universe.source(s).cardinality());
+  }
+  return std::make_unique<CharacteristicDeltaScorer>(
+      aggregation_, any, std::move(normalized), std::move(cardinality));
 }
 
 double CardinalityQef::Evaluate(const EvalContext& ctx) const {

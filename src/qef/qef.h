@@ -81,6 +81,21 @@ struct EvalContext {
   double universe_union_estimate = 0.0;
 };
 
+/// Incremental scorer for one QEF: scores a prepared EvalContext without
+/// any of the per-candidate universe-wide work Evaluate may redo on each
+/// call (min/max scans, characteristic lookups). Built once per search by
+/// Qef::MakeDeltaScorer against an immutable universe; the DeltaEvaluator
+/// (src/optimize/delta_evaluator.h) drives it from the solvers' flip loops.
+///
+/// Contract: Score(ctx) must return a double bit-identical to the owning
+/// Qef's Evaluate(ctx) for every context the quality model can build over
+/// that universe — the delta-vs-full oracle suite enforces this per QEF.
+class QefDeltaScorer {
+ public:
+  virtual ~QefDeltaScorer() = default;
+  virtual double Score(const EvalContext& ctx) const = 0;
+};
+
 /// A quality evaluation function F_k(S) ∈ [0, 1]; higher is better
 /// (Section 2.3). Implementations must be stateless w.r.t. candidates so a
 /// single instance can score many candidates during one search.
@@ -93,6 +108,18 @@ class Qef {
 
   /// Stable identifier used in weight maps and reports.
   virtual std::string_view name() const = 0;
+
+  /// Factory for this QEF's incremental scorer over `universe` (which must
+  /// outlive the scorer and stay immutable while it is used). The default
+  /// returns null, meaning the QEF cannot be scored without per-candidate
+  /// global work — true for the matching-based QEFs (Match(S) is not
+  /// delta-maintainable) and user lambdas (opaque) — and the DeltaEvaluator
+  /// then falls back to full evaluation for the whole model.
+  virtual std::unique_ptr<QefDeltaScorer> MakeDeltaScorer(
+      const Universe& universe) const {
+    (void)universe;
+    return nullptr;
+  }
 };
 
 /// F1: matching quality — how well the schemas of S match each other
@@ -109,6 +136,8 @@ class CardinalityQef final : public Qef {
  public:
   double Evaluate(const EvalContext& ctx) const override;
   std::string_view name() const override { return "cardinality"; }
+  std::unique_ptr<QefDeltaScorer> MakeDeltaScorer(
+      const Universe& universe) const override;
 };
 
 /// F3: Coverage(S) = |∪S| / |∪U| — how much of the universe's distinct
@@ -118,6 +147,8 @@ class CoverageQef final : public Qef {
  public:
   double Evaluate(const EvalContext& ctx) const override;
   std::string_view name() const override { return "coverage"; }
+  std::unique_ptr<QefDeltaScorer> MakeDeltaScorer(
+      const Universe& universe) const override;
 };
 
 /// F4: Redundancy(S) — degree of overlap among the sources of S, oriented
@@ -137,6 +168,8 @@ class RedundancyQef final : public Qef {
   explicit RedundancyQef(Mode mode = Mode::kOverlapFactor) : mode_(mode) {}
   double Evaluate(const EvalContext& ctx) const override;
   std::string_view name() const override { return "redundancy"; }
+  std::unique_ptr<QefDeltaScorer> MakeDeltaScorer(
+      const Universe& universe) const override;
   Mode mode() const { return mode_; }
 
  private:
@@ -182,6 +215,11 @@ class CharacteristicQef final : public Qef {
 
   double Evaluate(const EvalContext& ctx) const override;
   std::string_view name() const override { return display_name_; }
+  /// Table-based scorer: the universe-wide min/max scan and every
+  /// per-source Normalized() value are computed once instead of per
+  /// candidate — the largest single saving of the delta path.
+  std::unique_ptr<QefDeltaScorer> MakeDeltaScorer(
+      const Universe& universe) const override;
 
   const std::string& characteristic() const { return characteristic_; }
   Aggregation aggregation() const { return aggregation_; }

@@ -114,6 +114,40 @@ bool QualityModel::NeedsMatching() const {
   return false;
 }
 
+QualityModel::SourcePolicy QualityModel::PolicyFor(
+    const DataSource& source) const {
+  const DegradationPolicy policy = degradation_.policy;
+  SourcePolicy out;
+  switch (source.stats_state()) {
+    case StatsState::kFresh:
+      break;
+    case StatsState::kStale:
+      out.degraded = true;
+      if (policy == DegradationPolicy::kLastKnownGood) {
+        out.weight = std::max(
+            0.0, 1.0 - degradation_.stale_discount * source.staleness());
+      } else {
+        out.weight = 0.0;
+        out.admit_signature = false;
+      }
+      break;
+    case StatsState::kPartial:
+      // Cardinality arrived fresh; only the signature was lost. The
+      // exclude policy drops the source from the renormalized picture
+      // entirely; the others trust what did arrive.
+      out.degraded = true;
+      out.admit_signature = false;
+      if (policy == DegradationPolicy::kExcludeRenormalize) out.weight = 0.0;
+      break;
+    case StatsState::kMissing:
+      out.degraded = true;
+      out.weight = 0.0;
+      out.admit_signature = false;
+      break;
+  }
+  return out;
+}
+
 EvalContext QualityModel::MakeContext(const Universe& universe,
                                       const std::vector<SourceId>& sources,
                                       const MatchResult* match) const {
@@ -122,51 +156,23 @@ EvalContext QualityModel::MakeContext(const Universe& universe,
   ctx.sources = &sources;
   ctx.match = match;
 
-  const DegradationPolicy policy = degradation_.policy;
   std::unique_ptr<DistinctSignature> union_sig;
   for (SourceId s : sources) {
     const DataSource& source = universe.source(s);
     ctx.total_cardinality += source.cardinality();
 
     // Weight of this source's cardinality contributions and whether its
-    // signature is admitted, per the degradation policy. Fresh sources are
-    // weight 1 / admitted under every policy.
-    double weight = 1.0;
-    bool admit_signature = true;
-    switch (source.stats_state()) {
-      case StatsState::kFresh:
-        break;
-      case StatsState::kStale:
-        ++ctx.degraded_count;
-        if (policy == DegradationPolicy::kLastKnownGood) {
-          weight = std::max(
-              0.0, 1.0 - degradation_.stale_discount * source.staleness());
-        } else {
-          weight = 0.0;
-          admit_signature = false;
-        }
-        break;
-      case StatsState::kPartial:
-        // Cardinality arrived fresh; only the signature was lost. The
-        // exclude policy drops the source from the renormalized picture
-        // entirely; the others trust what did arrive.
-        ++ctx.degraded_count;
-        admit_signature = false;
-        if (policy == DegradationPolicy::kExcludeRenormalize) weight = 0.0;
-        break;
-      case StatsState::kMissing:
-        ++ctx.degraded_count;
-        weight = 0.0;
-        admit_signature = false;
-        break;
-    }
-
+    // signature is admitted, per the degradation policy (shared with the
+    // delta path through PolicyFor). Fresh sources are weight 1 / admitted
+    // under every policy.
+    const SourcePolicy policy = PolicyFor(source);
+    if (policy.degraded) ++ctx.degraded_count;
     ctx.effective_cardinality +=
-        weight * static_cast<double>(source.cardinality());
-    if (!admit_signature || !source.has_signature()) continue;
+        policy.weight * static_cast<double>(source.cardinality());
+    if (!policy.admit_signature || !source.has_signature()) continue;
     ++ctx.cooperating_count;
     ctx.cooperating_cardinality +=
-        weight * static_cast<double>(source.cardinality());
+        policy.weight * static_cast<double>(source.cardinality());
     if (union_sig == nullptr) {
       union_sig = source.signature().Clone();
     } else {
@@ -175,7 +181,7 @@ EvalContext QualityModel::MakeContext(const Universe& universe,
   }
   ctx.union_estimate = union_sig == nullptr ? 0.0 : union_sig->Estimate();
 
-  if (policy == DegradationPolicy::kExcludeRenormalize) {
+  if (degradation_.policy == DegradationPolicy::kExcludeRenormalize) {
     ctx.universe_cardinality = universe.FreshCardinality();
     ctx.universe_union_estimate = universe.FreshUnionCardinalityEstimate();
   } else {

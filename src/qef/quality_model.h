@@ -73,6 +73,19 @@ class QualityModel {
     degradation_ = options;
   }
 
+  /// How the active degradation policy treats one source: the weight of its
+  /// cardinality contributions, whether its signature joins the union-of-S
+  /// estimate, and whether it counts as degraded. Pure function of the
+  /// source's stats. MakeContext and the DeltaEvaluator both derive their
+  /// per-source treatment from this, so the full and delta paths cannot
+  /// drift apart.
+  struct SourcePolicy {
+    double weight = 1.0;
+    bool admit_signature = true;
+    bool degraded = false;
+  };
+  SourcePolicy PolicyFor(const DataSource& source) const;
+
   /// Builds the evaluation context for candidate `sources` (precomputes the
   /// shared aggregates). `match` may be null iff !NeedsMatching().
   EvalContext MakeContext(const Universe& universe,

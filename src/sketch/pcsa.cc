@@ -54,11 +54,20 @@ bool PcsaSketch::IsEmpty() const {
   return true;
 }
 
-double PcsaSketch::Estimate() const {
-  if (IsEmpty()) return 0.0;
-  const double k = static_cast<double>(bitmaps_.size());
+double PcsaSketch::Estimate() const { return EstimateFromBitmaps(bitmaps_); }
+
+double PcsaSketch::EstimateFromBitmaps(const std::vector<uint32_t>& bitmaps) {
+  bool empty = true;
+  for (uint32_t word : bitmaps) {
+    if (word != 0) {
+      empty = false;
+      break;
+    }
+  }
+  if (empty) return 0.0;
+  const double k = static_cast<double>(bitmaps.size());
   double sum_r = 0.0;
-  for (uint32_t word : bitmaps_) {
+  for (uint32_t word : bitmaps) {
     // R = index of the lowest zero bit.
     sum_r += std::countr_one(word);
   }

@@ -41,6 +41,13 @@ class PcsaSketch {
   /// Estimated number of distinct items observed.
   double Estimate() const;
 
+  /// The estimator applied to raw bitmap words (the exact computation
+  /// Estimate() performs on bitmaps()). Lets callers that maintain running
+  /// unions as plain word vectors — e.g. the delta evaluator's prefix/suffix
+  /// OR arrays — estimate without constructing a sketch: the result is
+  /// bit-identical to FromBitmaps(words).Estimate() because it IS that code.
+  static double EstimateFromBitmaps(const std::vector<uint32_t>& bitmaps);
+
   /// True if no bit is set (no item was ever added).
   bool IsEmpty() const;
 

@@ -14,7 +14,8 @@ LiveUniverse::LiveUniverse(Universe universe)
 LiveUniverse::LiveUniverse(Universe universe, Options options)
     : universe_(std::make_unique<Universe>(std::move(universe))),
       health_(options.breaker),
-      refresh_retry_cost_ms_(options.refresh_retry_cost_ms) {
+      refresh_retry_cost_ms_(options.refresh_retry_cost_ms),
+      max_sources_(options.max_sources) {
   std::unique_ptr<AttributeSimilarity> measure =
       options.similarity != nullptr ? std::move(options.similarity)
                                     : MakeDefaultSimilarity();
@@ -83,6 +84,15 @@ Status LiveUniverse::ApplyAdd(const ChurnEvent& event) {
         "new source must take the next id " +
         std::to_string(universe_->num_sources()) + ", got " +
         std::to_string(event.source));
+  }
+  if (max_sources_ > 0 && universe_->num_sources() >= max_sources_) {
+    // Reject before mutating anything: fixed-width downstream state
+    // (SourceBitset, delta tables) is sized for max_sources ids, and an id
+    // past that must never exist.
+    return Status::FailedPrecondition(
+        "add of source " + std::to_string(event.source) +
+        " exceeds the declared capacity of " + std::to_string(max_sources_) +
+        " sources");
   }
   universe_->AddSource(CloneSource(*event.added));
   graph_->PatchSourceAdded(*universe_, event.source);

@@ -49,6 +49,13 @@ class LiveUniverse {
     /// Simulated backoff milliseconds charged to a source per failed
     /// stale-refresh (budget accounting in the health registry).
     double refresh_retry_cost_ms = 50.0;
+    /// Hard capacity in source ids (0 = unbounded). Add-events that would
+    /// grow the universe past this many sources fail with
+    /// FailedPrecondition instead of being applied. Set it when downstream
+    /// structures size fixed-width state at universe build (SearchState's
+    /// SourceBitset, the delta evaluator's per-source tables) so an
+    /// oversized id surfaces as a Status, never as out-of-range indexing.
+    int max_sources = 0;
   };
 
   LiveUniverse(Universe universe, Options options);
@@ -91,6 +98,7 @@ class LiveUniverse {
   /// Full descriptions of removed sources, stashed for revival.
   std::map<SourceId, DataSource> tombstones_;
   double refresh_retry_cost_ms_;
+  int max_sources_ = 0;
   int64_t version_ = 0;
   double last_event_ms_ = 0.0;
 };

@@ -92,6 +92,46 @@ TEST(ChurnFeedTest, NeverRemovesBelowMinAlive) {
   }
 }
 
+// Declared-capacity guard: downstream structures (SearchState's
+// SourceBitset, the delta evaluator's per-source tables) size fixed-width
+// state at universe build, so an add-event that would grow past the cap
+// must fail with a Status — leaving universe, graph and version untouched
+// — instead of minting an id those structures cannot index.
+TEST(LiveUniverseTest, AddPastDeclaredCapacityFailsWithoutMutating) {
+  Universe universe = SmallUniverse(8);
+  LiveUniverse::Options options;
+  options.max_sources = 8;
+  LiveUniverse live(std::move(universe), std::move(options));
+  const uint64_t graph_before = live.graph().Fingerprint();
+
+  ChurnEvent add;
+  add.time_ms = 5.0;
+  add.kind = ChurnEventKind::kAdd;
+  add.source = 8;  // the next dense id — valid shape, over capacity
+  add.added = std::make_unique<DataSource>("overflow", SourceSchema());
+  Status status = live.Apply(add);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(live.universe().num_sources(), 8);
+  EXPECT_EQ(live.version(), 0);
+  EXPECT_EQ(live.graph().Fingerprint(), graph_before);
+
+  // Remove + revive churn stays within the existing id range, so it is
+  // unaffected by the cap.
+  ChurnEvent remove;
+  remove.time_ms = 6.0;
+  remove.kind = ChurnEventKind::kRemove;
+  remove.source = 3;
+  ASSERT_TRUE(live.Apply(remove).ok());
+  ChurnEvent revive;
+  revive.time_ms = 7.0;
+  revive.kind = ChurnEventKind::kAdd;
+  revive.source = 3;
+  revive.revive = true;
+  ASSERT_TRUE(live.Apply(revive).ok());
+  EXPECT_EQ(live.universe().num_sources(), 8);
+}
+
 TEST(LiveUniverseTest, RemoveCollapsesToShellWithStableIds) {
   Universe universe = SmallUniverse(8);
   const int n = universe.num_sources();

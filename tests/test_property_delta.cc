@@ -1,0 +1,290 @@
+// Delta-vs-full differential oracle: the DeltaEvaluator's incremental
+// scoring must be bit-identical to the full evaluation path — per QEF and
+// for the composite Q(S) — after ANY seeded flip sequence, including
+// add-then-remove round-trips and restart resets, across signature kinds
+// (exact and PCSA), degradation policies and uncooperative sources. A
+// second property pins cache/counter parity: an identical candidate stream
+// scored through the delta path and through the full path must leave
+// num_evaluations / num_cache_hits identical, so eval budgets stop at the
+// same point. Replayable via UBE_PROPERTY_SEED / UBE_PROPERTY_ITERS (see
+// TESTING.md).
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "matching/cluster_matcher.h"
+#include "matching/similarity_graph.h"
+#include "optimize/delta_evaluator.h"
+#include "optimize/evaluator.h"
+#include "optimize/search_state.h"
+#include "qef/quality_model.h"
+#include "testkit/generators.h"
+#include "testkit/property.h"
+#include "text/similarity.h"
+#include "util/rng.h"
+
+namespace ube {
+namespace {
+
+using testkit::PropertyRunner;
+
+// One random instance: universe (optionally with degraded statistics and
+// uncooperative sources), matcher scaffolding, a matching-free model under
+// a random degradation policy, and a valid spec. Heap-allocated so the
+// reference web (evaluator → universe/matcher/model/spec) stays stable.
+struct Instance {
+  Universe universe;
+  std::unique_ptr<SimilarityGraph> graph;
+  std::unique_ptr<ClusterMatcher> matcher;
+  QualityModel model;
+  ProblemSpec spec;
+  std::unique_ptr<CandidateEvaluator> evaluator;
+
+  explicit Instance(Universe u) : universe(std::move(u)) {}
+};
+
+std::unique_ptr<Instance> MakeInstance(Rng& rng, bool exact_signatures) {
+  testkit::UniverseGenOptions gen;
+  gen.exact_signatures = exact_signatures;
+  gen.uncooperative_probability = 0.15;
+  auto inst = std::make_unique<Instance>(testkit::GenerateUniverse(rng, gen));
+
+  // Degrade some statistics so PolicyFor actually has cases to decide
+  // (weights, admission, denominators) — fresh-only universes make every
+  // policy a no-op.
+  for (SourceId s = 0; s < inst->universe.num_sources(); ++s) {
+    double roll = rng.UniformDouble();
+    if (roll < 0.12) {
+      inst->universe.mutable_source(s)->set_stats_state(
+          StatsState::kStale, rng.UniformDouble() * 2.0);
+    } else if (roll < 0.20) {
+      inst->universe.mutable_source(s)->set_stats_state(StatsState::kPartial);
+    } else if (roll < 0.25) {
+      inst->universe.mutable_source(s)->set_stats_state(StatsState::kMissing);
+    }
+  }
+
+  inst->graph = std::make_unique<SimilarityGraph>(
+      inst->universe, MakeDefaultSimilarity(), 0.25);
+  inst->matcher =
+      std::make_unique<ClusterMatcher>(inst->universe, *inst->graph);
+  inst->model = testkit::GenerateModel(rng, /*include_matching=*/false);
+  DegradationOptions degradation;
+  switch (rng.UniformInt(3)) {
+    case 0:
+      degradation.policy = DegradationPolicy::kPessimisticPrior;
+      break;
+    case 1:
+      degradation.policy = DegradationPolicy::kLastKnownGood;
+      break;
+    default:
+      degradation.policy = DegradationPolicy::kExcludeRenormalize;
+      break;
+  }
+  inst->model.set_degradation(degradation);
+  inst->spec = testkit::GenerateSpec(rng, inst->universe);
+  inst->evaluator = std::make_unique<CandidateEvaluator>(
+      inst->universe, *inst->matcher, inst->model, inst->spec);
+  return inst;
+}
+
+// The inverse of `move` from the post-commit state: re-applying it lands
+// back on the pre-commit candidate.
+SearchState::Move Inverse(const SearchState::Move& move) {
+  SearchState::Move inverse;
+  switch (move.kind) {
+    case SearchState::Move::Kind::kAdd:
+      inverse.kind = SearchState::Move::Kind::kDrop;
+      inverse.out = move.in;
+      break;
+    case SearchState::Move::Kind::kDrop:
+      inverse.kind = SearchState::Move::Kind::kAdd;
+      inverse.in = move.out;
+      break;
+    case SearchState::Move::Kind::kSwap:
+      inverse.kind = SearchState::Move::Kind::kSwap;
+      inverse.in = move.out;
+      inverse.out = move.in;
+      break;
+  }
+  return inverse;
+}
+
+// After any seeded flip sequence — with commits, add-then-remove
+// round-trips and restart resets interleaved — the delta state must score
+// every neighbor bit-identically to a from-scratch full evaluation, per
+// QEF and composite. Odd cases use PCSA signatures (the prefix/suffix OR
+// fast path), even cases exact signatures (the generic merge fallback).
+TEST(DeltaPropertyTest, FlipSequencesAreBitIdenticalToFullRecompute) {
+  PropertyRunner runner("delta-flip-bit-identity", 40);
+  for (int c = 0; c < runner.num_cases(); ++c) {
+    SCOPED_TRACE(runner.Replay(c));
+    Rng rng = runner.CaseRng(c);
+    std::unique_ptr<Instance> inst = MakeInstance(rng, c % 2 == 0);
+    DeltaEvaluator delta(*inst->evaluator, true);
+    ASSERT_TRUE(delta.active())
+        << "matching-free model must support the delta path";
+
+    SearchState state(
+        *inst->evaluator,
+        testkit::GenerateCandidate(rng, inst->universe, inst->spec));
+    const int flips = 24;
+    for (int f = 0; f < flips; ++f) {
+      if (f % 8 == 7) {
+        // Restart semantics: a Reset (solver restart / incumbent jump)
+        // must rebase cleanly.
+        state.Reset(
+            testkit::GenerateCandidate(rng, inst->universe, inst->spec));
+      }
+      SearchState::Move move;
+      if (!state.RandomMove(rng, &move)) break;
+      std::vector<SearchState::Move> moves = {move};
+      std::vector<std::vector<SourceId>> neighbors = {state.Apply(move)};
+
+      // Composite Q(S) through the incremental move path vs the full
+      // path's uncached ground truth.
+      std::vector<double> scored =
+          delta.ScoreNeighborhood(state.sources(), moves, neighbors, nullptr);
+      CandidateEvaluator::Evaluation full =
+          inst->evaluator->Evaluate(neighbors[0]);
+      EXPECT_EQ(scored[0], full.quality) << "flip " << f;
+
+      // Per-QEF breakdown through the uncached delta probe.
+      QualityBreakdown probe = delta.Compute(neighbors[0]);
+      ASSERT_EQ(probe.scores.size(), full.breakdown.scores.size());
+      for (size_t i = 0; i < probe.scores.size(); ++i) {
+        EXPECT_EQ(probe.scores[i], full.breakdown.scores[i])
+            << "flip " << f << " QEF " << inst->model.qef(static_cast<int>(i)).name();
+      }
+      EXPECT_EQ(probe.overall, full.breakdown.overall) << "flip " << f;
+
+      if (rng.UniformDouble() < 0.5) {
+        // Add-then-remove round trip: commit, score the inverse move from
+        // the new base, and require bit-equality with the pre-commit
+        // candidate's from-scratch quality.
+        std::vector<SourceId> before = state.sources();
+        double before_quality = delta.Compute(before).overall;
+        state.Commit(move);
+        SearchState::Move inverse = Inverse(move);
+        std::vector<SearchState::Move> inverse_moves = {inverse};
+        std::vector<std::vector<SourceId>> back = {state.Apply(inverse)};
+        ASSERT_EQ(back[0], before);
+        std::vector<double> round = delta.ScoreNeighborhood(
+            state.sources(), inverse_moves, back, nullptr);
+        EXPECT_EQ(round[0], before_quality)
+            << "add-then-remove round trip diverged at flip " << f;
+        EXPECT_EQ(round[0], inst->evaluator->Evaluate(before).quality);
+      }
+    }
+  }
+}
+
+// Cache and counter parity: the same candidate stream — neighborhoods with
+// intra-batch duplicates, plus arbitrary-candidate batches — scored through
+// an active delta path on one evaluator and through the plain full path on
+// a second, independent evaluator over the same instance must produce
+// identical score vectors AND identical num_evaluations / num_cache_hits
+// at every step. This is what makes max_evaluations budgets stop at the
+// same point with delta on or off.
+TEST(DeltaPropertyTest, CacheAndCounterParityWithFullPath) {
+  PropertyRunner runner("delta-counter-parity", 25);
+  for (int c = 0; c < runner.num_cases(); ++c) {
+    SCOPED_TRACE(runner.Replay(c));
+    Rng rng = runner.CaseRng(c);
+    std::unique_ptr<Instance> inst = MakeInstance(rng, c % 2 == 0);
+    CandidateEvaluator full_eval(inst->universe, *inst->matcher, inst->model,
+                                 inst->spec);
+    DeltaEvaluator delta(*inst->evaluator, true);
+    ASSERT_TRUE(delta.active());
+    inst->evaluator->BeginRun();
+    full_eval.BeginRun();
+
+    SearchState state(
+        *inst->evaluator,
+        testkit::GenerateCandidate(rng, inst->universe, inst->spec));
+    EXPECT_EQ(delta.Quality(state.sources()),
+              full_eval.Quality(state.sources()));
+    for (int round = 0; round < 12; ++round) {
+      std::vector<SearchState::Move> moves;
+      std::vector<std::vector<SourceId>> neighbors;
+      for (int k = 0; k < 6; ++k) {
+        SearchState::Move move;
+        if (!state.RandomMove(rng, &move)) break;
+        moves.push_back(move);
+        neighbors.push_back(state.Apply(move));
+        if (rng.UniformDouble() < 0.3) {
+          // Duplicate entry: both paths must dedup it and count the
+          // duplicate as a cache hit.
+          moves.push_back(move);
+          neighbors.push_back(neighbors.back());
+        }
+      }
+      if (neighbors.empty()) break;
+      std::vector<double> via_delta =
+          delta.ScoreNeighborhood(state.sources(), moves, neighbors, nullptr);
+      std::vector<double> via_full = full_eval.QualityBatch(neighbors);
+      ASSERT_EQ(via_delta.size(), via_full.size());
+      for (size_t i = 0; i < via_delta.size(); ++i) {
+        EXPECT_EQ(via_delta[i], via_full[i]) << "round " << round;
+      }
+      EXPECT_EQ(inst->evaluator->num_evaluations(),
+                full_eval.num_evaluations())
+          << "round " << round;
+      EXPECT_EQ(inst->evaluator->num_cache_hits(), full_eval.num_cache_hits())
+          << "round " << round;
+      state.Commit(moves[static_cast<size_t>(
+          rng.UniformInt(static_cast<uint64_t>(moves.size())))]);
+
+      // Arbitrary-candidate batch (the PSO/greedy entry point).
+      std::vector<std::vector<SourceId>> arbitrary;
+      for (int k = 0; k < 4; ++k) {
+        arbitrary.push_back(
+            testkit::GenerateCandidate(rng, inst->universe, inst->spec));
+      }
+      std::vector<double> arb_delta = delta.ScoreCandidates(arbitrary, nullptr);
+      std::vector<double> arb_full = full_eval.QualityBatch(arbitrary);
+      for (size_t i = 0; i < arbitrary.size(); ++i) {
+        EXPECT_EQ(arb_delta[i], arb_full[i]) << "round " << round;
+      }
+      EXPECT_EQ(inst->evaluator->num_evaluations(),
+                full_eval.num_evaluations());
+      EXPECT_EQ(inst->evaluator->num_cache_hits(), full_eval.num_cache_hits());
+    }
+  }
+}
+
+// Whole-model fallback: a model with a matching QEF cannot delta-evaluate,
+// so the wrapper must go inactive and forward verbatim — identical
+// qualities and counters to calling the evaluator directly.
+TEST(DeltaPropertyTest, MatchingModelFallsBackToFullPath) {
+  PropertyRunner runner("delta-matching-fallback", 10);
+  for (int c = 0; c < runner.num_cases(); ++c) {
+    SCOPED_TRACE(runner.Replay(c));
+    Rng rng = runner.CaseRng(c);
+    testkit::UniverseGenOptions gen;
+    auto inst = std::make_unique<Instance>(testkit::GenerateUniverse(rng, gen));
+    inst->graph = std::make_unique<SimilarityGraph>(
+        inst->universe, MakeDefaultSimilarity(), 0.25);
+    inst->matcher =
+        std::make_unique<ClusterMatcher>(inst->universe, *inst->graph);
+    inst->model = testkit::GenerateModel(rng, /*include_matching=*/true);
+    inst->spec = testkit::GenerateSpec(rng, inst->universe);
+    inst->evaluator = std::make_unique<CandidateEvaluator>(
+        inst->universe, *inst->matcher, inst->model, inst->spec);
+
+    DeltaEvaluator delta(*inst->evaluator, true);
+    EXPECT_FALSE(delta.active());
+    std::vector<SourceId> candidate =
+        testkit::GenerateCandidate(rng, inst->universe, inst->spec);
+    EXPECT_EQ(delta.Quality(candidate), inst->evaluator->Quality(candidate));
+
+    // The explicit off switch also forces forwarding mode.
+    DeltaEvaluator disabled(*inst->evaluator, false);
+    EXPECT_FALSE(disabled.active());
+  }
+}
+
+}  // namespace
+}  // namespace ube

@@ -56,6 +56,28 @@ Engine MakeGoldenEngine() {
                 QualityModel::MakeDefault());
 }
 
+// Matching-free model over the same golden universe: every QEF provides a
+// delta scorer, so solvers actually take the incremental path instead of
+// falling back (MakeDefault contains a matching QEF, which forces the full
+// path — still a valid delta-vs-full case, just a trivial one).
+QualityModel DataOnlyModel() {
+  QualityModel model;
+  model.AddQef(std::make_unique<CardinalityQef>(), 0.4);
+  model.AddQef(std::make_unique<CoverageQef>(), 0.3);
+  model.AddQef(std::make_unique<RedundancyQef>(), 0.2);
+  model.AddQef(std::make_unique<CharacteristicQef>("mttf",
+                                                   Aggregation::kWeightedSum),
+               0.1);
+  return model;
+}
+
+Engine MakeGoldenEngine(QualityModel model) {
+  const testkit::GoldenSmallUniverse& golden = Golden();
+  Rng rng(golden.universe_seed);
+  return Engine(testkit::GenerateUniverse(rng, golden.universe),
+                std::move(model));
+}
+
 SolverOptions FixtureOptions(uint64_t seed = 42) {
   SolverOptions options;
   options.seed = seed;
@@ -195,6 +217,35 @@ TEST_P(SolverFixtureTest, TimeLimitStopsDeterministicallyUnderManualClock) {
   Result<Solution> second = run();
   ASSERT_TRUE(second.ok()) << second.status();
   EXPECT_TRUE(SolutionsBitIdentical(*first, *second));
+}
+
+// Delta-vs-full differential axis: for every solver (portfolio included)
+// and for both the sequential and the hardware-concurrency thread count,
+// the incremental delta path must return a Solution byte-identical to the
+// full path — sources, quality bits, counters and trace. Run on the
+// matching-free model (where delta is genuinely active) and on the default
+// matching model (where it must silently fall back).
+TEST_P(SolverFixtureTest, DeltaMatchesFullPathBitIdentically) {
+  const SolverKind kind = GetParam();
+  const testkit::GoldenSmallUniverse& golden = Golden();
+  for (bool matching : {false, true}) {
+    Engine engine = matching ? MakeGoldenEngine()
+                             : MakeGoldenEngine(DataOnlyModel());
+    for (int threads : {1, 0}) {
+      SolverOptions options = FixtureOptions();
+      options.record_trace = true;
+      options.num_threads = threads;
+      options.delta_eval = false;
+      Result<Solution> full = engine.Solve(golden.spec, kind, options);
+      ASSERT_TRUE(full.ok()) << full.status();
+      options.delta_eval = true;
+      Result<Solution> delta = engine.Solve(golden.spec, kind, options);
+      ASSERT_TRUE(delta.ok()) << delta.status();
+      EXPECT_TRUE(SolutionsBitIdentical(*full, *delta))
+          << "delta/full divergence (matching=" << matching
+          << ", threads=" << threads << ")";
+    }
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(
