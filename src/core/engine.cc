@@ -37,6 +37,20 @@ std::vector<SourceId> RequiredIds(const ProblemSpec& spec) {
 
 }  // namespace
 
+std::string_view EscalationReasonName(EscalationReason reason) {
+  switch (reason) {
+    case EscalationReason::kNone:
+      return "none";
+    case EscalationReason::kQualityFraction:
+      return "quality-fraction";
+    case EscalationReason::kIncumbentWipeout:
+      return "incumbent-wipeout";
+    case EscalationReason::kBaseline:
+      return "baseline";
+  }
+  return "unknown";
+}
+
 Engine::Engine(Universe universe, QualityModel model)
     : Engine(std::move(universe), std::move(model), Options{}) {}
 
@@ -142,7 +156,8 @@ Result<ContinuousReport> Engine::RunContinuous(
   using MetricId = obs::MetricsRegistry::MetricId;
   MetricId events_metric = obs::MetricsRegistry::kInvalidMetric;
   MetricId repairs_metric = events_metric, escalations_metric = events_metric,
-           evictions_metric = events_metric, repair_evals_metric = events_metric;
+           evictions_metric = events_metric, repair_evals_metric = events_metric,
+           drift_metric = events_metric, repair_budget_metric = events_metric;
   if (obs_ != nullptr) {
     obs::MetricsRegistry& metrics = obs_->metrics();
     events_metric = metrics.Counter("continuous.events");
@@ -151,11 +166,19 @@ Result<ContinuousReport> Engine::RunContinuous(
     evictions_metric = metrics.Counter("continuous.evictions");
     repair_evals_metric = metrics.Histogram(
         "continuous.repair_evals", {64, 256, 1'024, 4'096, 16'384});
+    drift_metric = metrics.Counter("continuous.drift_events");
+    repair_budget_metric = metrics.Histogram(
+        "continuous.repair_budget", {256, 1'024, 4'096, 16'384});
   }
 
   std::vector<SourceId> incumbent = report.final_solution.sources;
   const bool baseline =
       options.mode == ContinuousOptions::Mode::kFullEverytime;
+  // Sizes the repair budget per batch from recent outcomes. Deterministic
+  // state fed only by deterministic repair results, so the replay contract
+  // is unchanged.
+  RepairBudgetController controller(options.repair.eval_budget,
+                                    options.adaptive);
 
   size_t next = 0;
   uint64_t batch_index = 0;
@@ -171,13 +194,18 @@ Result<ContinuousReport> Engine::RunContinuous(
       UBE_RETURN_IF_ERROR(live_.Apply(trace.events[next]));
       batch_time = trace.events[next].time_ms;
       ++step.events_applied;
+      if (IsSchemaDrift(trace.events[next].kind)) ++step.drift_events;
       ++next;
     }
     unavailable_ = live_.universe().UnavailableIds();
     step.time_ms = batch_time;
     report.events_applied += step.events_applied;
+    report.drift_events += step.drift_events;
     if (obs_ != nullptr) {
       obs_->metrics().Add(events_metric, step.events_applied);
+      if (step.drift_events > 0) {
+        obs_->metrics().Add(drift_metric, step.drift_events);
+      }
     }
 
     // Batch spec: dropped-source bans plus bans for every source whose
@@ -208,39 +236,55 @@ Result<ContinuousReport> Engine::RunContinuous(
     WallTimer timer(options.solver_options.clock);
     ++batch_index;
     bool escalate = baseline;
+    EscalationReason reason =
+        baseline ? EscalationReason::kBaseline : EscalationReason::kNone;
     if (!baseline) {
       RepairOptions repair = options.repair;
       // Per-batch derived stream: repairs stay decorrelated across batches
       // yet replay bit-identically from (trace, options).
       repair.seed =
           SplitMix64(options.repair.seed ^ (0x9e3779b97f4a7c15ull * batch_index));
+      if (options.adaptive.enabled) {
+        repair.eval_budget = controller.budget();
+      }
+      step.repair_budget = repair.eval_budget;
       repair.num_threads = options.solver_options.num_threads;
       repair.delta_eval = options.solver_options.delta_eval;
       repair.clock = options.solver_options.clock;
       if (repair.obs == nullptr) repair.obs = obs_;
+      if (obs_ != nullptr) {
+        obs_->metrics().Observe(repair_budget_metric, repair.eval_budget);
+      }
       RepairResult repaired = RepairIncumbent(evaluator, incumbent, repair);
       step.evicted = repaired.evicted;
       step.quality_before = repaired.seed_quality;
       if (obs_ != nullptr && step.evicted > 0) {
         obs_->metrics().Add(evictions_metric, step.evicted);
       }
+      int64_t repair_evals = 0;
       if (!repaired.seeded) {
         escalate = true;
+        reason = EscalationReason::kIncumbentWipeout;
       } else {
+        repair_evals = repaired.solution.stats.evaluations;
         ++report.repairs;
-        step.evaluations += repaired.solution.stats.evaluations;
+        step.evaluations += repair_evals;
+        report.repair_evaluations += repair_evals;
         if (obs_ != nullptr) {
-          obs_->metrics().Observe(repair_evals_metric,
-                                  repaired.solution.stats.evaluations);
+          obs_->metrics().Observe(repair_evals_metric, repair_evals);
           obs_->metrics().Add(repairs_metric);
         }
         if (repaired.solution.quality + 1e-12 <
             options.escalation_fraction * report.last_full_quality) {
           escalate = true;
+          reason = EscalationReason::kQualityFraction;
         } else {
           report.final_solution = std::move(repaired.solution);
         }
       }
+      controller.Record(repair_evals, repaired.seeded,
+                        reason == EscalationReason::kQualityFraction,
+                        reason == EscalationReason::kIncumbentWipeout);
     }
     if (escalate) {
       if (!baseline) {
@@ -260,6 +304,7 @@ Result<ContinuousReport> Engine::RunContinuous(
       report.final_solution = std::move(solved.value());
     }
     step.escalated = escalate;
+    step.escalation_reason = reason;
     step.quality_after = report.final_solution.quality;
     step.elapsed_ms = timer.ElapsedMillis();
     incumbent = report.final_solution.sources;

@@ -3,6 +3,7 @@
 
 #include <memory>
 #include <optional>
+#include <string_view>
 #include <vector>
 
 #include "catalog/change_feed.h"
@@ -34,6 +35,11 @@ struct ContinuousOptions {
   /// and clock are overridden from solver_options so one knob steers the
   /// whole run).
   RepairOptions repair;
+  /// The adaptive budget controller sizing repair.eval_budget per batch
+  /// from recent repair telemetry (optimize/repair.h). Enabled by default;
+  /// disable to run with the fixed repair.eval_budget (the configuration
+  /// bench/churn_sweep compares against).
+  AdaptiveRepairOptions adaptive;
   /// Events within this window of simulated time are applied together and
   /// answered with one repair.
   double batch_ms = 1'000.0;
@@ -45,6 +51,16 @@ struct ContinuousOptions {
   Mode mode = Mode::kRepair;
 };
 
+/// Why a batch escalated to a full re-solve (ContinuousStep).
+enum class EscalationReason {
+  kNone,              ///< the repaired incumbent was kept
+  kQualityFraction,   ///< repaired quality < fraction x last full quality
+  kIncumbentWipeout,  ///< sanitizing evicted the whole incumbent
+  kBaseline,          ///< kFullEverytime mode re-solves unconditionally
+};
+
+std::string_view EscalationReasonName(EscalationReason reason);
+
 /// One event batch answered by RunContinuous.
 struct ContinuousStep {
   /// Simulated time of the batch's last event.
@@ -52,8 +68,15 @@ struct ContinuousStep {
   int events_applied = 0;
   /// Incumbent members evicted as dead/banned by this batch.
   int evicted = 0;
+  /// Schema-drift events (attribute rename/add/drop) among them.
+  int drift_events = 0;
   /// Whether a full re-solve ran (repair insufficient, or baseline mode).
   bool escalated = false;
+  /// Why (kNone when the repaired incumbent was kept).
+  EscalationReason escalation_reason = EscalationReason::kNone;
+  /// The evaluation budget the repair ran with (the adaptive controller's
+  /// choice, or the fixed RepairOptions::eval_budget; 0 in baseline mode).
+  int64_t repair_budget = 0;
   /// Q of the surviving incumbent seed before any search (0 when the whole
   /// incumbent was evicted; not filled in baseline mode).
   double quality_before = 0.0;
@@ -75,6 +98,10 @@ struct ContinuousReport {
   /// when the trace is empty — byte-identical, the zero-churn contract).
   Solution final_solution;
   int events_applied = 0;
+  /// Schema-drift events among them.
+  int drift_events = 0;
+  /// Evaluations spent inside repairs (escalation re-solves excluded).
+  int64_t repair_evaluations = 0;
   /// Full solves run (always >= 1: the initial solve).
   int full_solves = 0;
   int repairs = 0;

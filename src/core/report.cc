@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "core/engine.h"
 #include "obs/metrics.h"
 
 namespace ube {
@@ -103,6 +104,56 @@ std::string FormatSolution(const Solution& solution, const Universe& universe,
   out += FormatMediatedSchema(solution.mediated_schema,
                               solution.ga_qualities, universe);
   out += FormatObservability(solution.stats);
+  return out;
+}
+
+std::string FormatContinuousReport(const ContinuousReport& report) {
+  std::string out;
+  out += "continuous: " + std::to_string(report.events_applied) + " events (" +
+         std::to_string(report.drift_events) + " schema drift) over " +
+         std::to_string(report.steps.size()) + " batches, " +
+         std::to_string(report.repairs) + " repairs (" +
+         std::to_string(report.repair_evaluations) + " evaluations), " +
+         std::to_string(report.full_solves) + " full solves, " +
+         std::to_string(report.escalations) + " escalations\n";
+  out += "final quality Q(S) = " +
+         Format("%.4f", report.final_solution.quality) +
+         "  (last full solve " + Format("%.4f", report.last_full_quality) +
+         ")\n";
+  for (size_t i = 0; i < report.steps.size(); ++i) {
+    const ContinuousStep& step = report.steps[i];
+    out += "  batch " + std::to_string(i) + " @" +
+           Format("%.0f", step.time_ms) + "ms: events=" +
+           std::to_string(step.events_applied);
+    if (step.drift_events > 0) {
+      out += " (drift " + std::to_string(step.drift_events) + ")";
+    }
+    if (step.evicted > 0) out += " evicted=" + std::to_string(step.evicted);
+    if (step.repair_budget > 0) {
+      out += " budget=" + std::to_string(step.repair_budget);
+    }
+    out += " evals=" + std::to_string(step.evaluations) + " q=" +
+           Format("%.4f", step.quality_before) + "->" +
+           Format("%.4f", step.quality_after);
+    if (step.escalated) {
+      out += "  ESCALATED (" +
+             std::string(EscalationReasonName(step.escalation_reason)) + ")";
+    }
+    out += "\n";
+  }
+  // Escalation-reason census (the quality backstop's shape at a glance).
+  int by_reason[4] = {0, 0, 0, 0};
+  for (const ContinuousStep& step : report.steps) {
+    ++by_reason[static_cast<int>(step.escalation_reason)];
+  }
+  out += "escalation reasons:";
+  for (int r = 0; r < 4; ++r) {
+    if (by_reason[r] == 0) continue;
+    out += " " +
+           std::string(EscalationReasonName(static_cast<EscalationReason>(r))) +
+           "=" + std::to_string(by_reason[r]);
+  }
+  out += "\n";
   return out;
 }
 

@@ -10,6 +10,8 @@
 
 namespace ube {
 
+struct ContinuousReport;  // core/engine.h
+
 /// Renders a mediated schema with human-readable attribute names:
 ///   GA 0 [q=1.00]: {books-src-3.author, books-src-17.author, ...}
 std::string FormatMediatedSchema(const MediatedSchema& schema,
@@ -33,6 +35,12 @@ std::string FormatSolution(const Solution& solution, const Universe& universe,
 /// string when the solve ran without an ObsContext (stats.metrics null) —
 /// FormatSolution appends this automatically.
 std::string FormatObservability(const SolverStats& stats);
+
+/// Renders a RunContinuous report: the aggregate line (events, drift
+/// events, repairs vs full solves, repair evaluations), one line per batch
+/// (time, events, evicted, budget, quality before/after) annotated with its
+/// escalation reason, and an escalation-reason census.
+std::string FormatContinuousReport(const ContinuousReport& report);
 
 /// Renders the per-source acquisition report: the summary counts line plus
 /// one line per degraded or dropped source (outcome, attempts, breaker

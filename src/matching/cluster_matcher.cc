@@ -1,12 +1,14 @@
 #include "matching/cluster_matcher.h"
 
 #include <algorithm>
+#include <bit>
 #include <cstdint>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
 #include "util/check.h"
+#include "util/rng.h"
 
 namespace ube {
 
@@ -55,6 +57,27 @@ struct PairCandidate {
 };
 
 }  // namespace
+
+uint64_t MatchResultFingerprint(const MatchResult& result) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  auto mix = [&h](uint64_t v) { h = SplitMix64(h ^ v); };
+  mix(result.valid ? 1 : 0);
+  mix(std::bit_cast<uint64_t>(result.matching_quality));
+  mix(static_cast<uint64_t>(result.rounds));
+  mix(static_cast<uint64_t>(result.schema.num_gas()));
+  for (const GlobalAttribute& ga : result.schema.gas()) {
+    mix(static_cast<uint64_t>(ga.attributes().size()));
+    for (const AttributeId& id : ga.attributes()) {
+      mix((static_cast<uint64_t>(static_cast<uint32_t>(id.source)) << 32) |
+          static_cast<uint32_t>(id.attr_index));
+    }
+  }
+  for (double q : result.ga_qualities) mix(std::bit_cast<uint64_t>(q));
+  for (bool from_constraint : result.ga_from_constraint) {
+    mix(from_constraint ? 1 : 0);
+  }
+  return h;
+}
 
 ClusterMatcher::ClusterMatcher(const Universe& universe,
                                const SimilarityGraph& graph)

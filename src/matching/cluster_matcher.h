@@ -39,6 +39,14 @@ struct MatchResult {
   int rounds = 0;
 };
 
+/// Order-sensitive structural hash over a MatchResult: validity, quality
+/// float bits, rounds, every GA's attribute ids, per-GA quality bits and
+/// constraint provenance. Equal fingerprints mean the results are
+/// byte-identical for every consumer. Used by the drift property suite to
+/// check that a matcher over an incrementally patched graph produces
+/// exactly the output of one over a from-scratch rebuild.
+uint64_t MatchResultFingerprint(const MatchResult& result);
+
 /// The Match(S) schema-matching operator (Section 3, Algorithm 1): greedy
 /// constrained similarity clustering of the attributes of a set of sources.
 ///

@@ -211,6 +211,130 @@ void SimilarityGraph::PatchSourceAdded(const Universe& universe,
   }
 }
 
+void SimilarityGraph::EraseRowEdges(int dense) {
+  auto& row = adjacency_[static_cast<size_t>(dense)];
+  for (const Edge& edge : row) {
+    auto& other = adjacency_[static_cast<size_t>(edge.neighbor)];
+    auto it = std::lower_bound(other.begin(), other.end(), dense,
+                               [](const Edge& e, int idx) {
+                                 return e.neighbor < idx;
+                               });
+    UBE_CHECK(it != other.end() && it->neighbor == dense,
+              "EraseRowEdges: mirror edge missing");
+    other.erase(it);
+  }
+  num_edges_ -= row.size();
+  row.clear();
+}
+
+void SimilarityGraph::RecomputeRow(int dense, int block_first, int block_last) {
+  auto& row = adjacency_[static_cast<size_t>(dense)];
+  UBE_CHECK(row.empty(), "RecomputeRow: row must be empty");
+  const int n = num_attributes();
+  for (int b = 0; b < n; ++b) {
+    if (b >= block_first && b < block_last) continue;  // same-source block
+    double sim = PairSimilarity(dense, b);
+    if (sim >= floor_ && sim > 0.0) {
+      row.push_back(Edge{b, static_cast<float>(sim)});
+      auto& other = adjacency_[static_cast<size_t>(b)];
+      other.insert(std::lower_bound(other.begin(), other.end(), dense,
+                                    [](const Edge& e, int idx) {
+                                      return e.neighbor < idx;
+                                    }),
+                   Edge{dense, static_cast<float>(sim)});
+      ++num_edges_;
+    }
+  }
+  // b ran ascending, so the row is sorted by neighbor.
+}
+
+void SimilarityGraph::PatchAttributeRenamed(const Universe& universe,
+                                            SourceId source, int attr_index) {
+  UBE_CHECK(source >= 0 && source < num_source_slots(),
+            "PatchAttributeRenamed: source out of range");
+  const int first = source_offsets_[static_cast<size_t>(source)];
+  const int last = source_offsets_[static_cast<size_t>(source) + 1];
+  UBE_CHECK(attr_index >= 0 && first + attr_index < last,
+            "PatchAttributeRenamed: attr_index out of range");
+  const int dense = first + attr_index;
+  names_[static_cast<size_t>(dense)] =
+      universe.source(source).schema().attribute_name(attr_index);
+  if (ngram_n_ > 0) {
+    ngram_sets_[static_cast<size_t>(dense)] = NgramSet::Build(
+        NormalizeAttributeName(names_[static_cast<size_t>(dense)]), ngram_n_);
+  }
+  EraseRowEdges(dense);
+  RecomputeRow(dense, first, last);
+}
+
+void SimilarityGraph::PatchAttributeAdded(const Universe& universe,
+                                          SourceId source) {
+  UBE_CHECK(source >= 0 && source < num_source_slots(),
+            "PatchAttributeAdded: source out of range");
+  const SourceSchema& schema = universe.source(source).schema();
+  const int first = source_offsets_[static_cast<size_t>(source)];
+  const int old_width = source_offsets_[static_cast<size_t>(source) + 1] - first;
+  UBE_CHECK(schema.num_attributes() == old_width + 1,
+            "PatchAttributeAdded: schema must have exactly one new attribute");
+  const int attr_index = old_width;  // appended at the end of the block
+  const int dense = first + attr_index;
+
+  // Renumber existing rows at or past the insertion point, then splice the
+  // new (empty) row in. The shift is monotonic, so rows stay sorted.
+  for (auto& edges : adjacency_) {
+    for (Edge& edge : edges) {
+      if (edge.neighbor >= dense) edge.neighbor += 1;
+    }
+  }
+  for (size_t t = static_cast<size_t>(source) + 1; t < source_offsets_.size();
+       ++t) {
+    source_offsets_[t] += 1;
+  }
+  attr_ids_.insert(attr_ids_.begin() + dense, AttributeId{source, attr_index});
+  names_.insert(names_.begin() + dense, schema.attribute_name(attr_index));
+  adjacency_.insert(adjacency_.begin() + dense, std::vector<Edge>());
+  if (ngram_n_ > 0) {
+    ngram_sets_.insert(
+        ngram_sets_.begin() + dense,
+        NgramSet::Build(
+            NormalizeAttributeName(names_[static_cast<size_t>(dense)]),
+            ngram_n_));
+  }
+  RecomputeRow(dense, first, first + attr_index + 1);
+}
+
+void SimilarityGraph::PatchAttributeDropped(SourceId source, int attr_index) {
+  UBE_CHECK(source >= 0 && source < num_source_slots(),
+            "PatchAttributeDropped: source out of range");
+  const int first = source_offsets_[static_cast<size_t>(source)];
+  const int last = source_offsets_[static_cast<size_t>(source) + 1];
+  UBE_CHECK(attr_index >= 0 && first + attr_index < last,
+            "PatchAttributeDropped: attr_index out of range");
+  const int dense = first + attr_index;
+
+  EraseRowEdges(dense);
+  adjacency_.erase(adjacency_.begin() + dense);
+  attr_ids_.erase(attr_ids_.begin() + dense);
+  names_.erase(names_.begin() + dense);
+  if (ngram_n_ > 0) ngram_sets_.erase(ngram_sets_.begin() + dense);
+
+  // No row points at `dense` anymore; shift every later index down. The
+  // mapping is monotonic, so rows stay sorted by neighbor.
+  for (auto& edges : adjacency_) {
+    for (Edge& edge : edges) {
+      if (edge.neighbor > dense) edge.neighbor -= 1;
+    }
+  }
+  for (size_t t = static_cast<size_t>(source) + 1; t < source_offsets_.size();
+       ++t) {
+    source_offsets_[t] -= 1;
+  }
+  // Later attributes of this source shifted down by one in the schema.
+  for (int i = dense; i < last - 1; ++i) {
+    attr_ids_[static_cast<size_t>(i)].attr_index -= 1;
+  }
+}
+
 uint64_t SimilarityGraph::Fingerprint() const {
   uint64_t h = 0xcbf29ce484222325ull;
   auto mix = [&h](uint64_t v) { h = SplitMix64(h ^ v); };

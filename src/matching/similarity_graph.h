@@ -87,6 +87,27 @@ class SimilarityGraph {
   /// edge floats match a rebuild bit for bit.
   void PatchSourceAdded(const Universe& universe, SourceId source);
 
+  // Attribute-level patches (schema drift). The universe's schema must
+  // already reflect the mutation when these are called; the graph catches up
+  // to it. Same bit-identity contract as the source-level patches.
+
+  /// Attribute `attr_index` of `source` was renamed in place: its dense
+  /// index and AttributeId are unchanged, but its name, n-gram set and every
+  /// incident edge are recomputed.
+  void PatchAttributeRenamed(const Universe& universe, SourceId source,
+                             int attr_index);
+
+  /// A new attribute was appended to `source` (it now occupies the schema's
+  /// last index — the attribute-level analogue of the dense-id rule for new
+  /// sources). Inserts its row at the end of the source's block, renumbers
+  /// later rows, and computes its edges.
+  void PatchAttributeAdded(const Universe& universe, SourceId source);
+
+  /// Attribute `attr_index` of `source` was removed; later attributes of
+  /// the source shifted down by one. Erases the row, renumbers, and repairs
+  /// the AttributeIds of the source's later attributes.
+  void PatchAttributeDropped(SourceId source, int attr_index);
+
   /// Order-sensitive structural hash over (offsets, attribute ids, names,
   /// adjacency including similarity float bits, edge count). Two graphs
   /// with equal fingerprints are byte-identical for every query above.
@@ -99,6 +120,14 @@ class SimilarityGraph {
   }
 
  private:
+  /// Drops every edge incident to row `dense` (mirrors included) and clears
+  /// the row.
+  void EraseRowEdges(int dense);
+  /// Computes the edges of row `dense` against every attribute outside
+  /// [block_first, block_last) — the row's own source block — mirroring
+  /// each edge into the neighbor's sorted row. The row must be empty.
+  void RecomputeRow(int dense, int block_first, int block_last);
+
   double floor_;
   std::unique_ptr<AttributeSimilarity> measure_;
   std::vector<AttributeId> attr_ids_;          // dense index -> id

@@ -1,6 +1,7 @@
 #ifndef UBE_OBS_TELEMETRY_H_
 #define UBE_OBS_TELEMETRY_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -26,7 +27,7 @@ struct IterationSample {
 class TelemetryRing {
  public:
   explicit TelemetryRing(int capacity)
-      : capacity_(capacity > 0 ? static_cast<size_t>(capacity) : 1) {}
+      : capacity_(capacity > 0 ? static_cast<std::size_t>(capacity) : 1) {}
 
   void Record(const IterationSample& sample) {
     if (buffer_.size() < capacity_) {
@@ -47,15 +48,15 @@ class TelemetryRing {
   std::vector<IterationSample> Samples() const {
     std::vector<IterationSample> out;
     out.reserve(buffer_.size());
-    for (size_t i = 0; i < buffer_.size(); ++i) {
+    for (std::size_t i = 0; i < buffer_.size(); ++i) {
       out.push_back(buffer_[(next_ + i) % buffer_.size()]);
     }
     return out;
   }
 
  private:
-  size_t capacity_;
-  size_t next_ = 0;  // overwrite cursor == index of the oldest sample
+  std::size_t capacity_;
+  std::size_t next_ = 0;  // overwrite cursor == index of the oldest sample
   int64_t total_ = 0;
   std::vector<IterationSample> buffer_;
 };

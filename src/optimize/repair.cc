@@ -35,6 +35,50 @@ SolverOptions AsSolverOptions(const RepairOptions& options) {
 
 }  // namespace
 
+RepairBudgetController::RepairBudgetController(
+    int64_t base_budget, const AdaptiveRepairOptions& options)
+    : options_(options),
+      budget_(std::clamp(base_budget, options.min_eval_budget,
+                         options.max_eval_budget)),
+      ring_(std::max(1, options.window)) {}
+
+void RepairBudgetController::Record(int64_t evaluations_used, bool repaired,
+                                    bool quality_escalated, bool wipeout) {
+  obs::IterationSample sample;
+  sample.iteration = ++batches_;
+  sample.evaluations = evaluations_used;
+  sample.stall = quality_escalated ? 1 : 0;
+  ring_.Record(sample);
+
+  if (wipeout) {
+    // The whole incumbent was evicted — no repair budget would have saved
+    // it, so the outcome says nothing about the budget's size.
+    cheap_streak_ = 0;
+    return;
+  }
+  if (quality_escalated) {
+    cheap_streak_ = 0;
+    budget_ = std::min(options_.max_eval_budget, budget_ * 2);
+  } else if (repaired && evaluations_used * 2 <= budget_) {
+    if (++cheap_streak_ >= std::max(1, options_.shrink_after)) {
+      cheap_streak_ = 0;
+      budget_ = std::max(options_.min_eval_budget, budget_ * 3 / 4);
+    }
+  } else {
+    cheap_streak_ = 0;
+  }
+
+  // Sustained escalation pressure overrides the gradual policy: when at
+  // least half the trailing window escalated, run repairs wide open.
+  const std::vector<obs::IterationSample> recent = ring_.Samples();
+  int escalations = 0;
+  for (const obs::IterationSample& s : recent) escalations += s.stall;
+  if (static_cast<int64_t>(recent.size()) >= options_.window &&
+      escalations * 2 >= static_cast<int>(recent.size())) {
+    budget_ = options_.max_eval_budget;
+  }
+}
+
 RepairResult RepairIncumbent(const CandidateEvaluator& evaluator,
                              const std::vector<SourceId>& incumbent,
                              const RepairOptions& options) {

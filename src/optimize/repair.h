@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/telemetry.h"
 #include "optimize/evaluator.h"
 #include "optimize/problem.h"
 #include "util/timer.h"
@@ -51,6 +52,62 @@ struct RepairResult {
   double seed_quality = 0.0;
   /// The repaired incumbent (solver_name "repair" in its stats).
   Solution solution;
+};
+
+/// Knobs of the adaptive repair-budget controller (continuous mode). The
+/// controller replaces RepairOptions::eval_budget with a per-batch value it
+/// steers inside [min_eval_budget, max_eval_budget] from recent repair
+/// telemetry; disabling it restores the fixed budget exactly.
+struct AdaptiveRepairOptions {
+  bool enabled = true;
+  /// Bounds of the per-batch evaluation budget. The base budget
+  /// (RepairOptions::eval_budget) is clamped into this range up front.
+  int64_t min_eval_budget = 256;
+  int64_t max_eval_budget = 16'384;
+  /// Consecutive cheap successes (repair converged using at most half the
+  /// budget) before the budget shrinks by a quarter.
+  int shrink_after = 3;
+  /// Recent batches consulted for escalation pressure; when at least half
+  /// of them escalated on quality, the budget pins at max_eval_budget.
+  int window = 8;
+};
+
+/// Sizes the repair budget per churn batch from recent repair outcomes,
+/// recorded into a PR-5 TelemetryRing (one IterationSample per batch:
+/// evaluations = what the repair spent, stall = whether it escalated).
+///
+/// Policy, all deterministic integer arithmetic so continuous runs replay
+/// bit-identically for any thread count:
+///  - a quality-fraction escalation doubles the budget (the repair was
+///    genuinely too small), capped at max;
+///  - `shrink_after` consecutive cheap successes shrink it to 3/4, floored
+///    at min — converged repairs should not hoard budget;
+///  - an incumbent wipeout leaves it unchanged (no budget would have
+///    helped; the full solve was structural);
+///  - sustained escalation pressure (>= half the trailing `window`) pins
+///    the budget at max until the pressure clears.
+class RepairBudgetController {
+ public:
+  RepairBudgetController(int64_t base_budget,
+                         const AdaptiveRepairOptions& options);
+
+  /// The budget the next repair should run with.
+  int64_t budget() const { return budget_; }
+
+  /// Report one batch's outcome: evaluations the repair spent, whether it
+  /// produced a seeded result, whether the result escalated on the quality
+  /// fraction, and whether the whole incumbent was evicted.
+  void Record(int64_t evaluations_used, bool repaired, bool quality_escalated,
+              bool wipeout);
+
+  const obs::TelemetryRing& ring() const { return ring_; }
+
+ private:
+  AdaptiveRepairOptions options_;
+  int64_t budget_;
+  int cheap_streak_ = 0;
+  int64_t batches_ = 0;
+  obs::TelemetryRing ring_;
 };
 
 /// Repairs a damaged incumbent against the evaluator's current spec and

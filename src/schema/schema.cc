@@ -14,6 +14,23 @@ const std::string& SourceSchema::attribute_name(int index) const {
   return names_[static_cast<size_t>(index)];
 }
 
+void SourceSchema::RenameAttribute(int index, std::string name) {
+  UBE_CHECK(index >= 0 && index < num_attributes(),
+            "attribute index out of range");
+  names_[static_cast<size_t>(index)] = std::move(name);
+}
+
+int SourceSchema::AddAttribute(std::string name) {
+  names_.push_back(std::move(name));
+  return num_attributes() - 1;
+}
+
+void SourceSchema::RemoveAttribute(int index) {
+  UBE_CHECK(index >= 0 && index < num_attributes(),
+            "attribute index out of range");
+  names_.erase(names_.begin() + index);
+}
+
 int SourceSchema::FindAttribute(std::string_view name) const {
   for (size_t i = 0; i < names_.size(); ++i) {
     if (names_[i] == name) return static_cast<int>(i);

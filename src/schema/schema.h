@@ -41,6 +41,21 @@ class SourceSchema {
   /// Name of attribute `index`; index must be in range.
   const std::string& attribute_name(int index) const;
 
+  // --- drift mutators (live universe, src/source/live_universe.h) --------
+  //
+  // Schema-drift churn events edit schemas in place. Renames keep every
+  // attribute index stable; an added attribute always appends (taking index
+  // num_attributes()), and removal shifts every later attribute down by one
+  // — callers that cache AttributeIds must repair them (the similarity
+  // graph's attribute patch operations do exactly that).
+
+  /// Renames attribute `index` (must be in range).
+  void RenameAttribute(int index, std::string name);
+  /// Appends an attribute and returns its index.
+  int AddAttribute(std::string name);
+  /// Removes attribute `index` (must be in range); later indices shift.
+  void RemoveAttribute(int index);
+
   /// Index of the first attribute with this exact name, or -1.
   int FindAttribute(std::string_view name) const;
 

@@ -1,0 +1,165 @@
+#include "source/fault_coupled_feed.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <set>
+#include <utility>
+#include <vector>
+
+namespace ube {
+
+namespace {
+
+bool IsProbeSuccess(FaultKind kind) {
+  // kStale and kTruncated are degraded but *answered* probes — the breaker
+  // machinery treats them as successes, exactly like SourceProber does.
+  return kind == FaultKind::kNone || kind == FaultKind::kStale ||
+         kind == FaultKind::kTruncated;
+}
+
+/// Staleness charged to a source whose probe failed but which stays in the
+/// catalog: grows with the consecutive-failure streak, capped below 1.
+double StreakStaleness(int fail_streak) {
+  return std::min(0.9, 0.15 * static_cast<double>(fail_streak));
+}
+
+/// The probe layer's evolving per-source state, keyed by SourceId. std::map
+/// so every iteration order below is ascending and deterministic.
+struct ProbeState {
+  explicit ProbeState(const CircuitBreaker::Options& options)
+      : breaker(options) {}
+  CircuitBreaker breaker;
+  int attempts = 0;
+  int fail_streak = 0;
+};
+
+}  // namespace
+
+Result<FaultCoupledTrace> GenerateFaultCoupledTrace(
+    const Universe& universe, const FaultCoupledOptions& options) {
+  const bool probing = !options.rates.AllZero();
+  if (probing && (!std::isfinite(options.probe_period_ms) ||
+                  options.probe_period_ms <= 0.0)) {
+    return Status::InvalidArgument(
+        "FaultCoupledOptions::probe_period_ms must be positive and finite "
+        "when fault rates are nonzero");
+  }
+  Result<ChurnFeedDriver> driver = ChurnFeedDriver::Make(universe, options.feed);
+  if (!driver.ok()) return driver.status();
+
+  const FaultPlan plan(options.fault_seed, options.rates);
+  FaultCoupledTrace out;
+  out.trace.config = options.feed;
+
+  std::map<SourceId, ProbeState> states;
+  std::set<SourceId> fault_removed;
+  auto state_of = [&](SourceId s) -> ProbeState& {
+    return states.try_emplace(s, options.breaker).first->second;
+  };
+
+  auto sweep = [&](double t) {
+    // Alive sources first, ascending id (driver->alive() is in insertion
+    // order; the sort pins the sweep order for replay).
+    std::vector<SourceId> alive = driver->alive();
+    std::sort(alive.begin(), alive.end());
+    for (SourceId s : alive) {
+      ProbeState& state = state_of(s);
+      if (!state.breaker.AllowRequest(t)) continue;
+      ++out.stats.probes;
+      const FaultDecision d =
+          plan.Decide(FaultPlan::KeyFor(driver->NameOf(s)), state.attempts++);
+      if (IsProbeSuccess(d.kind)) {
+        state.breaker.RecordSuccess();
+        state.fail_streak = 0;
+        if (d.kind == FaultKind::kStale) {
+          out.trace.events.push_back(
+              driver->ForceStaleRefresh(t, s, d.staleness));
+          ++out.stats.fault_stale_refreshes;
+        }
+        continue;
+      }
+      ++out.stats.probe_failures;
+      const int trips_before = state.breaker.num_trips();
+      state.breaker.RecordFailure(t);
+      ++state.fail_streak;
+      const bool tripped = state.breaker.num_trips() > trips_before;
+      if (tripped) ++out.stats.breaker_trips;
+      if (tripped && static_cast<int>(driver->alive().size()) >
+                         std::max(0, driver->min_alive())) {
+        out.trace.events.push_back(driver->ForceRemove(t, s));
+        fault_removed.insert(s);
+        ++out.stats.fault_removes;
+      } else {
+        // Still in the catalog (breaker closed, or the feed is at its
+        // alive floor): the failed probe only ages its statistics.
+        out.trace.events.push_back(
+            driver->ForceStaleRefresh(t, s, StreakStaleness(state.fail_streak)));
+        ++out.stats.fault_stale_refreshes;
+      }
+    }
+    // Fault-removed sources: an open breaker whose cool-down expired admits
+    // one half-open probe; success revives the source, failure re-opens.
+    const std::vector<SourceId> removed(fault_removed.begin(),
+                                        fault_removed.end());
+    for (SourceId s : removed) {
+      ProbeState& state = state_of(s);
+      if (!state.breaker.AllowRequest(t)) continue;
+      ++out.stats.probes;
+      const FaultDecision d =
+          plan.Decide(FaultPlan::KeyFor(driver->NameOf(s)), state.attempts++);
+      if (IsProbeSuccess(d.kind)) {
+        state.breaker.RecordSuccess();
+        state.fail_streak = 0;
+        fault_removed.erase(s);
+        out.trace.events.push_back(driver->ForceRevive(t, s));
+        ++out.stats.fault_revives;
+        if (d.kind == FaultKind::kStale) {
+          out.trace.events.push_back(
+              driver->ForceStaleRefresh(t, s, d.staleness));
+          ++out.stats.fault_stale_refreshes;
+        }
+      } else {
+        ++out.stats.probe_failures;
+        const int trips_before = state.breaker.num_trips();
+        state.breaker.RecordFailure(t);
+        ++state.fail_streak;
+        if (state.breaker.num_trips() > trips_before) {
+          ++out.stats.breaker_trips;
+        }
+      }
+    }
+  };
+
+  const double horizon = options.feed.horizon_ms;
+  double next_probe =
+      probing ? options.probe_period_ms : std::numeric_limits<double>::infinity();
+  double next_base = driver->NextEventTime();
+  while (true) {
+    const bool base_due = next_base <= horizon;
+    const bool probe_due = next_probe <= horizon;
+    if (!base_due && !probe_due) break;
+    if (probe_due && (!base_due || next_probe <= next_base)) {
+      sweep(next_probe);
+      next_probe += options.probe_period_ms;
+      continue;
+    }
+    std::optional<ChurnEvent> event = driver->DrawBase(next_base);
+    if (event.has_value()) {
+      // A base add/remove changes the occupant of the id slot: the probe
+      // layer must not carry breaker state or attempt counts across
+      // occupants (mirrors SourceHealthRegistry::Reset on re-add).
+      if (event->kind == ChurnEventKind::kAdd ||
+          event->kind == ChurnEventKind::kRemove) {
+        states.erase(event->source);
+        fault_removed.erase(event->source);
+      }
+      out.trace.events.push_back(std::move(*event));
+    }
+    next_base = driver->NextEventTime();
+  }
+  return out;
+}
+
+}  // namespace ube

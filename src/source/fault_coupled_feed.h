@@ -1,0 +1,76 @@
+#ifndef UBE_SOURCE_FAULT_COUPLED_FEED_H_
+#define UBE_SOURCE_FAULT_COUPLED_FEED_H_
+
+#include <cstdint>
+
+#include "catalog/change_feed.h"
+#include "source/prober.h"
+#include "source/universe.h"
+#include "util/fault_injection.h"
+#include "util/result.h"
+
+namespace ube {
+
+/// Knobs of the fault-coupled feed: the base churn schedule plus a
+/// deterministic probe/fault layer running on the same simulated clock.
+struct FaultCoupledOptions {
+  /// The base churn schedule (validated by ChurnFeedDriver::Make).
+  ChurnFeedConfig feed;
+  /// Per-attempt / per-source fault probabilities of the probe layer.
+  /// All-zero rates disable the layer entirely: the generated trace is then
+  /// bit-identical to GenerateChurnTrace(universe, feed).
+  FaultRates rates;
+  /// Seed of the FaultPlan (independent of feed.seed: the same base
+  /// schedule can be replayed under different fault weather).
+  uint64_t fault_seed = 0;
+  /// Every alive source is probed once per period, in ascending id order.
+  /// Must be positive and finite when rates are nonzero.
+  double probe_period_ms = 1'000.0;
+  /// Breaker policy of the probe layer (independent of the applier's
+  /// registry — this one decides when probe failures become churn).
+  CircuitBreaker::Options breaker;
+};
+
+/// What the probe layer did while the trace was generated.
+struct FaultCoupledStats {
+  int64_t probes = 0;           ///< admitted probe attempts
+  int64_t probe_failures = 0;   ///< attempts that drew a failing fault
+  int breaker_trips = 0;        ///< closed/half-open -> open transitions
+  int fault_removes = 0;        ///< kRemove events emitted by open breakers
+  int fault_revives = 0;        ///< revive-kAdds from successful half-open probes
+  int fault_stale_refreshes = 0;  ///< kStaleRefresh events emitted by probes
+
+  friend bool operator==(const FaultCoupledStats&,
+                         const FaultCoupledStats&) = default;
+};
+
+/// A base churn trace with probe-driven events interleaved.
+struct FaultCoupledTrace {
+  ChurnTrace trace;
+  FaultCoupledStats stats;
+};
+
+/// Couples PR-4's probe/fault machinery to the churn feed: a FaultPlan and
+/// per-source circuit breakers run on the simulated clock, and their
+/// verdicts are *emitted into the trace* —
+///  - a failing probe ages the source's statistics (kStaleRefresh with
+///    staleness growing in the failure streak),
+///  - a breaker tripping open removes the source (kRemove), unless the feed
+///    is at its min_alive floor, in which case the failure only ages it,
+///  - a successful half-open probe against a fault-removed source revives
+///    it (revive-kAdd), while the breaker machinery re-opens on a failed
+///    one.
+/// Base churn and probe-driven events share ONE ChurnFeedDriver, so every
+/// event in the merged trace is valid to LiveUniverse::Apply in order.
+///
+/// Replay contract: a pure function of (universe content, options) — the
+/// FaultPlan is stateless, probes consume no feed randomness, and sweep
+/// order is deterministic (ascending id, probes before a base event at the
+/// same instant) — so the same inputs yield a fingerprint-identical trace
+/// and equal stats, regardless of thread count anywhere downstream.
+Result<FaultCoupledTrace> GenerateFaultCoupledTrace(
+    const Universe& universe, const FaultCoupledOptions& options);
+
+}  // namespace ube
+
+#endif  // UBE_SOURCE_FAULT_COUPLED_FEED_H_

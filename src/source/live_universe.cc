@@ -45,6 +45,15 @@ Status LiveUniverse::Apply(const ChurnEvent& event) {
     case ChurnEventKind::kDrift:
       status = ApplyDrift(event);
       break;
+    case ChurnEventKind::kAttrRename:
+      status = ApplyAttrRename(event);
+      break;
+    case ChurnEventKind::kAttrAdd:
+      status = ApplyAttrAdd(event);
+      break;
+    case ChurnEventKind::kAttrDrop:
+      status = ApplyAttrDrop(event);
+      break;
   }
   if (!status.ok()) return status;
   last_event_ms_ = event.time_ms;
@@ -157,6 +166,81 @@ Status LiveUniverse::ApplyDrift(const ChurnEvent& event) {
   for (const auto& [name, value] : scaled) {
     source->SetCharacteristic(name, value * event.characteristic_factor);
   }
+  return Status::Ok();
+}
+
+Status LiveUniverse::ApplyAttrRename(const ChurnEvent& event) {
+  UBE_RETURN_IF_ERROR(universe_->ValidateId(event.source));
+  DataSource* source = universe_->mutable_source(event.source);
+  if (!source->available()) {
+    return Status::InvalidArgument("attr-rename of unavailable source " +
+                                   std::to_string(event.source));
+  }
+  if (event.attr_index < 0 ||
+      event.attr_index >= source->schema().num_attributes()) {
+    return Status::InvalidArgument(
+        "attr-rename of source " + std::to_string(event.source) +
+        ": attribute " + std::to_string(event.attr_index) +
+        " out of range (width " +
+        std::to_string(source->schema().num_attributes()) + ")");
+  }
+  if (event.attr_name.empty()) {
+    return Status::InvalidArgument("attr-rename carries an empty name");
+  }
+  source->mutable_schema()->RenameAttribute(event.attr_index, event.attr_name);
+  graph_->PatchAttributeRenamed(*universe_, event.source, event.attr_index);
+  return Status::Ok();
+}
+
+Status LiveUniverse::ApplyAttrAdd(const ChurnEvent& event) {
+  UBE_RETURN_IF_ERROR(universe_->ValidateId(event.source));
+  DataSource* source = universe_->mutable_source(event.source);
+  if (!source->available()) {
+    return Status::InvalidArgument("attr-add of unavailable source " +
+                                   std::to_string(event.source));
+  }
+  // The attribute-level analogue of the dense-id rule for kAdd: new
+  // attributes always append, so the patched graph's layout matches a
+  // rebuild's.
+  if (event.attr_index != source->schema().num_attributes()) {
+    return Status::InvalidArgument(
+        "attr-add of source " + std::to_string(event.source) +
+        " must take the next index " +
+        std::to_string(source->schema().num_attributes()) + ", got " +
+        std::to_string(event.attr_index));
+  }
+  if (event.attr_name.empty()) {
+    return Status::InvalidArgument("attr-add carries an empty name");
+  }
+  source->mutable_schema()->AddAttribute(event.attr_name);
+  graph_->PatchAttributeAdded(*universe_, event.source);
+  return Status::Ok();
+}
+
+Status LiveUniverse::ApplyAttrDrop(const ChurnEvent& event) {
+  UBE_RETURN_IF_ERROR(universe_->ValidateId(event.source));
+  DataSource* source = universe_->mutable_source(event.source);
+  if (!source->available()) {
+    return Status::InvalidArgument("attr-drop of unavailable source " +
+                                   std::to_string(event.source));
+  }
+  if (event.attr_index < 0 ||
+      event.attr_index >= source->schema().num_attributes()) {
+    return Status::InvalidArgument(
+        "attr-drop of source " + std::to_string(event.source) + ": attribute " +
+        std::to_string(event.attr_index) + " out of range (width " +
+        std::to_string(source->schema().num_attributes()) + ")");
+  }
+  if (source->schema().num_attributes() < 2) {
+    // Drift never strips a live source bare — that is what kRemove is for
+    // (and an alive zero-width source would be indistinguishable from a
+    // removed shell to every downstream consumer).
+    return Status::InvalidArgument(
+        "attr-drop would leave source " + std::to_string(event.source) +
+        " with no attributes; remove the source instead");
+  }
+  source->mutable_schema()->RemoveAttribute(event.attr_index);
+  graph_->PatchAttributeDropped(event.source, event.attr_index);
   return Status::Ok();
 }
 

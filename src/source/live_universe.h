@@ -25,8 +25,10 @@ namespace ube {
 ///    available() == false), so every downstream index — acquisition
 ///    reports, constraints, incumbents — stays valid.
 ///  - After every Apply, graph() is byte-identical (Fingerprint()) to a
-///    SimilarityGraph built from scratch over universe(): removal and
-///    addition only recompute edges incident to the changed source.
+///    SimilarityGraph built from scratch over universe(): source removal /
+///    addition only recomputes edges incident to the changed source, and
+///    schema drift (attribute rename/add/drop) only recomputes edges
+///    incident to the changed attribute.
 ///  - Fresh*/union aggregates and the compound-universe builder see the
 ///    mutated universe consistently (Universe's lazy caches are dirtied by
 ///    every mutation path used here).
@@ -90,6 +92,9 @@ class LiveUniverse {
   Status ApplyRemove(const ChurnEvent& event);
   Status ApplyStaleRefresh(const ChurnEvent& event);
   Status ApplyDrift(const ChurnEvent& event);
+  Status ApplyAttrRename(const ChurnEvent& event);
+  Status ApplyAttrAdd(const ChurnEvent& event);
+  Status ApplyAttrDrop(const ChurnEvent& event);
 
   std::unique_ptr<Universe> universe_;
   std::unique_ptr<SimilarityGraph> graph_;

@@ -10,6 +10,7 @@
 
 #include "catalog/change_feed.h"
 #include "core/engine.h"
+#include "core/report.h"
 #include "optimize/repair.h"
 #include "qef/quality_model.h"
 #include "source/flaky.h"
@@ -53,7 +54,7 @@ ChurnTrace BusyTrace(const Universe& universe, uint64_t seed = 7) {
   config.seed = seed;
   config.events_per_sec = 2.0;
   config.horizon_ms = 10'000.0;  // ~20 events over ~10 batches
-  return GenerateChurnTrace(universe, config);
+  return GenerateChurnTrace(universe, config).value();
 }
 
 void ExpectSameSolution(const Solution& a, const Solution& b) {
@@ -123,6 +124,9 @@ TEST(ContinuousTest, StepsReplayBitIdenticallyAcrossThreadCounts) {
     EXPECT_EQ(sa.events_applied, sb.events_applied) << "step " << i;
     EXPECT_EQ(sa.evicted, sb.evicted) << "step " << i;
     EXPECT_EQ(sa.escalated, sb.escalated) << "step " << i;
+    EXPECT_EQ(sa.escalation_reason, sb.escalation_reason) << "step " << i;
+    EXPECT_EQ(sa.repair_budget, sb.repair_budget) << "step " << i;
+    EXPECT_EQ(sa.drift_events, sb.drift_events) << "step " << i;
     EXPECT_EQ(sa.quality_before, sb.quality_before) << "step " << i;
     EXPECT_EQ(sa.quality_after, sb.quality_after) << "step " << i;
     EXPECT_EQ(sa.evaluations, sb.evaluations) << "step " << i;
@@ -237,6 +241,13 @@ TEST(ContinuousTest, IncumbentWipeoutEscalatesToFullResolve) {
   ASSERT_TRUE(report.ok()) << report.status();
   EXPECT_GE(report->escalations, 1);
   EXPECT_GE(report->full_solves, 2);  // initial + at least one escalation
+  bool saw_wipeout = false;
+  for (const ContinuousStep& step : report->steps) {
+    if (step.escalation_reason == EscalationReason::kIncumbentWipeout) {
+      saw_wipeout = true;
+    }
+  }
+  EXPECT_TRUE(saw_wipeout);
   for (SourceId dead : initial->sources) {
     EXPECT_FALSE(std::binary_search(report->final_solution.sources.begin(),
                                     report->final_solution.sources.end(),
@@ -261,6 +272,8 @@ TEST(ContinuousTest, FullEverytimeBaselineNeverRepairs) {
   EXPECT_EQ(report->full_solves, 1 + static_cast<int>(report->steps.size()));
   for (const ContinuousStep& step : report->steps) {
     EXPECT_TRUE(step.escalated);
+    EXPECT_EQ(step.escalation_reason, EscalationReason::kBaseline);
+    EXPECT_EQ(step.repair_budget, 0);
   }
 }
 
@@ -356,6 +369,87 @@ TEST(RepairUnitTest, DeterministicAcrossThreadCounts) {
   EXPECT_EQ(a.solution.quality, b.solution.quality);
   EXPECT_EQ(a.solution.stats.evaluations, b.solution.stats.evaluations);
   EXPECT_EQ(a.seed_quality, b.seed_quality);
+}
+
+TEST(RepairBudgetControllerTest, ClampsBaseAndDoublesOnEscalation) {
+  AdaptiveRepairOptions adaptive;
+  adaptive.min_eval_budget = 256;
+  adaptive.max_eval_budget = 4'096;
+  RepairBudgetController controller(64, adaptive);  // below min -> clamped
+  EXPECT_EQ(controller.budget(), 256);
+
+  controller.Record(/*evaluations_used=*/256, /*repaired=*/true,
+                    /*quality_escalated=*/true, /*wipeout=*/false);
+  EXPECT_EQ(controller.budget(), 512);
+  controller.Record(512, true, true, false);
+  EXPECT_EQ(controller.budget(), 1'024);
+  controller.Record(1'024, true, true, false);
+  controller.Record(2'048, true, true, false);
+  controller.Record(4'096, true, true, false);
+  EXPECT_EQ(controller.budget(), 4'096);  // capped at max
+}
+
+TEST(RepairBudgetControllerTest, ShrinksAfterConsecutiveCheapSuccesses) {
+  AdaptiveRepairOptions adaptive;
+  adaptive.min_eval_budget = 256;
+  adaptive.max_eval_budget = 16'384;
+  adaptive.shrink_after = 3;
+  RepairBudgetController controller(4'096, adaptive);
+  // Cheap: evaluations * 2 <= budget. Two cheap batches are not enough.
+  controller.Record(100, true, false, false);
+  controller.Record(100, true, false, false);
+  EXPECT_EQ(controller.budget(), 4'096);
+  controller.Record(100, true, false, false);  // third -> shrink by 1/4
+  EXPECT_EQ(controller.budget(), 3'072);
+  // A wipeout resets the streak without touching the budget.
+  controller.Record(100, false, false, true);
+  EXPECT_EQ(controller.budget(), 3'072);
+  controller.Record(100, true, false, false);
+  controller.Record(100, true, false, false);
+  EXPECT_EQ(controller.budget(), 3'072);  // streak restarted after wipeout
+}
+
+TEST(RepairBudgetControllerTest, SustainedEscalationPressurePinsAtMax) {
+  AdaptiveRepairOptions adaptive;
+  adaptive.min_eval_budget = 256;
+  adaptive.max_eval_budget = 8'192;
+  adaptive.window = 4;
+  RepairBudgetController controller(256, adaptive);
+  // Alternate escalated / cheap so doubling alone would not reach max, but
+  // half the trailing window escalated -> pinned at max.
+  controller.Record(256, true, true, false);
+  controller.Record(64, true, false, false);
+  controller.Record(512, true, true, false);
+  controller.Record(64, true, false, false);
+  EXPECT_EQ(controller.budget(), 8'192);
+  EXPECT_EQ(controller.ring().total(), 4);
+}
+
+TEST(ContinuousTest, FormatContinuousReportRendersReasons) {
+  Universe universe = MediumUniverse(16);
+  ChurnFeedConfig feed;
+  feed.seed = 99;
+  feed.events_per_sec = 2.0;
+  feed.horizon_ms = 10'000.0;
+  feed.attr_rename_weight = 4.0;
+  feed.attr_add_weight = 2.0;
+  feed.attr_drop_weight = 2.0;
+  ChurnTrace trace = GenerateChurnTrace(universe, feed).value();
+  Engine engine(std::move(universe), QualityModel::MakeDefault());
+  Result<ContinuousReport> report =
+      engine.RunContinuous(BasicSpec(), trace, QuickContinuous());
+  ASSERT_TRUE(report.ok()) << report.status();
+  const std::string text = FormatContinuousReport(*report);
+  EXPECT_NE(text.find("continuous: "), std::string::npos);
+  EXPECT_NE(text.find("schema drift"), std::string::npos);
+  EXPECT_NE(text.find("escalation reasons:"), std::string::npos);
+  // Every batch line renders, with budget when the batch was repaired.
+  size_t batches = 0;
+  for (size_t at = text.find("  batch "); at != std::string::npos;
+       at = text.find("  batch ", at + 1)) {
+    ++batches;
+  }
+  EXPECT_EQ(batches, report->steps.size());
 }
 
 }  // namespace

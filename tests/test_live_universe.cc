@@ -3,6 +3,7 @@
 // aggregate consistency under churn. The breadth version of the
 // patched-vs-rebuilt graph check lives in test_property_similarity.cc; here
 // the semantics of each event kind are pinned one by one.
+#include <limits>
 #include <memory>
 #include <string>
 #include <utility>
@@ -44,23 +45,23 @@ uint64_t RebuildFingerprint(const Universe& universe) {
 
 TEST(ChurnFeedTest, ReplaysBitIdenticallyFromSeedRateHorizon) {
   Universe universe = SmallUniverse();
-  ChurnTrace a = GenerateChurnTrace(universe, BusyFeed(123));
-  ChurnTrace b = GenerateChurnTrace(universe, BusyFeed(123));
+  ChurnTrace a = GenerateChurnTrace(universe, BusyFeed(123)).value();
+  ChurnTrace b = GenerateChurnTrace(universe, BusyFeed(123)).value();
   ASSERT_FALSE(a.events.empty());
   ASSERT_EQ(a.events.size(), b.events.size());
   EXPECT_EQ(ChurnTraceFingerprint(a), ChurnTraceFingerprint(b));
   // A different seed produces a different stream.
-  ChurnTrace c = GenerateChurnTrace(universe, BusyFeed(124));
+  ChurnTrace c = GenerateChurnTrace(universe, BusyFeed(124)).value();
   EXPECT_NE(ChurnTraceFingerprint(a), ChurnTraceFingerprint(c));
 }
 
 TEST(ChurnFeedTest, EventsAreOrderedInsideHorizonAndApplyCleanly) {
   Universe universe = SmallUniverse();
   ChurnFeedConfig config = BusyFeed(99);
-  ChurnTrace trace = GenerateChurnTrace(universe, config);
+  ChurnTrace trace = GenerateChurnTrace(universe, config).value();
   ASSERT_FALSE(trace.events.empty());
   double last = 0.0;
-  int kinds_seen[4] = {0, 0, 0, 0};
+  int kinds_seen[kNumChurnEventKinds] = {};
   for (const ChurnEvent& event : trace.events) {
     EXPECT_GE(event.time_ms, last);
     EXPECT_LE(event.time_ms, config.horizon_ms);
@@ -84,7 +85,7 @@ TEST(ChurnFeedTest, NeverRemovesBelowMinAlive) {
   config.remove_weight = 50.0;  // removal-hungry feed
   config.add_weight = 0.5;
   config.min_alive = 3;
-  ChurnTrace trace = GenerateChurnTrace(universe, config);
+  ChurnTrace trace = GenerateChurnTrace(universe, config).value();
   LiveUniverse live(std::move(universe));
   for (const ChurnEvent& event : trace.events) {
     ASSERT_TRUE(live.Apply(event).ok());
@@ -312,7 +313,7 @@ TEST(LiveUniverseTest, AggregatesStayConsistentUnderChurn) {
   (void)live.universe().UnionCardinalityEstimate();
   (void)live.universe().TotalCardinality();
 
-  ChurnTrace trace = GenerateChurnTrace(live.universe(), BusyFeed(31));
+  ChurnTrace trace = GenerateChurnTrace(live.universe(), BusyFeed(31)).value();
   ASSERT_TRUE(live.ApplyAll(trace).ok());
 
   Universe cold = CloneUniverse(live.universe());
@@ -327,7 +328,7 @@ TEST(LiveUniverseTest, AggregatesStayConsistentUnderChurn) {
 
 TEST(LiveUniverseTest, ApplyAllIsDeterministicAcrossInstances) {
   Universe universe = SmallUniverse();
-  ChurnTrace trace = GenerateChurnTrace(universe, BusyFeed(77));
+  ChurnTrace trace = GenerateChurnTrace(universe, BusyFeed(77)).value();
   LiveUniverse a(CloneUniverse(universe));
   LiveUniverse b(std::move(universe));
   ASSERT_TRUE(a.ApplyAll(trace).ok());
@@ -336,10 +337,195 @@ TEST(LiveUniverseTest, ApplyAllIsDeterministicAcrossInstances) {
   EXPECT_EQ(WriteCatalog(a.universe()), WriteCatalog(b.universe()));
 }
 
+TEST(ChurnFeedTest, MalformedConfigsAreRejectedNotClamped) {
+  Universe universe = SmallUniverse(6);
+  auto expect_invalid = [&universe](ChurnFeedConfig config) {
+    Result<ChurnTrace> trace = GenerateChurnTrace(universe, config);
+    ASSERT_FALSE(trace.ok());
+    EXPECT_EQ(trace.status().code(), StatusCode::kInvalidArgument);
+  };
+  ChurnFeedConfig negative_weight = BusyFeed();
+  negative_weight.attr_drop_weight = -0.5;
+  expect_invalid(negative_weight);
+  ChurnFeedConfig nan_weight = BusyFeed();
+  nan_weight.stale_weight = std::numeric_limits<double>::quiet_NaN();
+  expect_invalid(nan_weight);
+  ChurnFeedConfig inf_rate = BusyFeed();
+  inf_rate.events_per_sec = std::numeric_limits<double>::infinity();
+  expect_invalid(inf_rate);
+  ChurnFeedConfig bad_fraction = BusyFeed();
+  bad_fraction.revive_fraction = 1.5;
+  expect_invalid(bad_fraction);
+  ChurnFeedConfig negative_min_alive = BusyFeed();
+  negative_min_alive.min_alive = -1;
+  expect_invalid(negative_min_alive);
+  // min_alive above the universe's current alive count: the feed could
+  // never honor the floor.
+  ChurnFeedConfig unreachable_floor = BusyFeed();
+  unreachable_floor.min_alive = 7;
+  expect_invalid(unreachable_floor);
+}
+
+TEST(ChurnFeedTest, DriftEventsAppearAndApplyCleanly) {
+  Universe universe = SmallUniverse();
+  ChurnFeedConfig config = BusyFeed(17);
+  config.events_per_sec = 6.0;  // ~60 events
+  config.attr_rename_weight = 4.0;
+  config.attr_add_weight = 2.0;
+  config.attr_drop_weight = 2.0;
+  ChurnTrace trace = GenerateChurnTrace(universe, config).value();
+  int renames = 0, adds = 0, drops = 0;
+  for (const ChurnEvent& event : trace.events) {
+    if (event.kind == ChurnEventKind::kAttrRename) ++renames;
+    if (event.kind == ChurnEventKind::kAttrAdd) ++adds;
+    if (event.kind == ChurnEventKind::kAttrDrop) ++drops;
+    if (IsSchemaDrift(event.kind)) {
+      EXPECT_GE(event.attr_index, 0);
+      if (event.kind != ChurnEventKind::kAttrDrop) {
+        EXPECT_FALSE(event.attr_name.empty());
+      }
+    }
+  }
+  EXPECT_GT(renames, 0);
+  EXPECT_GT(adds, 0);
+  EXPECT_GT(drops, 0);
+  LiveUniverse live(std::move(universe));
+  ASSERT_TRUE(live.ApplyAll(trace).ok());
+  EXPECT_EQ(live.graph().Fingerprint(), RebuildFingerprint(live.universe()));
+}
+
+TEST(LiveUniverseTest, AttrRenameUpdatesSchemaAndGraph) {
+  Universe universe = SmallUniverse(6);
+  LiveUniverse live(std::move(universe));
+  const int width = live.universe().source(2).schema().num_attributes();
+  ASSERT_GE(width, 1);
+
+  ChurnEvent rename;
+  rename.time_ms = 1.0;
+  rename.kind = ChurnEventKind::kAttrRename;
+  rename.source = 2;
+  rename.attr_index = 0;
+  rename.attr_name = "renamed_attr";
+  ASSERT_TRUE(live.Apply(rename).ok());
+  EXPECT_EQ(live.universe().source(2).schema().attribute_name(0),
+            "renamed_attr");
+  EXPECT_EQ(live.universe().source(2).schema().num_attributes(), width);
+  EXPECT_EQ(live.graph().Fingerprint(), RebuildFingerprint(live.universe()));
+}
+
+TEST(LiveUniverseTest, AttrAddAppendsAndAttrDropShifts) {
+  Universe universe = SmallUniverse(6);
+  LiveUniverse live(std::move(universe));
+  const int width = live.universe().source(1).schema().num_attributes();
+
+  ChurnEvent add;
+  add.time_ms = 1.0;
+  add.kind = ChurnEventKind::kAttrAdd;
+  add.source = 1;
+  add.attr_index = width;  // must equal the schema width at apply time
+  add.attr_name = "brand_new";
+  ASSERT_TRUE(live.Apply(add).ok());
+  EXPECT_EQ(live.universe().source(1).schema().num_attributes(), width + 1);
+  EXPECT_EQ(live.universe().source(1).schema().attribute_name(width),
+            "brand_new");
+  EXPECT_EQ(live.graph().Fingerprint(), RebuildFingerprint(live.universe()));
+
+  const std::string last =
+      live.universe().source(1).schema().attribute_name(width);
+  ChurnEvent drop;
+  drop.time_ms = 2.0;
+  drop.kind = ChurnEventKind::kAttrDrop;
+  drop.source = 1;
+  drop.attr_index = 0;
+  ASSERT_TRUE(live.Apply(drop).ok());
+  EXPECT_EQ(live.universe().source(1).schema().num_attributes(), width);
+  // Later attributes shifted down by one.
+  EXPECT_EQ(live.universe().source(1).schema().attribute_name(width - 1), last);
+  EXPECT_EQ(live.graph().Fingerprint(), RebuildFingerprint(live.universe()));
+}
+
+TEST(LiveUniverseTest, MalformedDriftEventsFailCleanly) {
+  Universe universe = SmallUniverse(6);
+  LiveUniverse live(std::move(universe));
+  const uint64_t graph_before = live.graph().Fingerprint();
+  const int width = live.universe().source(0).schema().num_attributes();
+
+  // Rename out of range / empty name.
+  ChurnEvent rename;
+  rename.time_ms = 1.0;
+  rename.kind = ChurnEventKind::kAttrRename;
+  rename.source = 0;
+  rename.attr_index = width;
+  rename.attr_name = "x";
+  EXPECT_FALSE(live.Apply(rename).ok());
+  rename.attr_index = 0;
+  rename.attr_name = "";
+  EXPECT_FALSE(live.Apply(rename).ok());
+
+  // Add at the wrong index (the analogue of the dense-id rule).
+  ChurnEvent add;
+  add.time_ms = 1.0;
+  add.kind = ChurnEventKind::kAttrAdd;
+  add.source = 0;
+  add.attr_index = 0;
+  add.attr_name = "x";
+  if (width != 0) EXPECT_FALSE(live.Apply(add).ok());
+
+  // Drop out of range, and on an unavailable source.
+  ChurnEvent drop;
+  drop.time_ms = 1.0;
+  drop.kind = ChurnEventKind::kAttrDrop;
+  drop.source = 0;
+  drop.attr_index = width;
+  EXPECT_FALSE(live.Apply(drop).ok());
+
+  ChurnEvent remove;
+  remove.time_ms = 2.0;
+  remove.kind = ChurnEventKind::kRemove;
+  remove.source = 3;
+  ASSERT_TRUE(live.Apply(remove).ok());
+  ChurnEvent drift_dead;
+  drift_dead.time_ms = 3.0;
+  drift_dead.kind = ChurnEventKind::kAttrRename;
+  drift_dead.source = 3;
+  drift_dead.attr_index = 0;
+  drift_dead.attr_name = "x";
+  EXPECT_FALSE(live.Apply(drift_dead).ok());
+
+  EXPECT_EQ(live.universe().source(0).schema().num_attributes(), width);
+  // The one successful event was the remove.
+  EXPECT_EQ(live.version(), 1);
+  EXPECT_NE(live.graph().Fingerprint(), graph_before);
+  EXPECT_EQ(live.graph().Fingerprint(), RebuildFingerprint(live.universe()));
+}
+
+TEST(LiveUniverseTest, AttrDropNeverStripsLastAttribute) {
+  Universe universe;
+  DataSource one("solo", SourceSchema({"only"}));
+  one.set_cardinality(10);
+  universe.AddSource(std::move(one));
+  DataSource two("pair", SourceSchema({"a", "b"}));
+  two.set_cardinality(10);
+  universe.AddSource(std::move(two));
+  LiveUniverse live(std::move(universe));
+
+  ChurnEvent drop;
+  drop.time_ms = 1.0;
+  drop.kind = ChurnEventKind::kAttrDrop;
+  drop.source = 0;
+  drop.attr_index = 0;
+  EXPECT_FALSE(live.Apply(drop).ok());
+  EXPECT_EQ(live.universe().source(0).schema().num_attributes(), 1);
+
+  drop.source = 1;
+  ASSERT_TRUE(live.Apply(drop).ok());
+  EXPECT_EQ(live.universe().source(1).schema().num_attributes(), 1);
+}
+
 TEST(LiveUniverseTest, CompoundUniverseBuildsOverChurnedUniverse) {
   Universe universe = SmallUniverse();
   LiveUniverse live(std::move(universe));
-  ChurnTrace trace = GenerateChurnTrace(live.universe(), BusyFeed(13));
+  ChurnTrace trace = GenerateChurnTrace(live.universe(), BusyFeed(13)).value();
   ASSERT_TRUE(live.ApplyAll(trace).ok());
 
   // Fuse the first two attributes of the first available source with a

@@ -201,7 +201,7 @@ TEST(SimilarityPropertyTest, PatchedGraphMatchesRebuildUnderChurn) {
     config.seed = rng.Next64();
     config.events_per_sec = 2.0;
     config.horizon_ms = 8'000.0;  // ~16 events per trace
-    ChurnTrace trace = GenerateChurnTrace(universe, config);
+    ChurnTrace trace = GenerateChurnTrace(universe, config).value();
 
     // Alternate between the default 3-gram measure (precomputed n-gram
     // sets) and an edit-distance measure (generic path).
