@@ -124,8 +124,10 @@ int main(int argc, char** argv) {
       std::cout << "\n  GA constraints: " << spec.ga_constraints.size()
                 << "\n  weights:";
       const ube::QualityModel& model = engine.quality_model();
+      const std::vector<double>& weights = session.effective_weights();
       for (int i = 0; i < model.num_qefs(); ++i) {
-        std::cout << " " << model.qef(i).name() << "=" << model.weight(i);
+        std::cout << " " << model.qef(i).name() << "="
+                  << weights[static_cast<size_t>(i)];
       }
       std::cout << "\n";
     } else if (cmd == "solve") {

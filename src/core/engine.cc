@@ -113,14 +113,22 @@ Result<Solution> Engine::Solve(const ProblemSpec& spec, SolverKind solver,
   UBE_RETURN_IF_ERROR(effective.status());
   UBE_RETURN_IF_ERROR(
       CandidateEvaluator::ValidateSpec(live_.universe(), effective.value()));
+  UBE_RETURN_IF_ERROR(
+      CandidateEvaluator::ValidateOverlay(model_, effective.value()));
   if (spec.theta < live_.graph().floor()) {
     return Status::InvalidArgument(
         "θ is below the engine's similarity floor; rebuild the engine with a "
         "lower Options::similarity_floor");
   }
   obs::Tracer::Span evaluate_span = obs::SpanIf(obs_, "phase/evaluate");
+  // The live version is the cache epoch: a shared cache warmed before a
+  // churn event can never answer for the evolved universe.
   CandidateEvaluator evaluator(live_.universe(), live_.matcher(), model_,
-                               effective.value());
+                               effective.value(),
+                               static_cast<uint64_t>(live_.version()));
+  if (options.shared_cache != nullptr) {
+    evaluator.AttachSharedCache(options.shared_cache);
+  }
   evaluate_span.End();
   std::unique_ptr<Solver> impl = MakeSolver(solver);
   // Forward the engine's context into the solve unless the caller attached
@@ -353,8 +361,32 @@ Result<CandidateEvaluator::Evaluation> Engine::EvaluateCandidate(
       return Status::InvalidArgument("candidate contains a banned source");
     }
   }
-  CandidateEvaluator evaluator(universe, live_.matcher(), model_, effective);
+  UBE_RETURN_IF_ERROR(CandidateEvaluator::ValidateOverlay(model_, effective));
+  CandidateEvaluator evaluator(universe, live_.matcher(), model_, effective,
+                               static_cast<uint64_t>(live_.version()));
   return evaluator.Evaluate(sources);
+}
+
+Result<std::vector<SourceId>> Engine::RepairSeed(
+    const ProblemSpec& spec, const std::vector<SourceId>& incumbent,
+    const RepairOptions& options) const {
+  Result<ProblemSpec> effective = EffectiveSpec(spec);
+  UBE_RETURN_IF_ERROR(effective.status());
+  UBE_RETURN_IF_ERROR(
+      CandidateEvaluator::ValidateSpec(live_.universe(), effective.value()));
+  UBE_RETURN_IF_ERROR(
+      CandidateEvaluator::ValidateOverlay(model_, effective.value()));
+  CandidateEvaluator evaluator(live_.universe(), live_.matcher(), model_,
+                               effective.value(),
+                               static_cast<uint64_t>(live_.version()));
+  if (options.shared_cache != nullptr) {
+    // Repair and the subsequent solve share one spec fingerprint, so the
+    // repair's evaluations pre-warm the session's solve.
+    evaluator.AttachSharedCache(options.shared_cache);
+  }
+  RepairResult repaired = RepairIncumbent(evaluator, incumbent, options);
+  if (!repaired.seeded) return std::vector<SourceId>{};
+  return std::move(repaired.solution.sources);
 }
 
 Result<MatchResult> Engine::MatchSources(const ProblemSpec& spec,

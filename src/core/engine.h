@@ -208,6 +208,18 @@ class Engine {
   Result<CandidateEvaluator::Evaluation> EvaluateCandidate(
       const ProblemSpec& spec, std::vector<SourceId> sources) const;
 
+  /// Repairs `incumbent` against `spec` (optimize/repair: evict banned /
+  /// out-of-range members, re-add required sources, bounded steepest
+  /// ascent) and returns the repaired source set — the warm-start seed
+  /// Session/SessionServer feed into SolverOptions::initial_incumbent for
+  /// the next Solve. Empty when nothing of the incumbent survives
+  /// sanitizing (callers then cold-start); a Status only for an invalid
+  /// spec. RepairOptions::shared_cache, when set, routes the repair's
+  /// evaluations through the shared cache so they pre-warm the solve.
+  Result<std::vector<SourceId>> RepairSeed(const ProblemSpec& spec,
+                                           const std::vector<SourceId>& incumbent,
+                                           const RepairOptions& options) const;
+
   /// Runs only the Match operator over a source set (no data QEFs).
   Result<MatchResult> MatchSources(
       const ProblemSpec& spec, std::vector<SourceId> sources) const;

@@ -6,10 +6,11 @@
 #include "core/report.h"
 #include "obs/obs.h"
 #include "util/check.h"
+#include "util/timer.h"
 
 namespace ube {
 
-Session::Session(Engine* engine) : engine_(engine) {
+Session::Session(const Engine* engine) : engine_(engine) {
   UBE_CHECK(engine_ != nullptr, "Session requires an engine");
 }
 
@@ -20,8 +21,40 @@ Result<Solution> Session::Iterate(SolverKind solver) {
 Result<Solution> Session::Iterate(SolverKind solver,
                                   const SolverOptions& options) {
   obs::Tracer::Span span = obs::SpanIf(engine_->obs(), "session/iterate");
-  Result<Solution> solution = engine_->Solve(spec_, solver, options);
-  if (solution.ok()) history_.push_back(solution.value());
+  WallTimer timer;
+  SolverOptions effective = options;
+  bool warm = false;
+  if (warm_start_ && last() != nullptr && effective.initial_incumbent.empty()) {
+    // Repair the previous incumbent against the (possibly just-edited) spec
+    // and seed the solver with whatever survives. A wiped-out incumbent
+    // yields an empty seed and the solve proceeds cold; a repair *error*
+    // (invalid spec) is left for Solve to report so failure surfaces once.
+    RepairOptions repair = repair_options_;
+    if (repair.shared_cache == nullptr) {
+      repair.shared_cache = options.shared_cache;
+    }
+    Result<std::vector<SourceId>> seed =
+        engine_->RepairSeed(spec_, last()->sources, repair);
+    if (seed.ok() && !seed.value().empty()) {
+      effective.initial_incumbent = std::move(seed.value());
+      warm = true;
+    }
+  }
+  Result<Solution> solution = engine_->Solve(spec_, solver, effective);
+  const double elapsed_ms = timer.ElapsedSeconds() * 1e3;
+  stats_.last_iterate_ms = elapsed_ms;
+  stats_.total_iterate_ms += elapsed_ms;
+  if (!solution.ok()) {
+    ++stats_.failed_solves;
+    return solution;
+  }
+  ++stats_.iterations;
+  if (warm) {
+    ++stats_.warm_solves;
+  } else {
+    ++stats_.cold_solves;
+  }
+  history_.push_back(solution.value());
   return solution;
 }
 
@@ -56,6 +89,7 @@ Status Session::PinSource(SourceId source) {
     return Status::Ok();  // already pinned
   }
   constraints.push_back(source);
+  ++stats_.feedback_gestures;
   return Status::Ok();
 }
 
@@ -72,6 +106,7 @@ Status Session::UnpinSource(SourceId source) {
     return Status::NotFound("source is not pinned");
   }
   constraints.erase(it);
+  ++stats_.feedback_gestures;
   return Status::Ok();
 }
 
@@ -95,6 +130,7 @@ Status Session::BanSource(SourceId source) {
     return Status::Ok();  // already banned
   }
   banned.push_back(source);
+  ++stats_.feedback_gestures;
   return Status::Ok();
 }
 
@@ -111,6 +147,7 @@ Status Session::UnbanSource(SourceId source) {
     return Status::NotFound("source is not banned");
   }
   banned.erase(it);
+  ++stats_.feedback_gestures;
   return Status::Ok();
 }
 
@@ -153,6 +190,7 @@ Status Session::AddGaConstraint(GlobalAttribute ga) {
   }
   kept.push_back(std::move(ga));
   spec_.ga_constraints = std::move(kept);
+  ++stats_.feedback_gestures;
   return Status::Ok();
 }
 
@@ -176,7 +214,25 @@ Status Session::AddGaConstraintByNames(
 }
 
 Status Session::SetWeight(std::string_view qef_name, double weight) {
-  return engine_->mutable_quality_model().SetWeightRescaling(qef_name, weight);
+  const QualityModel& model = engine_->quality_model();
+  int index = model.FindQef(qef_name);
+  if (index < 0) {
+    return Status::NotFound("no QEF named '" + std::string(qef_name) + "'");
+  }
+  // Copy-on-first-write: the overlay starts as the shared model's weights
+  // and diverges from there. The engine's model is never mutated.
+  if (spec_.weight_overlay.empty()) {
+    spec_.weight_overlay = model.weights();
+  }
+  Status status =
+      QualityModel::RescaleWeight(&spec_.weight_overlay, index, weight);
+  if (status.ok()) ++stats_.feedback_gestures;
+  return status;
+}
+
+const std::vector<double>& Session::effective_weights() const {
+  return spec_.weight_overlay.empty() ? engine_->quality_model().weights()
+                                      : spec_.weight_overlay;
 }
 
 void Session::ClearConstraints() {

@@ -37,7 +37,11 @@ Result<Solution> AnnealingSolver::Solve(const CandidateEvaluator& evaluator,
   std::unique_ptr<ThreadPool> pool = internal::MakeEvalPool(options);
   DeltaEvaluator scorer = internal::MakeDeltaEvaluator(evaluator, options);
 
-  SearchState state(evaluator, rng);
+  // Warm start: anneal from the (sanitized) seed instead of a random draw.
+  // Checked before any rng use (cold fallback bit-identity).
+  std::vector<SourceId> warm = internal::ValidWarmStart(evaluator, options);
+  SearchState state = warm.empty() ? SearchState(evaluator, rng)
+                                   : SearchState(evaluator, std::move(warm));
   double current = scorer.Quality(state.sources());
   std::vector<SourceId> best = state.sources();
   double best_quality = current;

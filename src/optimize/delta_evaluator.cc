@@ -30,7 +30,10 @@ DeltaEvaluator::DeltaEvaluator(const CandidateEvaluator& evaluator,
       return;
     }
     scorers_.push_back(std::move(scorer));
-    weights_.push_back(model.weight(i));
+    // The evaluator's *effective* weights (spec overlay or model weights),
+    // so a session's overlay flows through the delta path bit-identically
+    // to the full path.
+    weights_.push_back(evaluator.effective_weights()[static_cast<size_t>(i)]);
   }
   active_ = true;
 
@@ -245,7 +248,7 @@ double DeltaEvaluator::ComputeForMove(const SearchState::Move& move,
 
 double DeltaEvaluator::Quality(const std::vector<SourceId>& candidate) {
   if (!active_) return evaluator_->Quality(candidate);
-  const uint64_t key = evaluator_->hash_fn_(candidate);
+  const uint64_t key = evaluator_->CacheKey(candidate);
   double quality = 0.0;
   if (evaluator_->CacheLookup(key, candidate, &quality)) {
     evaluator_->cache_hits_.fetch_add(1, std::memory_order_relaxed);
@@ -304,7 +307,7 @@ std::vector<double> DeltaEvaluator::Batch(
   int64_t hits = 0;
   for (size_t i = 0; i < n; ++i) {
     const std::vector<SourceId>& candidate = candidates[i];
-    uint64_t key = ev.hash_fn_(candidate);
+    uint64_t key = ev.CacheKey(candidate);
     if (ev.CacheLookup(key, candidate, &out[i])) {
       ++hits;
       continue;

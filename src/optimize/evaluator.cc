@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstddef>
+#include <cstring>
 
 #include "obs/obs.h"
 #include "util/check.h"
@@ -29,26 +30,167 @@ std::vector<SourceId> ComputeRequired(const ProblemSpec& spec) {
   return required;
 }
 
+/// Digests everything a quality value depends on into 64 bits: the spec's
+/// matching knobs and constraints, the effective weights (bit patterns, so
+/// an overlay differing in the last ulp still separates), the degradation
+/// policy, the model's QEF lineup, the universe extent and the caller's
+/// cache epoch. Two evaluators agreeing on all of these return identical
+/// qualities for any candidate — the invariant that makes sharing a cache
+/// across sessions safe.
+uint64_t ComputeSpecFingerprint(const Universe& universe,
+                                const QualityModel& model,
+                                const ProblemSpec& spec,
+                                const std::vector<double>& weights,
+                                const std::vector<SourceId>& banned,
+                                uint64_t cache_epoch) {
+  uint64_t h = SplitMix64(0x5bec0ffee5ULL ^ cache_epoch);
+  auto mix = [&h](uint64_t v) { h = SplitMix64(h ^ v); };
+  auto mix_double = [&mix](double d) {
+    uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(d));
+    std::memcpy(&bits, &d, sizeof(bits));
+    mix(bits);
+  };
+  auto mix_id = [&mix](SourceId s) {
+    mix(static_cast<uint64_t>(static_cast<uint32_t>(s)));
+  };
+
+  mix(static_cast<uint64_t>(universe.num_sources()));
+  mix(static_cast<uint64_t>(spec.max_sources));
+  mix_double(spec.theta);
+  mix(static_cast<uint64_t>(spec.beta));
+  mix(spec.source_constraints.size());
+  for (SourceId s : spec.source_constraints) mix_id(s);
+  // Bans via the sorted-unique view: ban order cannot change any quality,
+  // so sessions differing only in ban order still share cache hits.
+  mix(banned.size());
+  for (SourceId s : banned) mix_id(s);
+  mix(spec.ga_constraints.size());
+  for (const GlobalAttribute& g : spec.ga_constraints) {
+    mix(static_cast<uint64_t>(g.attributes().size()));
+    for (const AttributeId& id : g.attributes()) {
+      mix_id(id.source);
+      mix(static_cast<uint64_t>(static_cast<uint32_t>(id.attr_index)));
+    }
+  }
+  mix(weights.size());
+  for (double w : weights) mix_double(w);
+  mix(static_cast<uint64_t>(model.degradation().policy));
+  mix_double(model.degradation().stale_discount);
+  mix(static_cast<uint64_t>(model.num_qefs()));
+  for (int i = 0; i < model.num_qefs(); ++i) {
+    std::string_view name = model.qef(i).name();
+    mix(name.size());
+    for (char c : name) mix(static_cast<uint64_t>(static_cast<uint8_t>(c)));
+  }
+  return h;
+}
+
 }  // namespace
+
+SharedQualityCache::SharedQualityCache(size_t max_entries_per_shard)
+    : max_entries_per_shard_(max_entries_per_shard) {}
+
+uint64_t SharedQualityCache::SlotKey(uint64_t fingerprint,
+                                     uint64_t key) const {
+  return mix_fingerprint_ ? SplitMix64(fingerprint ^ key) : key;
+}
+
+bool SharedQualityCache::Lookup(uint64_t fingerprint, uint64_t key,
+                                const std::vector<SourceId>& candidate,
+                                double* quality) const {
+  const uint64_t slot = SlotKey(fingerprint, key);
+  Shard& shard = ShardFor(slot);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(slot);
+  if (it == shard.map.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  // Verify fingerprint AND candidate: a slot collision between two specs
+  // (or two candidates) must recompute, never cross-serve a tenant.
+  if (it->second.fingerprint != fingerprint ||
+      it->second.candidate != candidate) {
+    rejects_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  *quality = it->second.quality;
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void SharedQualityCache::Insert(uint64_t fingerprint, uint64_t key,
+                                const std::vector<SourceId>& candidate,
+                                double quality) {
+  const uint64_t slot = SlotKey(fingerprint, key);
+  Shard& shard = ShardFor(slot);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (shard.map.size() >= max_entries_per_shard_) {
+    shard.map.clear();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  shard.map[slot] = Entry{fingerprint, candidate, quality};
+  insertions_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void SharedQualityCache::Clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.map.clear();
+  }
+}
+
+SharedQualityCache::Stats SharedQualityCache::stats() const {
+  Stats out;
+  out.hits = hits_.load(std::memory_order_relaxed);
+  out.misses = misses_.load(std::memory_order_relaxed);
+  out.insertions = insertions_.load(std::memory_order_relaxed);
+  out.rejects = rejects_.load(std::memory_order_relaxed);
+  out.evictions = evictions_.load(std::memory_order_relaxed);
+  return out;
+}
+
+size_t SharedQualityCache::size() const {
+  size_t total = 0;
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.map.size();
+  }
+  return total;
+}
 
 CandidateEvaluator::CandidateEvaluator(const Universe& universe,
                                        const ClusterMatcher& matcher,
                                        const QualityModel& model,
-                                       const ProblemSpec& spec)
+                                       const ProblemSpec& spec,
+                                       uint64_t cache_epoch)
     : universe_(universe),
       matcher_(matcher),
       model_(model),
       spec_(spec),
       required_(ComputeRequired(spec)),
-      banned_(SortedUnique(spec.banned_sources)) {
+      banned_(SortedUnique(spec.banned_sources)),
+      effective_weights_(spec.weight_overlay.empty() ? model.weights()
+                                                     : spec.weight_overlay) {
   Status status = ValidateSpec(universe, spec);
   UBE_CHECK(status.ok(), "invalid ProblemSpec: " + status.ToString());
+  status = ValidateOverlay(model, spec);
+  UBE_CHECK(status.ok(), "invalid weight overlay: " + status.ToString());
+  spec_fingerprint_ = ComputeSpecFingerprint(universe, model, spec,
+                                             effective_weights_, banned_,
+                                             cache_epoch);
   // Force the universe's lazily built union signatures now, while we are
   // still single-threaded: MakeContext reads one of them (which, depends on
   // the degradation policy) on every evaluation and the lazy build mutates
   // Universe state.
   universe_.UnionSignature();
   universe_.FreshUnionSignature();
+}
+
+Status CandidateEvaluator::ValidateOverlay(const QualityModel& model,
+                                           const ProblemSpec& spec) {
+  if (spec.weight_overlay.empty()) return Status::Ok();
+  return model.ValidateWeightVector(spec.weight_overlay);
 }
 
 Status CandidateEvaluator::ValidateSpec(const Universe& universe,
@@ -151,14 +293,22 @@ CandidateEvaluator::Evaluation CandidateEvaluator::Evaluate(
     out.match.valid = true;  // no matching QEF: feasibility is structural
   }
   EvalContext ctx = model_.MakeContext(universe_, candidate, &out.match);
-  out.breakdown = model_.Evaluate(ctx);
+  out.breakdown = model_.Evaluate(ctx, effective_weights_);
   out.quality = out.breakdown.overall;
   return out;
+}
+
+uint64_t CandidateEvaluator::CacheKey(
+    const std::vector<SourceId>& candidate) const {
+  return SplitMix64(spec_fingerprint_ ^ hash_fn_(candidate));
 }
 
 bool CandidateEvaluator::CacheLookup(uint64_t key,
                                      const std::vector<SourceId>& candidate,
                                      double* quality) const {
+  if (shared_cache_ != nullptr) {
+    return shared_cache_->Lookup(spec_fingerprint_, key, candidate, quality);
+  }
   CacheShard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.map.find(key);
@@ -178,6 +328,10 @@ bool CandidateEvaluator::CacheLookup(uint64_t key,
 void CandidateEvaluator::CacheInsert(uint64_t key,
                                      const std::vector<SourceId>& candidate,
                                      double quality) const {
+  if (shared_cache_ != nullptr) {
+    shared_cache_->Insert(spec_fingerprint_, key, candidate, quality);
+    return;
+  }
   CacheShard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mu);
   if (shard.map.size() >= max_entries_per_shard_) {
@@ -189,7 +343,7 @@ void CandidateEvaluator::CacheInsert(uint64_t key,
 
 double CandidateEvaluator::Quality(
     const std::vector<SourceId>& candidate) const {
-  uint64_t key = hash_fn_(candidate);
+  uint64_t key = CacheKey(candidate);
   double quality = 0.0;
   if (CacheLookup(key, candidate, &quality)) {
     cache_hits_.fetch_add(1, std::memory_order_relaxed);
@@ -227,7 +381,7 @@ std::vector<double> CandidateEvaluator::QualityBatch(
   int64_t hits = 0;
   for (size_t i = 0; i < n; ++i) {
     const std::vector<SourceId>& candidate = candidates[i];
-    uint64_t key = hash_fn_(candidate);
+    uint64_t key = CacheKey(candidate);
     if (CacheLookup(key, candidate, &out[i])) {
       ++hits;
       continue;

@@ -24,6 +24,80 @@ class ObsContext;
 
 class DeltaEvaluator;
 
+/// A quality cache shared across evaluators — the cross-session warm cache
+/// of the multi-tenant SessionServer. Entries are keyed by (spec
+/// fingerprint, candidate): the fingerprint digests everything a quality
+/// value depends on (θ/β, constraints, effective weights, degradation
+/// policy, model shape, universe version), so two sessions with equal specs
+/// share hits while a session with different weights can never be served
+/// another's values. Every hit re-verifies both the stored fingerprint and
+/// the stored candidate, so a 64-bit key collision recomputes instead of
+/// poisoning a tenant.
+///
+/// Thread safety: Lookup/Insert are internally synchronized (sharded,
+/// mutex-striped like the evaluator's own cache) and safe from any number
+/// of concurrent sessions. Clear() is safe too but racing solvers may
+/// re-insert immediately.
+class SharedQualityCache {
+ public:
+  explicit SharedQualityCache(size_t max_entries_per_shard = 1u << 14);
+
+  /// True and fills *quality when `candidate` is cached under
+  /// (fingerprint, key) and the stored entry verifies.
+  bool Lookup(uint64_t fingerprint, uint64_t key,
+              const std::vector<SourceId>& candidate, double* quality) const;
+  /// Inserts (bounded: a full shard is cleared first; last writer wins).
+  void Insert(uint64_t fingerprint, uint64_t key,
+              const std::vector<SourceId>& candidate, double quality);
+  void Clear();
+
+  /// Cumulative counters (relaxed atomics; totals only settle once
+  /// concurrent sessions quiesce).
+  struct Stats {
+    int64_t hits = 0;
+    int64_t misses = 0;
+    int64_t insertions = 0;
+    /// Hits rejected by verification: same slot, different fingerprint or
+    /// candidate (the would-be cross-session poisonings).
+    int64_t rejects = 0;
+    int64_t evictions = 0;  ///< full-shard clears
+  };
+  Stats stats() const;
+  size_t size() const;
+
+  /// Test hook: slot entries by candidate key only, ignoring the
+  /// fingerprint, so two specs' entries collide on one slot and the
+  /// verify-on-hit rejection path is exercised deterministically.
+  void SetIdentityMixForTesting() { mix_fingerprint_ = false; }
+
+ private:
+  struct Entry {
+    uint64_t fingerprint = 0;
+    std::vector<SourceId> candidate;
+    double quality = 0.0;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<uint64_t, Entry> map;
+  };
+
+  uint64_t SlotKey(uint64_t fingerprint, uint64_t key) const;
+  Shard& ShardFor(uint64_t slot) const {
+    return shards_[slot >> (64 - kShardBits)];
+  }
+
+  static constexpr int kShardBits = 4;
+  static constexpr size_t kNumShards = 1u << kShardBits;
+  mutable Shard shards_[kNumShards];
+  size_t max_entries_per_shard_;
+  bool mix_fingerprint_ = true;
+  mutable std::atomic<int64_t> hits_{0};
+  mutable std::atomic<int64_t> misses_{0};
+  mutable std::atomic<int64_t> insertions_{0};
+  mutable std::atomic<int64_t> rejects_{0};
+  mutable std::atomic<int64_t> evictions_{0};
+};
+
 /// Scores candidate source sets for one optimization problem: runs
 /// Match(S, C, G) when the model needs it, builds the QEF context and
 /// returns Q(S). Infeasible candidates (Match invalid on C) score 0.
@@ -53,15 +127,26 @@ class DeltaEvaluator;
 /// parallel, and insertion happens sequentially afterwards.
 class CandidateEvaluator {
  public:
-  /// All referees must outlive the evaluator. Call ValidateSpec first; the
-  /// constructor UBE_CHECKs the same conditions.
+  /// All referees must outlive the evaluator. Call ValidateSpec (and
+  /// ValidateOverlay when the spec carries a weight overlay) first; the
+  /// constructor UBE_CHECKs the same conditions. `cache_epoch` is folded
+  /// into the spec fingerprint — pass a universe version counter so a
+  /// shared cache can never serve values computed before a churn event
+  /// (equal specs over different universe states get distinct
+  /// fingerprints).
   CandidateEvaluator(const Universe& universe, const ClusterMatcher& matcher,
-                     const QualityModel& model, const ProblemSpec& spec);
+                     const QualityModel& model, const ProblemSpec& spec,
+                     uint64_t cache_epoch = 0);
 
   /// Checks a spec against a universe: ids in range, GA constraints valid
   /// and disjoint, θ/β sane, and |required| <= m.
   static Status ValidateSpec(const Universe& universe,
                              const ProblemSpec& spec);
+
+  /// Checks ProblemSpec::weight_overlay against `model`: empty (inherit the
+  /// model's weights) or a full valid weight vector.
+  static Status ValidateOverlay(const QualityModel& model,
+                                const ProblemSpec& spec);
 
   struct Evaluation {
     double quality = 0.0;
@@ -102,6 +187,20 @@ class CandidateEvaluator {
   const Universe& universe() const { return universe_; }
   const QualityModel& model() const { return model_; }
 
+  /// The weights every evaluation here runs under: the spec's weight
+  /// overlay when present, the model's weights otherwise. The delta path
+  /// copies these (not the model's) so full and delta scoring agree bitwise
+  /// under an overlay.
+  const std::vector<double>& effective_weights() const {
+    return effective_weights_;
+  }
+
+  /// 64-bit digest of everything a quality value depends on (spec, weights,
+  /// degradation policy, model shape, cache epoch). Mixed into every cache
+  /// key and stored next to shared-cache entries, so a warm cache from one
+  /// spec can never answer for another.
+  uint64_t spec_fingerprint() const { return spec_fingerprint_; }
+
   int64_t num_evaluations() const {
     return evaluations_.load(std::memory_order_relaxed);
   }
@@ -117,9 +216,20 @@ class CandidateEvaluator {
   void ClearCache() const;
 
   /// ClearCache() + ResetCounters(): what every Solve() invokes first.
+  /// An attached shared cache deliberately survives — staying warm across
+  /// runs and sessions is its purpose; fingerprinted keys keep it safe.
   void BeginRun() const {
     ClearCache();
     ResetCounters();
+  }
+
+  /// Routes this evaluator's memoization through `cache` instead of the
+  /// local shards (null detaches). Like AttachObs, not synchronized against
+  /// concurrent evaluation — attach before the search starts. Hits/misses
+  /// keep counting in this evaluator's counters, so budget stops behave
+  /// identically; only which store answers them changes.
+  void AttachSharedCache(SharedQualityCache* cache) const {
+    shared_cache_ = cache;
   }
 
   /// Attaches an observability context (null detaches). Records counters
@@ -150,6 +260,11 @@ class CandidateEvaluator {
 
   static uint64_t HashCandidate(const std::vector<SourceId>& candidate);
 
+  /// Cache key of one candidate: the candidate hash mixed with the spec
+  /// fingerprint, so keys from different specs never alias even when the
+  /// candidate sets are identical (the cross-spec poisoning fix).
+  uint64_t CacheKey(const std::vector<SourceId>& candidate) const;
+
   struct CacheEntry {
     std::vector<SourceId> candidate;  // verified on hit (collision safety)
     double quality = 0.0;
@@ -178,6 +293,9 @@ class CandidateEvaluator {
   const ProblemSpec& spec_;
   std::vector<SourceId> required_;
   std::vector<SourceId> banned_;
+  std::vector<double> effective_weights_;
+  uint64_t spec_fingerprint_ = 0;
+  mutable SharedQualityCache* shared_cache_ = nullptr;
 
   static constexpr int kShardBits = 4;
   static constexpr size_t kNumCacheShards = 1u << kShardBits;

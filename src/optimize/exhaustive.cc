@@ -58,6 +58,15 @@ Result<Solution> ExhaustiveSolver::Solve(const CandidateEvaluator& evaluator,
   double best_quality = -1.0;
   int64_t iterations = 0;
 
+  // Warm start: a complete enumeration dominates any seed, but a
+  // budget-truncated one must still never return worse than the seed — so
+  // the seed initializes the incumbent.
+  std::vector<SourceId> warm = internal::ValidWarmStart(evaluator, options);
+  if (!warm.empty()) {
+    best_quality = delta.Quality(warm);
+    best = std::move(warm);
+  }
+
   std::vector<SourceId> chosen;  // indices into pool, as source ids
   // Depth-first enumeration of all subsets of `pool` of size <= slots.
   auto evaluate_current = [&]() {

@@ -43,6 +43,13 @@ Result<Solution> GreedySolver::Solve(const CandidateEvaluator& evaluator,
   int64_t iterations = 0;
   std::vector<TracePoint> trace;
 
+  // Warm start: greedy construction is deterministic and can land below a
+  // good incumbent, so score the seed up front and return whichever of
+  // (seed, constructed) is better — never worse than the seed.
+  std::vector<SourceId> warm = internal::ValidWarmStart(evaluator, options);
+  double warm_quality = -1.0;
+  if (!warm.empty()) warm_quality = delta.Quality(warm);
+
   // Seed: if no constraints, start from the best single source. All the
   // singletons are scored as one batch; ties keep the lowest id, as the
   // sequential scan did.
@@ -139,6 +146,9 @@ Result<Solution> GreedySolver::Solve(const CandidateEvaluator& evaluator,
     }
   }
 
+  if (!warm.empty() && warm_quality > current_quality) {
+    current = std::move(warm);
+  }
   return internal::FinalizeSolution(evaluator, std::move(current),
                                     std::string(name()), iterations, timer,
                                     stop, std::move(trace), &scope);

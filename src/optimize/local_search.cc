@@ -35,6 +35,10 @@ Result<Solution> LocalSearchSolver::Solve(const CandidateEvaluator& evaluator,
   const int iters_per_restart =
       std::max(1, options.max_iterations / restarts);
 
+  // Warm start: the first restart climbs from the seed; later restarts
+  // stay random. Checked before any rng use (cold fallback bit-identity).
+  std::vector<SourceId> warm = internal::ValidWarmStart(evaluator, options);
+
   std::vector<SourceId> best;
   double best_quality = -1.0;
   int64_t iterations = 0;
@@ -49,7 +53,9 @@ Result<Solution> LocalSearchSolver::Solve(const CandidateEvaluator& evaluator,
         internal::BudgetExpired(timer, evaluator, options, &stop)) {
       break;
     }
-    SearchState state(evaluator, rng);
+    SearchState state = (restart == 0 && !warm.empty())
+                            ? SearchState(evaluator, warm)
+                            : SearchState(evaluator, rng);
     double current = delta.Quality(state.sources());
     if (current > best_quality) {
       best_quality = current;
@@ -133,6 +139,14 @@ Result<Solution> RandomSolver::Solve(const CandidateEvaluator& evaluator,
   int64_t iterations = 0;
   StopReason stop = StopReason::kMaxIterations;
   std::vector<TracePoint> trace;
+  // Warm start: the seed becomes the incumbent every sample must beat.
+  std::vector<SourceId> warm = internal::ValidWarmStart(evaluator, options);
+  if (!warm.empty()) {
+    best_quality = delta.Quality(warm);
+    best = std::move(warm);
+    internal::MaybeTrace(options.record_trace, evaluator, best_quality,
+                         &trace);
+  }
   for (int i = 0; i < std::max(1, options.random_samples); ++i) {
     // First sample always runs so a tiny time limit still yields a feasible
     // (nonempty) incumbent.

@@ -40,6 +40,13 @@ struct ProblemSpec {
   /// G: user GAs that must be subsumed by the output mediated schema
   /// (each implicitly forces its sources into the solution).
   std::vector<GlobalAttribute> ga_constraints;
+  /// Per-spec QEF weights overriding the QualityModel's (parallel to its
+  /// QEF list; each in [0,1], summing to 1). Empty (the default) evaluates
+  /// under the model's own weights. This is how a Session re-weights
+  /// without mutating the engine's shared model: the overlay travels with
+  /// the spec and is resolved at evaluation time, so N sessions over one
+  /// engine each solve under their own weights.
+  std::vector<double> weight_overlay;
 };
 
 /// One point of a solver convergence trace: the incumbent quality after a

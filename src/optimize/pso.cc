@@ -116,6 +116,18 @@ Result<Solution> PsoSolver::Solve(const CandidateEvaluator& evaluator,
     p.position = Repair(p.bits, p.velocity, required, banned, m);
     positions.push_back(p.position);
   }
+  // Warm start: particle 0 takes the seed as its position, *after* the
+  // drafting loop so the rng stream is untouched — a rejected (empty) seed
+  // leaves the run bit-identical to a cold solve, and the seed's quality
+  // enters the global-best fold below, guaranteeing never-worse-than-seed.
+  std::vector<SourceId> warm = internal::ValidWarmStart(evaluator, options);
+  if (!warm.empty()) {
+    Particle& p = swarm.front();
+    std::fill(p.bits.begin(), p.bits.end(), 0);
+    for (SourceId s : warm) p.bits[static_cast<size_t>(s)] = 1;
+    p.position = warm;
+    positions.front() = std::move(warm);
+  }
   std::vector<double> qualities = delta.ScoreCandidates(positions, pool.get());
   for (size_t i = 0; i < swarm.size(); ++i) {
     Particle& p = swarm[i];

@@ -37,6 +37,11 @@ struct RepairOptions {
   const Clock* clock = nullptr;
   /// Optional observability context (solve/repair span, solver metrics).
   obs::ObsContext* obs = nullptr;
+  /// Cross-evaluator quality cache (optimize/evaluator.h). Not owned; must
+  /// outlive the repair. Engine::RepairSeed attaches it to the repair's
+  /// evaluator so a session's repair pre-warms its subsequent warm-start
+  /// solve (same spec fingerprint). Null keeps the local cache.
+  SharedQualityCache* shared_cache = nullptr;
 };
 
 /// Outcome of one repair attempt.

@@ -58,6 +58,23 @@ struct SolverOptions {
   /// bit-identical on or off — this knob exists for A/B benchmarking
   /// (bench/micro_ube --delta) and as an escape hatch.
   bool delta_eval = true;
+  /// Warm-start seed: a candidate the search starts from instead of a
+  /// random draw — typically the previous incumbent of a feedback session,
+  /// repaired against the new spec (Engine::RepairSeed). Every solver
+  /// guarantees the returned quality is never below the (sanitized) seed's.
+  /// Ignored when empty; a seed that is infeasible under the evaluator's
+  /// spec (banned member, missing required source, over m) is discarded and
+  /// the run is bit-identical to a cold solve — the random stream is only
+  /// consumed once the seed has been rejected.
+  std::vector<SourceId> initial_incumbent;
+  /// Cross-evaluator quality cache (optimize/evaluator.h). Not owned; must
+  /// outlive the Solve call. When set, Engine::Solve routes the evaluator's
+  /// memoization through it, so equal-spec sessions share hits and a
+  /// session's repair warms its own subsequent solve. Null (default) keeps
+  /// the per-solve local cache. Solution bytes are unchanged either way
+  /// unless an eval-budget stop fires (a warmer cache computes fewer
+  /// evaluations, so max_evaluations cuts at a different point).
+  SharedQualityCache* shared_cache = nullptr;
 
   // --- tabu search -----------------------------------------------------
   /// Moves sampled per iteration (0 = auto: scales with |U| and m).

@@ -1,5 +1,6 @@
 #include "optimize/solver_internal.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace ube::internal {
@@ -62,6 +63,25 @@ Status CheckSolvable(const CandidateEvaluator& evaluator) {
     return Status::Infeasible("the universe contains no sources");
   }
   return Status::Ok();
+}
+
+std::vector<SourceId> ValidWarmStart(const CandidateEvaluator& evaluator,
+                                     const SolverOptions& options) {
+  if (options.initial_incumbent.empty()) return {};
+  std::vector<SourceId> seed = options.initial_incumbent;
+  std::sort(seed.begin(), seed.end());
+  seed.erase(std::unique(seed.begin(), seed.end()), seed.end());
+  const int num_sources = evaluator.universe().num_sources();
+  for (SourceId s : seed) {
+    if (s < 0 || s >= num_sources || evaluator.IsBanned(s)) return {};
+  }
+  const std::vector<SourceId>& required = evaluator.required_sources();
+  if (!std::includes(seed.begin(), seed.end(), required.begin(),
+                     required.end())) {
+    return {};
+  }
+  if (static_cast<int>(seed.size()) > evaluator.spec().max_sources) return {};
+  return seed;
 }
 
 std::unique_ptr<ThreadPool> MakeEvalPool(const SolverOptions& options) {

@@ -94,6 +94,15 @@ inline void MaybeTrace(bool enabled, const CandidateEvaluator& evaluator,
 /// Common entry checks: non-empty universe. Returns OK or kInfeasible.
 Status CheckSolvable(const CandidateEvaluator& evaluator);
 
+/// The sanitized warm-start seed from SolverOptions::initial_incumbent, or
+/// an empty vector when there is none or it is infeasible under the
+/// evaluator's spec (out-of-range/banned member, missing required source,
+/// size outside [1, m] after dedup). Solvers treat empty as "cold start" —
+/// and MUST NOT have consumed any randomness before calling this, so the
+/// infeasible-seed path stays bit-identical to a cold solve.
+std::vector<SourceId> ValidWarmStart(const CandidateEvaluator& evaluator,
+                                     const SolverOptions& options);
+
 /// Delta scoring front-end per SolverOptions::delta_eval. Inactive (pure
 /// pass-through to the full path) when the flag is off or the model has a
 /// QEF without a delta scorer; either way solvers call the same

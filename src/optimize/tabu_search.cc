@@ -43,7 +43,12 @@ Result<Solution> TabuSearchSolver::Solve(const CandidateEvaluator& evaluator,
                          ? options.candidate_moves
                          : std::min(64, std::max(24, n / 8));
 
-  SearchState state(evaluator, rng);
+  // Warm start: begin from the (sanitized) seed instead of a random draw.
+  // Checked before any rng use, so a rejected seed leaves the run
+  // bit-identical to a cold solve.
+  std::vector<SourceId> warm = internal::ValidWarmStart(evaluator, options);
+  SearchState state = warm.empty() ? SearchState(evaluator, rng)
+                                   : SearchState(evaluator, std::move(warm));
   double current_quality = delta.Quality(state.sources());
   std::vector<SourceId> best = state.sources();
   double best_quality = current_quality;

@@ -58,29 +58,38 @@ Status QualityModel::SetWeightRescaling(std::string_view name, double weight) {
   if (index < 0) {
     return Status::NotFound("no QEF named '" + std::string(name) + "'");
   }
+  return RescaleWeight(&weights_, index, weight);
+}
+
+Status QualityModel::RescaleWeight(std::vector<double>* weights, int index,
+                                   double weight) {
+  UBE_CHECK(weights != nullptr, "RescaleWeight requires a weight vector");
+  std::vector<double>& w = *weights;
+  if (index < 0 || index >= static_cast<int>(w.size())) {
+    return Status::InvalidArgument("weight index out of range");
+  }
   if (weight < 0.0 || weight > 1.0) {
     return Status::InvalidArgument("weight must be in [0, 1]");
   }
   double others = 0.0;
-  for (size_t i = 0; i < weights_.size(); ++i) {
-    if (static_cast<int>(i) != index) others += weights_[i];
+  for (size_t i = 0; i < w.size(); ++i) {
+    if (static_cast<int>(i) != index) others += w[i];
   }
   double remaining = 1.0 - weight;
   if (others <= 0.0) {
     // All other weights are zero: distribute `remaining` uniformly.
-    double share = weights_.size() > 1
-                       ? remaining / static_cast<double>(weights_.size() - 1)
-                       : 0.0;
-    for (size_t i = 0; i < weights_.size(); ++i) {
-      weights_[i] = static_cast<int>(i) == index ? weight : share;
+    double share =
+        w.size() > 1 ? remaining / static_cast<double>(w.size() - 1) : 0.0;
+    for (size_t i = 0; i < w.size(); ++i) {
+      w[i] = static_cast<int>(i) == index ? weight : share;
     }
   } else {
     double scale = remaining / others;
-    for (size_t i = 0; i < weights_.size(); ++i) {
+    for (size_t i = 0; i < w.size(); ++i) {
       if (static_cast<int>(i) == index) {
-        weights_[i] = weight;
+        w[i] = weight;
       } else {
-        weights_[i] *= scale;
+        w[i] *= scale;
       }
     }
   }
@@ -88,11 +97,19 @@ Status QualityModel::SetWeightRescaling(std::string_view name, double weight) {
 }
 
 Status QualityModel::ValidateWeights() const {
+  return ValidateWeightVector(weights_);
+}
+
+Status QualityModel::ValidateWeightVector(
+    const std::vector<double>& weights) const {
   if (qefs_.empty()) {
     return Status::FailedPrecondition("quality model has no QEFs");
   }
+  if (weights.size() != qefs_.size()) {
+    return Status::InvalidArgument("weight count does not match QEF count");
+  }
   double sum = 0.0;
-  for (double w : weights_) {
+  for (double w : weights) {
     if (w < 0.0 || w > 1.0) {
       return Status::InvalidArgument("each weight must be in [0, 1]");
     }
@@ -192,9 +209,14 @@ EvalContext QualityModel::MakeContext(const Universe& universe,
 }
 
 QualityBreakdown QualityModel::Evaluate(const EvalContext& ctx) const {
-  UBE_CHECK(ValidateWeights().ok(),
+  return Evaluate(ctx, weights_);
+}
+
+QualityBreakdown QualityModel::Evaluate(
+    const EvalContext& ctx, const std::vector<double>& weights) const {
+  UBE_CHECK(ValidateWeightVector(weights).ok(),
             "QualityModel weights are invalid: " +
-                ValidateWeights().ToString());
+                ValidateWeightVector(weights).ToString());
   UBE_CHECK(!NeedsMatching() || ctx.match != nullptr,
             "model has a matching QEF but the context has no Match result");
 
@@ -207,7 +229,7 @@ QualityBreakdown QualityModel::Evaluate(const EvalContext& ctx) const {
   }
   for (size_t i = 0; i < qefs_.size(); ++i) {
     out.scores[i] = qefs_[i]->Evaluate(ctx);
-    out.overall += weights_[i] * out.scores[i];
+    out.overall += weights[i] * out.scores[i];
   }
   return out;
 }

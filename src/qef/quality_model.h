@@ -51,6 +51,10 @@ class QualityModel {
   /// Index of the QEF with this name, or -1.
   int FindQef(std::string_view name) const;
 
+  /// All weights, parallel to the QEF list (the vector a per-spec overlay
+  /// starts from — see ProblemSpec::weight_overlay).
+  const std::vector<double>& weights() const { return weights_; }
+
   /// Replaces all weights (size must match; each in [0,1]; sum within 1e-6
   /// of 1).
   Status SetWeights(const std::vector<double>& weights);
@@ -58,8 +62,18 @@ class QualityModel {
   /// the sum stays 1 — the natural "turn this knob" user feedback.
   Status SetWeightRescaling(std::string_view name, double weight);
 
+  /// The rescaling rule behind SetWeightRescaling on a free-standing weight
+  /// vector: sets (*weights)[index] = weight and scales the others so the
+  /// sum stays 1. Sessions apply it to their per-spec overlay so the
+  /// engine's shared model is never touched.
+  static Status RescaleWeight(std::vector<double>* weights, int index,
+                              double weight);
+
   /// OK iff every weight is in [0,1] and they sum to 1 (±1e-6).
   Status ValidateWeights() const;
+  /// Same conditions on a free-standing vector, plus size == num_qefs()
+  /// (validates a ProblemSpec::weight_overlay against this model).
+  Status ValidateWeightVector(const std::vector<double>& weights) const;
 
   /// True if any registered QEF is a MatchingQualityQef (i.e. evaluation
   /// requires running Match(S)).
@@ -96,6 +110,12 @@ class QualityModel {
   /// result the candidate is infeasible: overall = 0, feasible = false
   /// (the paper's Match returns NULL and the optimizer treats Q as 0).
   QualityBreakdown Evaluate(const EvalContext& ctx) const;
+
+  /// Same, but accumulates under `weights` instead of the model's own
+  /// (size must equal num_qefs(); see ProblemSpec::weight_overlay). The
+  /// per-QEF scores are identical either way; only the weighted sum moves.
+  QualityBreakdown Evaluate(const EvalContext& ctx,
+                            const std::vector<double>& weights) const;
 
  private:
   std::vector<std::unique_ptr<Qef>> qefs_;

@@ -147,6 +147,35 @@ TEST_F(SessionTest, IterateRecordsHistory) {
   EXPECT_EQ(session_.num_iterations(), 2);
 }
 
+TEST_F(SessionTest, FailedIterateLeavesHistoryIntact) {
+  ASSERT_TRUE(session_.Iterate(SolverKind::kTabu, FastSolve()).ok());
+  ASSERT_NE(session_.last(), nullptr);
+  const Solution before = *session_.last();
+  const std::string report_before = session_.ReportLast();
+
+  // Make the spec infeasible mid-session (more pins than slots) and solve.
+  session_.SetMaxSources(1);
+  ASSERT_TRUE(session_.PinSource(0).ok());
+  ASSERT_TRUE(session_.PinSource(1).ok());
+  Result<Solution> failed = session_.Iterate(SolverKind::kTabu, FastSolve());
+  ASSERT_FALSE(failed.ok());
+
+  // The failed solve must not leave a half-appended history entry:
+  // last()/ReportLast() still answer from the previous solution.
+  EXPECT_EQ(session_.num_iterations(), 1);
+  ASSERT_NE(session_.last(), nullptr);
+  EXPECT_EQ(session_.last()->sources, before.sources);
+  EXPECT_EQ(session_.last()->quality, before.quality);
+  EXPECT_EQ(session_.ReportLast(), report_before);
+  EXPECT_EQ(session_.stats().failed_solves, 1);
+  EXPECT_EQ(session_.stats().iterations, 1);
+
+  // Undo the damage and the loop keeps going.
+  session_.SetMaxSources(6);
+  EXPECT_TRUE(session_.Iterate(SolverKind::kTabu, FastSolve()).ok());
+  EXPECT_EQ(session_.num_iterations(), 2);
+}
+
 TEST_F(SessionTest, PinSourceForcesItIntoNextSolution) {
   ASSERT_TRUE(session_.Iterate(SolverKind::kTabu, FastSolve()).ok());
   // Pin a source the first solution did not pick.
@@ -276,11 +305,49 @@ TEST_F(SessionTest, AddGaConstraintByNames) {
       session_.AddGaConstraintByNames({{"nope", "title"}}).ok());
 }
 
-TEST_F(SessionTest, SetWeightBiasesModel) {
-  ASSERT_TRUE(session_.SetWeight("cardinality", 0.7).ok());
+TEST_F(SessionTest, SetWeightEditsOverlayNotModel) {
   int idx = engine_.quality_model().FindQef("cardinality");
-  EXPECT_DOUBLE_EQ(engine_.quality_model().weight(idx), 0.7);
+  const double model_weight_before = engine_.quality_model().weight(idx);
+  ASSERT_TRUE(session_.SetWeight("cardinality", 0.7).ok());
+  // The reweight lands in the session's overlay; the engine's shared model
+  // is untouched (other sessions keep their own weights).
+  EXPECT_DOUBLE_EQ(engine_.quality_model().weight(idx), model_weight_before);
+  ASSERT_EQ(session_.spec().weight_overlay.size(),
+            engine_.quality_model().weights().size());
+  EXPECT_DOUBLE_EQ(session_.spec().weight_overlay[static_cast<size_t>(idx)],
+                   0.7);
+  EXPECT_DOUBLE_EQ(session_.effective_weights()[static_cast<size_t>(idx)],
+                   0.7);
+  // The overlay still sums to 1 (rescale semantics are unchanged).
+  double sum = 0.0;
+  for (double w : session_.spec().weight_overlay) sum += w;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
   EXPECT_FALSE(session_.SetWeight("bogus", 0.5).ok());
+}
+
+TEST_F(SessionTest, TwoSessionsSolveUnderTheirOwnWeights) {
+  // The regression for the shared-mutation bug: two sessions over one
+  // engine set different weights, and each solve matches a fresh
+  // single-tenant solve under that spec byte-for-byte.
+  Session a(&engine_);
+  Session b(&engine_);
+  a.mutable_spec().max_sources = 3;
+  b.mutable_spec().max_sources = 3;
+  ASSERT_TRUE(a.SetWeight("cardinality", 0.7).ok());
+  ASSERT_TRUE(b.SetWeight("coverage", 0.8).ok());
+
+  Result<Solution> sol_a = a.Iterate();
+  Result<Solution> sol_b = b.Iterate();
+  ASSERT_TRUE(sol_a.ok()) << sol_a.status();
+  ASSERT_TRUE(sol_b.ok()) << sol_b.status();
+
+  Result<Solution> ref_a = engine_.Solve(a.spec());
+  Result<Solution> ref_b = engine_.Solve(b.spec());
+  ASSERT_TRUE(ref_a.ok() && ref_b.ok());
+  EXPECT_EQ(sol_a.value().sources, ref_a.value().sources);
+  EXPECT_EQ(sol_b.value().sources, ref_b.value().sources);
+  EXPECT_EQ(sol_a.value().quality, ref_a.value().quality);
+  EXPECT_EQ(sol_b.value().quality, ref_b.value().quality);
 }
 
 TEST_F(SessionTest, ClearConstraints) {

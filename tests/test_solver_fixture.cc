@@ -248,6 +248,54 @@ TEST_P(SolverFixtureTest, DeltaMatchesFullPathBitIdentically) {
   }
 }
 
+// Warm-start axis: every solver accepts SolverOptions::initial_incumbent.
+// A feasible seed must never produce a solution worse than the seed itself;
+// an infeasible seed must be discarded *before* any randomness is consumed,
+// so the solve is bit-identical to a cold one.
+TEST_P(SolverFixtureTest, WarmStartNeverWorseThanSeedAndFallsBackCold) {
+  const SolverKind kind = GetParam();
+  const testkit::GoldenSmallUniverse& golden = Golden();
+  Engine engine = MakeGoldenEngine();
+
+  SolverOptions cold_options = FixtureOptions();
+  Result<Solution> cold = engine.Solve(golden.spec, kind, cold_options);
+  ASSERT_TRUE(cold.ok()) << cold.status();
+
+  // Seed with the cold solution itself — the strongest feasible seed this
+  // instance offers. Warm-start promises feasible output and quality at
+  // least the seed's.
+  SolverOptions warm_options = cold_options;
+  warm_options.initial_incumbent = cold->sources;
+  Result<Solution> warm = engine.Solve(golden.spec, kind, warm_options);
+  ASSERT_TRUE(warm.ok()) << warm.status();
+  EXPECT_TRUE(SolutionIsFeasible(*warm, engine.universe(), golden.spec));
+  EXPECT_GE(warm->quality, cold->quality - 1e-12)
+      << "warm-started solve returned worse than its seed";
+
+  // An out-of-range seed is rejected up front; the solve must replay the
+  // cold run bit-for-bit (the rng stream was never touched).
+  SolverOptions bogus_options = cold_options;
+  bogus_options.initial_incumbent = {SourceId{9'999}};
+  Result<Solution> fallback = engine.Solve(golden.spec, kind, bogus_options);
+  ASSERT_TRUE(fallback.ok()) << fallback.status();
+  EXPECT_TRUE(SolutionsBitIdentical(*cold, *fallback))
+      << "infeasible seed changed the solve";
+
+  // Same for a seed that violates the cardinality bound: every source,
+  // which always exceeds max_sources on the golden instance.
+  std::vector<SourceId> everything;
+  for (SourceId s = 0; s < engine.universe().num_sources(); ++s) {
+    everything.push_back(s);
+  }
+  ASSERT_GT(static_cast<int>(everything.size()), golden.spec.max_sources);
+  SolverOptions oversize_options = cold_options;
+  oversize_options.initial_incumbent = std::move(everything);
+  Result<Solution> oversize = engine.Solve(golden.spec, kind, oversize_options);
+  ASSERT_TRUE(oversize.ok()) << oversize.status();
+  EXPECT_TRUE(SolutionsBitIdentical(*cold, *oversize))
+      << "oversized seed changed the solve";
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Kinds, SolverFixtureTest, ::testing::ValuesIn(AllSolverKinds()),
     [](const ::testing::TestParamInfo<SolverKind>& info) {
